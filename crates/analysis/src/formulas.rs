@@ -1,0 +1,163 @@
+//! Closed-form performance expressions from §4.1 of the paper.
+//!
+//! All times are in *protocol periods* unless noted; converting to wall
+//! clock means multiplying by the period length (1 minute by default).
+
+/// Expected discovery time (periods) of a monitoring pair:
+/// `E[D] ≤ 1 / (1 − e^{−cvs²/N})`.
+///
+/// # Example
+///
+/// ```
+/// // N = 1e6, cvs = 32 (Optimal-MDC): ≈ 977 periods ≈ the paper's "1000
+/// // time units".
+/// let d = avmon_analysis::expected_discovery_periods(32, 1_000_000.0);
+/// assert!((d - 977.0).abs() < 2.0);
+/// ```
+#[must_use]
+pub fn expected_discovery_periods(cvs: usize, n: f64) -> f64 {
+    let x = (cvs * cvs) as f64 / n;
+    1.0 / (1.0 - (-x).exp())
+}
+
+/// The asymptotic simplification `E[D] ≈ N / cvs²` (valid for
+/// `cvs = o(√N)`).
+#[must_use]
+pub fn expected_discovery_periods_approx(cvs: usize, n: f64) -> f64 {
+    n / (cvs * cvs) as f64
+}
+
+/// Probability that a given node pair is checked by at least one coarse
+/// view fetch in one protocol period: `≥ 1 − e^{−cvs²/N}`.
+#[must_use]
+pub fn pair_check_probability_per_period(cvs: usize, n: f64) -> f64 {
+    let x = (cvs * cvs) as f64 / n;
+    1.0 - (-x).exp()
+}
+
+/// Expected JOIN spread time in periods: `O(log cvs)` w.h.p. — the
+/// spanning tree of `cvs` recipients has depth `⌈log2 cvs⌉`.
+#[must_use]
+pub fn join_spread_periods(cvs: usize) -> f64 {
+    (cvs.max(2) as f64).log2().ceil()
+}
+
+/// Expected number of duplicate JOIN receipts for one join:
+/// upper-bounded by `2·cvs²/N`, which is `o(1)` for `cvs = o(√N)` (§4.1).
+#[must_use]
+pub fn expected_duplicate_joins(cvs: usize, n: f64) -> f64 {
+    2.0 * (cvs * cvs) as f64 / n
+}
+
+/// Periods until a dead node is removed from one coarse view w.h.p.
+/// `1 − 1/N`: `T* = cvs · ln N` (§4.1, "Effect of Dead Nodes").
+#[must_use]
+pub fn dead_node_gc_periods(cvs: usize, n: f64) -> f64 {
+    cvs as f64 * n.ln()
+}
+
+/// Expected per-node memory entries: `|CV| + |PS| + |TS| ≈ cvs + 2K`.
+#[must_use]
+pub fn expected_memory_entries(cvs: usize, k: u32) -> f64 {
+    cvs as f64 + 2.0 * f64::from(k)
+}
+
+/// Consistency-condition evaluations per protocol period per node:
+/// the Fig. 2 cross-check scans `2·(cvs+2)²` ordered pairs.
+#[must_use]
+pub fn computations_per_period(cvs: usize) -> f64 {
+    2.0 * ((cvs + 2) * (cvs + 2)) as f64
+}
+
+/// Coarse-membership bandwidth per period in bytes: one view fetch of
+/// `cvs` entries at `entry_bytes` each (§4.1 uses 6-8 B per entry).
+#[must_use]
+pub fn view_bandwidth_per_period(cvs: usize, entry_bytes: usize) -> f64 {
+    (cvs * entry_bytes) as f64
+}
+
+/// Expected size of the target set when `N_longterm` identities have ever
+/// existed: `E[|TS|] = K · N_longterm / N` (§4.2 "In practice").
+#[must_use]
+pub fn expected_ts_size(k: u32, n_longterm: usize, n: usize) -> f64 {
+    f64::from(k) * n_longterm as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovery_matches_paper_example() {
+        // §4.2: N = 1 million, cvs = 32 → expected discovery ≈ 1000 periods.
+        let d = expected_discovery_periods(32, 1e6);
+        assert!((900.0..1100.0).contains(&d), "E[D] = {d}");
+        // The approximation converges to the exact bound for small cvs²/N.
+        let approx = expected_discovery_periods_approx(32, 1e6);
+        assert!((d - approx).abs() / d < 0.01);
+    }
+
+    #[test]
+    fn discovery_decreases_with_cvs() {
+        let mut last = f64::INFINITY;
+        for cvs in [8, 16, 32, 64, 128] {
+            let d = expected_discovery_periods(cvs, 1e6);
+            assert!(d < last);
+            last = d;
+        }
+    }
+
+    #[test]
+    fn pair_check_probability_bounds() {
+        let p = pair_check_probability_per_period(32, 1e6);
+        assert!(p > 0.0 && p < 1.0);
+        assert!((1.0 / p - expected_discovery_periods(32, 1e6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_spread_is_logarithmic() {
+        assert_eq!(join_spread_periods(32), 5.0);
+        assert_eq!(join_spread_periods(27), 5.0);
+        assert_eq!(join_spread_periods(2), 1.0);
+    }
+
+    #[test]
+    fn duplicates_vanish_for_small_cvs() {
+        assert!(expected_duplicate_joins(32, 1e6) < 0.01);
+        assert!(expected_duplicate_joins(1000, 1e6) > 1.0);
+    }
+
+    #[test]
+    fn gc_time_matches_cvs_log_n() {
+        let t = dead_node_gc_periods(27, 2000.0);
+        assert!((t - 27.0 * 2000.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_matches_section5() {
+        // §5.1: N=2000, K=11, cvs=27 → expected 49 entries.
+        assert_eq!(expected_memory_entries(27, 11), 49.0);
+    }
+
+    #[test]
+    fn computations_match_fig7_scale() {
+        // Fig. 7 reports "close to 2·cvs²" per minute; with the {x,w}
+        // inflation, cvs=27 gives 1682.
+        assert_eq!(computations_per_period(27), 1682.0);
+    }
+
+    #[test]
+    fn bandwidth_matches_paper_example() {
+        // §4.1: N = 1e6, cvs = 32, 6 B/entry → 192 B per period.
+        assert_eq!(view_bandwidth_per_period(32, 6), 192.0);
+    }
+
+    #[test]
+    fn ts_size_scales_with_longterm_population() {
+        // §4.2: minimal-death systems have E[|TS|] ≤ K.
+        assert!(expected_ts_size(11, 2000, 2000) <= 11.0);
+        // OV: N_longterm = 1319, N = 550, K = 9 → ≈ 21.6.
+        let ts = expected_ts_size(9, 1319, 550);
+        assert!((21.0..22.0).contains(&ts));
+    }
+}

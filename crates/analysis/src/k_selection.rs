@@ -1,0 +1,137 @@
+//! Choosing the pinging-set size `K`, and collusion resilience (§4.3).
+
+/// Probability that at least one of `k` monitors is up when system-wide
+/// average availability is `a`: `1 − (1−a)^K`.
+///
+/// # Panics
+///
+/// Panics if `a` is outside `[0, 1]`.
+#[must_use]
+pub fn prob_some_monitor_up(a: f64, k: u32) -> f64 {
+    assert!((0.0..=1.0).contains(&a), "availability must be in [0,1], got {a}");
+    1.0 - (1.0 - a).powi(k as i32)
+}
+
+/// Smallest `K = c·ln N` guaranteeing continuous monitoring w.h.p.:
+/// `c / ln(1/(1−a)) ≥ 2`, i.e. `K = ⌈2·ln N / ln(1/(1−a))⌉` (§4.3).
+///
+/// # Panics
+///
+/// Panics if `a` is not strictly between 0 and 1 (a system of permanently
+/// absent — or permanently present — nodes needs no analysis).
+#[must_use]
+pub fn k_for_continuous_monitoring(n: usize, a: f64) -> u32 {
+    assert!(a > 0.0 && a < 1.0, "availability must be in (0,1), got {a}");
+    let c_over = 2.0 / (1.0 / (1.0 - a)).ln();
+    (c_over * (n as f64).ln()).ceil() as u32
+}
+
+/// `K` needed so every node has at least `l` monitors w.h.p.:
+/// `K = (l+1)·ln N` (§4.3, supporting "l out of K" policies).
+#[must_use]
+pub fn k_for_l_out_of_k(l: u32, n: usize) -> u32 {
+    ((f64::from(l) + 1.0) * (n as f64).ln()).ceil() as u32
+}
+
+/// Upper bound on the probability that a node has fewer than `l` monitors
+/// when `K = (l+1)·ln N`: `O(1/N²)` — the §4.3 derivation evaluates to
+/// `e^{−K}·N^{l−1}`.
+#[must_use]
+pub fn prob_fewer_than_l(l: u32, k: u32, n: usize) -> f64 {
+    let nf = n as f64;
+    ((-f64::from(k)).exp() * nf.powi(l as i32 - 1)).min(1.0)
+}
+
+/// Probability that *none* of `c` colluders of a node appear in its
+/// pinging set: `(1 − K/N)^C ≈ 1 − CK/N` (§4.3).
+#[must_use]
+pub fn prob_collusion_free(c: u32, k: u32, n: usize) -> f64 {
+    (1.0 - f64::from(k) / n as f64).powi(c as i32)
+}
+
+/// Probability that none of `d` system-wide colluding relationships shows
+/// up in any pinging set: `(1 − K/N)^D` (§4.3).
+#[must_use]
+pub fn prob_system_collusion_free(d: u64, k: u32, n: usize) -> f64 {
+    let per = 1.0 - f64::from(k) / n as f64;
+    per.powf(d as f64)
+}
+
+/// Balls-and-bins bound on the maximum pinging/target set size: with
+/// `N·K` relationship "balls" into `N` node "bins", the maximum load is
+/// `K + O(√(K·ln N))` w.h.p. (Raab & Steger, cited by §4.3).
+#[must_use]
+pub fn max_set_size_bound(k: u32, n: usize) -> f64 {
+    let kf = f64::from(k);
+    kf + (2.0 * kf * (n as f64).ln()).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitor_up_probability() {
+        assert!((prob_some_monitor_up(0.5, 1) - 0.5).abs() < 1e-12);
+        assert!(prob_some_monitor_up(0.5, 20) > 0.999_999);
+        assert_eq!(prob_some_monitor_up(0.0, 5), 0.0);
+        assert_eq!(prob_some_monitor_up(1.0, 1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "availability must be in [0,1]")]
+    fn monitor_up_rejects_bad_availability() {
+        let _ = prob_some_monitor_up(1.5, 2);
+    }
+
+    #[test]
+    fn continuous_monitoring_k_grows_with_size_and_shrinks_with_availability() {
+        let k1 = k_for_continuous_monitoring(1_000, 0.5);
+        let k2 = k_for_continuous_monitoring(1_000_000, 0.5);
+        assert!(k2 > k1);
+        let k3 = k_for_continuous_monitoring(1_000_000, 0.9);
+        assert!(k3 < k2);
+        // N=1e6, a=0.5: 2·ln(1e6)/ln(2) ≈ 39.9 → 40.
+        assert_eq!(k2, 40);
+    }
+
+    #[test]
+    fn l_out_of_k_sizes() {
+        // l=1, N=2000: 2·ln(2000) ≈ 15.2 → 16.
+        assert_eq!(k_for_l_out_of_k(1, 2000), 16);
+        assert!(k_for_l_out_of_k(3, 2000) > k_for_l_out_of_k(1, 2000));
+    }
+
+    #[test]
+    fn fewer_than_l_probability_is_tiny_at_recommended_k() {
+        let n = 10_000;
+        let l = 2;
+        let k = k_for_l_out_of_k(l, n);
+        let p = prob_fewer_than_l(l, k, n);
+        assert!(p < 1.0 / (n as f64), "p = {p}");
+    }
+
+    #[test]
+    fn collusion_free_probability_matches_approximation() {
+        // §4.3: (1 − K/N)^C ≈ 1 − CK/N for C = o(N/log N).
+        let (c, k, n) = (10u32, 20u32, 1_000_000usize);
+        let exact = prob_collusion_free(c, k, n);
+        let approx = 1.0 - f64::from(c) * f64::from(k) / n as f64;
+        assert!((exact - approx).abs() < 1e-4);
+        assert!(exact > 0.999, "collusion pollution is improbable");
+    }
+
+    #[test]
+    fn system_collusion_free_tends_to_one() {
+        // D = o(N/log N) total colluding relationships.
+        let p = prob_system_collusion_free(1_000, 20, 1_000_000);
+        assert!(p > 0.97, "p = {p}");
+    }
+
+    #[test]
+    fn max_set_size_is_k_plus_sublinear() {
+        let bound = max_set_size_bound(11, 2000);
+        assert!(bound > 11.0);
+        assert!(bound < 33.0, "bound {bound} should be K + O(√(K ln N))");
+    }
+}

@@ -1,0 +1,133 @@
+//! Optimal coarse-view sizes (§4.2): the MD, MDC and DC variants.
+//!
+//! The coarse-view size `cvs` trades memory/bandwidth (`M ∝ cvs`) and
+//! computation (`C ∝ cvs²`) against discovery time
+//! (`D = 1/(1−e^{−cvs²/N})`). Each variant minimizes a different sum; the
+//! paper derives the asymptotic optima by differentiation, and this module
+//! provides both those closed forms and exact integer minimizers (which
+//! property tests verify against each other).
+
+use crate::formulas::expected_discovery_periods;
+
+/// Asymptotic Optimal-MD size: `cvs = (2N)^{1/3}`, minimizing
+/// `f(cvs) = cvs + N/cvs²`.
+#[must_use]
+pub fn cvs_optimal_md(n: f64) -> f64 {
+    (2.0 * n).cbrt()
+}
+
+/// Asymptotic Optimal-MDC size: `cvs ≈ N^{1/4}`, minimizing
+/// `g(cvs) = cvs + cvs² + N/cvs²`.
+#[must_use]
+pub fn cvs_optimal_mdc(n: f64) -> f64 {
+    n.powf(0.25)
+}
+
+/// Asymptotic Optimal-DC size: also `N^{1/4}` (minimizing
+/// `cvs² + N/cvs²` gives exactly `cvs⁴ = N`).
+#[must_use]
+pub fn cvs_optimal_dc(n: f64) -> f64 {
+    n.powf(0.25)
+}
+
+/// The MD objective: memory/bandwidth plus discovery time.
+#[must_use]
+pub fn objective_md(cvs: usize, n: f64) -> f64 {
+    cvs as f64 + expected_discovery_periods(cvs, n)
+}
+
+/// The MDC objective: memory/bandwidth, computation, and discovery time.
+#[must_use]
+pub fn objective_mdc(cvs: usize, n: f64) -> f64 {
+    cvs as f64 + (cvs * cvs) as f64 + expected_discovery_periods(cvs, n)
+}
+
+/// The DC objective: computation and discovery time.
+#[must_use]
+pub fn objective_dc(cvs: usize, n: f64) -> f64 {
+    (cvs * cvs) as f64 + expected_discovery_periods(cvs, n)
+}
+
+/// Exact integer minimizer of `objective` over `cvs ∈ [2, ⌈√N⌉·4]`.
+///
+/// # Example
+///
+/// ```
+/// use avmon_analysis::{integer_argmin, objective_mdc};
+///
+/// let best = integer_argmin(1_000_000.0, objective_mdc);
+/// // The asymptotic optimum is N^{1/4} ≈ 31.6; the exact integer optimum
+/// // lands within a couple of units.
+/// assert!((29..=35).contains(&best));
+/// ```
+#[must_use]
+pub fn integer_argmin(n: f64, objective: impl Fn(usize, f64) -> f64) -> usize {
+    let hi = ((n.sqrt().ceil() as usize) * 4).max(8);
+    let mut best = 2;
+    let mut best_val = objective(2, n);
+    for cvs in 3..=hi {
+        let val = objective(cvs, n);
+        if val < best_val {
+            best_val = val;
+            best = cvs;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asymptotic_optima_match_table1() {
+        // Table 1 at N = 1 million.
+        assert!((cvs_optimal_md(1e6) - 126.0).abs() < 1.0);
+        assert!((cvs_optimal_mdc(1e6) - 31.6).abs() < 0.1);
+        assert_eq!(cvs_optimal_dc(1e6), cvs_optimal_mdc(1e6));
+    }
+
+    #[test]
+    fn integer_minimizers_track_asymptotics() {
+        for n in [1e4, 1e5, 1e6, 1e7] {
+            let md = integer_argmin(n, objective_md);
+            let mdc = integer_argmin(n, objective_mdc);
+            let dc = integer_argmin(n, objective_dc);
+            let md_asym = cvs_optimal_md(n);
+            let mdc_asym = cvs_optimal_mdc(n);
+            assert!(
+                (md as f64 - md_asym).abs() / md_asym < 0.15,
+                "N={n}: integer MD {md} vs asymptotic {md_asym}"
+            );
+            assert!(
+                (mdc as f64 - mdc_asym).abs() / mdc_asym < 0.25,
+                "N={n}: integer MDC {mdc} vs asymptotic {mdc_asym}"
+            );
+            assert!(
+                (dc as f64 - mdc_asym).abs() / mdc_asym < 0.25,
+                "N={n}: integer DC {dc} vs asymptotic {mdc_asym}"
+            );
+        }
+    }
+
+    #[test]
+    fn integer_argmin_is_local_minimum() {
+        let n = 250_000.0;
+        for objective in
+            [objective_md as fn(usize, f64) -> f64, objective_mdc, objective_dc]
+        {
+            let best = integer_argmin(n, objective);
+            let v = objective(best, n);
+            assert!(v <= objective(best - 1, n));
+            assert!(v <= objective(best + 1, n));
+        }
+    }
+
+    #[test]
+    fn md_prefers_larger_views_than_mdc() {
+        // Computation pressure pushes MDC to smaller views.
+        for n in [1e4, 1e6] {
+            assert!(integer_argmin(n, objective_md) > integer_argmin(n, objective_mdc));
+        }
+    }
+}

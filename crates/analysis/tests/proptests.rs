@@ -1,0 +1,82 @@
+//! Property-based validation of the §4 analysis.
+
+use avmon_analysis as analysis;
+use proptest::prelude::*;
+
+proptest! {
+    /// The exact discovery bound is always at least 1 period and is
+    /// monotonically decreasing in cvs (more view = faster discovery).
+    #[test]
+    fn discovery_bound_behaves(n in 100.0f64..1e8, cvs in 2usize..512) {
+        let d = analysis::expected_discovery_periods(cvs, n);
+        prop_assert!(d >= 1.0);
+        let d_bigger = analysis::expected_discovery_periods(cvs + 1, n);
+        prop_assert!(d_bigger <= d);
+    }
+
+    /// The asymptotic form N/cvs² upper-bounds within 10% whenever
+    /// cvs² ≪ N (the paper's regime cvs = o(√N)).
+    #[test]
+    fn approximation_tracks_exact(n in 1e4f64..1e8, cvs in 2usize..64) {
+        prop_assume!(((cvs * cvs) as f64) < n / 100.0);
+        let exact = analysis::expected_discovery_periods(cvs, n);
+        let approx = analysis::expected_discovery_periods_approx(cvs, n);
+        prop_assert!((exact - approx).abs() / exact < 0.1,
+            "exact {} vs approx {}", exact, approx);
+    }
+
+    /// Integer minimizers are true local minima of their objectives.
+    #[test]
+    fn integer_optima_are_minima(n in 1e3f64..1e7) {
+        for obj in [analysis::objective_md as fn(usize, f64) -> f64,
+                    analysis::objective_mdc,
+                    analysis::objective_dc] {
+            let best = analysis::integer_argmin(n, obj);
+            prop_assert!(obj(best, n) <= obj(best + 1, n));
+            if best > 2 {
+                prop_assert!(obj(best, n) <= obj(best - 1, n));
+            }
+        }
+    }
+
+    /// K chosen for continuous monitoring actually achieves w.h.p.
+    /// coverage: P(some monitor up) ≥ 1 − 1/N².
+    #[test]
+    fn continuous_monitoring_k_suffices(n in 100usize..1_000_000, a in 0.05f64..0.95) {
+        let k = analysis::k_for_continuous_monitoring(n, a);
+        let p = analysis::prob_some_monitor_up(a, k);
+        let target = 1.0 - 1.0 / (n as f64).powi(2);
+        prop_assert!(p >= target - 1e-9, "p {} below {}", p, target);
+    }
+
+    /// Collusion-free probability decreases in C and K, increases in N.
+    #[test]
+    fn collusion_monotonicity(c in 1u32..100, k in 1u32..64, n in 10_000usize..1_000_000) {
+        let base = analysis::prob_collusion_free(c, k, n);
+        prop_assert!(analysis::prob_collusion_free(c + 1, k, n) <= base);
+        prop_assert!(analysis::prob_collusion_free(c, k + 1, n) <= base);
+        prop_assert!(analysis::prob_collusion_free(c, k, n * 2) >= base);
+        prop_assert!((0.0..=1.0).contains(&base));
+    }
+
+    /// Table 1 invariants hold at any system size: Broadcast always pays
+    /// the most bandwidth, Optimal-MD always discovers fastest among
+    /// AVMON variants.
+    #[test]
+    fn table1_invariants(n in 1_000usize..10_000_000) {
+        let rows = analysis::table1(n);
+        let broadcast = &rows[0];
+        for row in &rows[1..] {
+            prop_assert!(broadcast.memory_bandwidth > row.memory_bandwidth);
+        }
+        // Among the *optimal* variants (logN / MD / MDC), MD discovers
+        // fastest: it spends the most memory on its view. (The paper's
+        // experimental default 4·N^{1/4} may beat it at small N.)
+        let md = rows.iter().find(|r| r.approach.contains("Optimal-MD ")).unwrap();
+        for name in ["log N", "MDC"] {
+            let row = rows.iter().find(|r| r.approach.contains(name)).unwrap();
+            prop_assert!(md.discovery_periods <= row.discovery_periods + 1e-9,
+                "MD must beat {} on discovery at N={}", name, n);
+        }
+    }
+}

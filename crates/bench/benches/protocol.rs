@@ -1,0 +1,112 @@
+//! Protocol-operation micro-benchmarks: coarse-view shuffles, JOIN
+//! handling, the wire codec, and a full protocol period of one node.
+
+use avmon::codec::{decode, encode};
+use avmon::{
+    CoarseView, Config, HashSelector, JoinKind, Message, Node, NodeId, Nonce, Timer,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn view_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coarse_view");
+    for cvs in [16usize, 32, 64] {
+        let peer_view: Vec<NodeId> = (1000..1000 + cvs as u32).map(NodeId::from_index).collect();
+        group.bench_with_input(BenchmarkId::new("shuffle_merge", cvs), &cvs, |b, &cvs| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let mut view = CoarseView::new(NodeId::from_index(0), cvs);
+            for i in 1..=cvs as u32 {
+                view.insert(NodeId::from_index(i));
+            }
+            b.iter(|| {
+                view.shuffle_merge(NodeId::from_index(999), &peer_view, &mut rng);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let reply = Message::ViewFetchReply {
+        nonce: Nonce(7),
+        view: (0..32).map(NodeId::from_index).collect(),
+    };
+    group.bench_function("encode_view_reply_32", |b| {
+        b.iter(|| encode(std::hint::black_box(&reply)))
+    });
+    let bytes = encode(&reply);
+    group.bench_function("decode_view_reply_32", |b| {
+        b.iter(|| decode(std::hint::black_box(&bytes)).unwrap())
+    });
+    group.finish();
+}
+
+fn node_period(c: &mut Criterion) {
+    // One full protocol period + fetched-view processing: the per-node
+    // per-minute work of Fig. 2 (send ping + fetch, scan 2·(cvs+2)² pairs,
+    // shuffle).
+    let mut group = c.benchmark_group("node_protocol_period");
+    for n in [2000usize, 1_000_000] {
+        let config = Config::builder(n).build().unwrap();
+        let cvs = config.cvs;
+        let selector = Arc::new(HashSelector::from_config(&config));
+        group.bench_with_input(BenchmarkId::new("period_plus_scan", n), &n, |b, _| {
+            let mut node = Node::new(NodeId::from_index(0), config.clone(), selector.clone(), 7);
+            let _ = node.start(0, JoinKind::Fresh, None);
+            let seeds: Vec<NodeId> = (1..=cvs as u32).map(NodeId::from_index).collect();
+            node.seed_view(&seeds);
+            let peer_view: Vec<NodeId> =
+                (10_000..10_000 + cvs as u32).map(NodeId::from_index).collect();
+            let mut now = 60_000u64;
+            b.iter(|| {
+                let actions = node.handle_timer(now, Timer::Protocol);
+                // Answer the fetch so the pair scan runs.
+                let fetch = actions.iter().find_map(|a| match a {
+                    avmon::Action::Send { to, msg: Message::ViewFetch { nonce } } => {
+                        Some((*to, *nonce))
+                    }
+                    _ => None,
+                });
+                if let Some((peer, nonce)) = fetch {
+                    let _ = node.handle_message(
+                        now + 50,
+                        peer,
+                        Message::ViewFetchReply { nonce, view: peer_view.clone() },
+                    );
+                }
+                now += 60_000;
+            })
+        });
+    }
+    group.finish();
+}
+
+fn join_handling(c: &mut Criterion) {
+    let config = Config::builder(2000).build().unwrap();
+    let selector = Arc::new(HashSelector::from_config(&config));
+    let cvs = config.cvs;
+    c.bench_function("join_absorb_and_split", |b| {
+        let mut node = Node::new(NodeId::from_index(0), config.clone(), selector.clone(), 3);
+        let seeds: Vec<NodeId> = (1..=cvs as u32).map(NodeId::from_index).collect();
+        node.seed_view(&seeds);
+        let mut i = 100_000u32;
+        b.iter(|| {
+            i += 1;
+            node.handle_message(
+                0,
+                NodeId::from_index(1),
+                Message::Join { origin: NodeId::from_index(i), weight: cvs as u32, hops: 0 },
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = view_ops, codec, node_period, join_handling
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! End-to-end simulation benchmarks: how much wall-clock the paper's
+//! evaluation costs per simulated hour, per model.
+
+use avmon::{Config, MINUTE};
+use avmon_churn::{overnet_like, stat, synthetic, SynthParams};
+use avmon_sim::{SimOptions, Simulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn sim_hour(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_30min");
+    group.sample_size(10);
+    for n in [100usize, 500] {
+        group.bench_with_input(BenchmarkId::new("stat", n), &n, |b, &n| {
+            b.iter(|| {
+                let trace = stat(n, 30 * MINUTE, 0.1, 7);
+                let config = Config::builder(n).build().unwrap();
+                Simulation::new(trace, SimOptions::new(config)).run()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("synth", n), &n, |b, &n| {
+            b.iter(|| {
+                let trace = synthetic(SynthParams::synth(n).duration(30 * MINUTE).seed(7));
+                let config = Config::builder(n).build().unwrap();
+                Simulation::new(trace, SimOptions::new(config)).run()
+            })
+        });
+    }
+    group.bench_function("overnet_like_550", |b| {
+        b.iter(|| {
+            let trace = overnet_like(30 * MINUTE, 7);
+            let config = Config::builder(550).k(9).cvs(19).build().unwrap();
+            Simulation::new(trace, SimOptions::new(config)).run()
+        })
+    });
+    group.finish();
+}
+
+fn trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    group.bench_function("synth_bd_2000_4h", |b| {
+        b.iter(|| synthetic(SynthParams::synth_bd(2000).duration(4 * 60 * MINUTE).seed(3)))
+    });
+    group.bench_function("overnet_like_48h", |b| {
+        b.iter(|| overnet_like(48 * 60 * MINUTE, 3))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = sim_hour, trace_generation
+}
+criterion_main!(benches);

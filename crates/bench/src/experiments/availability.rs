@@ -1,0 +1,186 @@
+//! Availability-estimation experiments: forgetful pinging accuracy
+//! (Fig. 17), useless pings (Fig. 18), and the overreporting attack
+//! (Fig. 20).
+
+use avmon::{Behavior, NodeId};
+use avmon_churn::Trace;
+use avmon_sim::metrics::{mean, stddev};
+use avmon_sim::{SimOptions, Simulation};
+
+use crate::experiments::common::{run_model, ExpContext, Model};
+use crate::output::{f3, ResultTable};
+
+/// Fig. 17: per-node ratio of estimated to real availability under SYNTH
+/// (N = 2000), with and without forgetful pinging.
+#[must_use]
+pub fn fig17(ctx: &ExpContext) -> Vec<ResultTable> {
+    let mut table = ResultTable::new(
+        "fig17",
+        "estimated/real availability ratio per control node, SYNTH",
+        &["variant", "node", "estimated", "actual", "ratio"],
+    );
+    let mut summary = ResultTable::new(
+        "fig17-summary",
+        "aggregate estimation error, forgetful vs non-forgetful",
+        &["variant", "mean_ratio", "mean_abs_rel_error", "max_abs_rel_error", "nodes"],
+    );
+    let duration = ctx.duration(8.0);
+    let n = if ctx.quick { 400 } else { 2000 };
+    let reports = crate::experiments::common::par_map(
+        vec![("forgetful", true), ("non-forgetful", false)],
+        |(variant, forgetful)| {
+            let report = run_model(Model::Synth, n, duration, ctx, |b| {
+                if forgetful {
+                    b
+                } else {
+                    b.forgetful(None)
+                }
+            });
+            (variant, report)
+        },
+    );
+    for (variant, report) in reports {
+        let mut ratios = Vec::new();
+        let mut errors = Vec::new();
+        for m in report.availability.iter().filter(|m| m.control && m.actual > 0.05) {
+            let ratio = m.estimated / m.actual;
+            ratios.push(ratio);
+            errors.push((ratio - 1.0).abs());
+            table.push(vec![
+                variant.into(),
+                m.node.to_string(),
+                f3(m.estimated),
+                f3(m.actual),
+                f3(ratio),
+            ]);
+        }
+        let max_err = errors.iter().cloned().fold(0.0f64, f64::max);
+        summary.push(vec![
+            variant.into(),
+            f3(mean(&ratios)),
+            f3(mean(&errors)),
+            f3(max_err),
+            ratios.len().to_string(),
+        ]);
+    }
+    vec![summary, table]
+}
+
+/// Fig. 18: average useless monitoring pings per minute per node vs N,
+/// SYNTH, forgetful vs non-forgetful.
+#[must_use]
+pub fn fig18(ctx: &ExpContext) -> Vec<ResultTable> {
+    let mut table = ResultTable::new(
+        "fig18",
+        "average useless pings per minute per node vs N, SYNTH",
+        &["variant", "n", "avg_useless_per_min", "stddev"],
+    );
+    let duration = ctx.duration(4.0);
+    let mut jobs = Vec::new();
+    for (variant, forgetful) in [("forgetful", true), ("non-forgetful", false)] {
+        for n in ctx.sweep(&[200, 400, 800, 1200, 1600, 2000]) {
+            jobs.push((variant, forgetful, n));
+        }
+    }
+    let rows = crate::experiments::common::par_map(jobs, |(variant, forgetful, n)| {
+        let report = run_model(Model::Synth, n, duration, ctx, |b| {
+            if forgetful {
+                b
+            } else {
+                b.forgetful(None)
+            }
+        });
+        let useless = report.useless_pings_per_minute();
+        vec![variant.into(), n.to_string(), f3(mean(&useless)), f3(stddev(&useless))]
+    });
+    for row in rows {
+        table.push(row);
+    }
+    vec![table]
+}
+
+/// Fig. 20: a fraction of nodes overreport all their targets' availability
+/// as 100%; measure the fraction of nodes whose PS-averaged estimate is
+/// off by more than 0.2 from truth — for SYNTH, SYNTH-BD, OV and PL.
+#[must_use]
+pub fn fig20(ctx: &ExpContext) -> Vec<ResultTable> {
+    let mut table = ResultTable::new(
+        "fig20",
+        "fraction of nodes with >0.2 availability error vs misreporting fraction",
+        &["model", "misreporting_fraction", "affected_fraction", "measured_nodes"],
+    );
+    let duration = ctx.duration(4.0);
+    let models: Vec<Model> = if ctx.quick {
+        vec![Model::Synth, Model::Ov]
+    } else {
+        vec![Model::Synth, Model::SynthBd, Model::Ov, Model::Pl]
+    };
+    let mut jobs = Vec::new();
+    for model in models {
+        // N = 1000 keeps the 16-run sweep tractable; the attack outcome is
+        // a fraction, insensitive to N (verified by the N-free analysis).
+        let n = if ctx.quick { 400 } else { 1000 };
+        for fraction in [0.05, 0.10, 0.15, 0.20] {
+            jobs.push((model, n, fraction));
+        }
+    }
+    let rows = crate::experiments::common::par_map(jobs, |(model, n, fraction)| {
+        let trace = model.trace(n, duration, ctx.seed);
+        let config = model.config_builder(n).build().expect("fig20 config");
+        let attackers = pick_attackers(&trace, fraction, ctx.seed);
+        let mut opts = SimOptions::new(config).seed(ctx.seed).hasher(ctx.hasher);
+        for id in attackers {
+            opts = opts.behavior(id, Behavior::OverreportAll);
+        }
+        let report = Simulation::new(trace, opts).run();
+        let measured: Vec<&avmon_sim::AvailabilityMeasure> =
+            report.availability.iter().filter(|m| m.monitors > 0).collect();
+        let affected =
+            measured.iter().filter(|m| (m.estimated - m.actual).abs() > 0.2).count();
+        let frac_affected = if measured.is_empty() {
+            0.0
+        } else {
+            affected as f64 / measured.len() as f64
+        };
+        vec![
+            model.label().into(),
+            f3(fraction),
+            f3(frac_affected),
+            measured.len().to_string(),
+        ]
+    });
+    for row in rows {
+        table.push(row);
+    }
+    vec![table]
+}
+
+/// Deterministically picks `fraction` of the trace's identities as
+/// attackers (sorted order, stride sampling — stable across runs).
+fn pick_attackers(trace: &Trace, fraction: f64, seed: u64) -> Vec<NodeId> {
+    let ids: Vec<NodeId> = trace.identities().into_iter().collect();
+    let want = ((ids.len() as f64) * fraction).round() as usize;
+    if want == 0 || ids.is_empty() {
+        return Vec::new();
+    }
+    let stride = (ids.len() / want).max(1);
+    let offset = (seed as usize) % stride.max(1);
+    ids.into_iter().skip(offset).step_by(stride).take(want).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avmon::HOUR;
+
+    #[test]
+    fn attacker_picking_is_deterministic_and_sized() {
+        let trace = Model::Synth.trace(100, HOUR, 3);
+        let a1 = pick_attackers(&trace, 0.1, 42);
+        let a2 = pick_attackers(&trace, 0.1, 42);
+        assert_eq!(a1, a2);
+        let expected = (trace.identities().len() as f64 * 0.1).round() as usize;
+        assert_eq!(a1.len(), expected);
+        assert!(pick_attackers(&trace, 0.0, 42).is_empty());
+    }
+}

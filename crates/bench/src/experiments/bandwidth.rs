@@ -1,0 +1,42 @@
+//! Bandwidth experiments: Figure 19 (outgoing bytes per second CDF for
+//! STAT, STAT with the PR2 optimization, and the OV trace).
+
+use avmon_sim::metrics::{cdf, mean};
+
+use crate::experiments::common::{run_model, ExpContext, Model};
+use crate::output::{f3, ResultTable};
+
+/// Fig. 19: CDF of per-node outgoing bandwidth.
+#[must_use]
+pub fn fig19(ctx: &ExpContext) -> Vec<ResultTable> {
+    let mut table = ResultTable::new(
+        "fig19",
+        "CDF of per-node outgoing bandwidth (bytes/second)",
+        &["variant", "bytes_per_sec", "fraction_of_nodes"],
+    );
+    let mut summary = ResultTable::new(
+        "fig19-summary",
+        "outgoing bandwidth summary",
+        &["variant", "mean_bps", "p88_below_bps", "max_bps"],
+    );
+    let duration = ctx.duration(3.0);
+    let n = if ctx.quick { 500 } else { 2000 };
+
+    let mut runs: Vec<(&str, avmon_sim::SimReport)> = vec![
+        ("STAT", run_model(Model::Stat, n, duration, ctx, |b| b)),
+        ("STAT-PR2", run_model(Model::Stat, n, duration, ctx, |b| b.pr2(true))),
+        ("OV", run_model(Model::Ov, 0, duration, ctx, |b| b)),
+    ];
+    for (variant, report) in &mut runs {
+        let mut bw = report.bandwidth_bps();
+        let grid: Vec<f64> = (0..=30).map(|i| f64::from(i) * 2.0).collect(); // 0..60 Bps
+        for (x, frac) in grid.iter().zip(cdf(&bw, &grid)) {
+            table.push(vec![(*variant).into(), f3(*x), f3(frac)]);
+        }
+        bw.sort_by(|a, b| a.partial_cmp(b).expect("no NaN bandwidth"));
+        let p88 = bw.get((bw.len() * 88) / 100).copied().unwrap_or(0.0);
+        let max = bw.last().copied().unwrap_or(0.0);
+        summary.push(vec![(*variant).into(), f3(mean(&bw)), f3(p88), f3(max)]);
+    }
+    vec![summary, table]
+}

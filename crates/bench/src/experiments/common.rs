@@ -1,0 +1,241 @@
+//! Shared experiment plumbing: models, configurations, simulation runs.
+
+use std::path::PathBuf;
+
+use avmon::{Config, ConfigBuilder, DurMs, HasherKind, HOUR};
+use avmon_churn::{overnet_like, planetlab_like, stat, synthetic, SynthParams, Trace};
+use avmon_sim::{SimOptions, SimReport, Simulation};
+
+/// Global experiment options from the CLI.
+#[derive(Debug, Clone)]
+pub struct ExpContext {
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Override of the measured duration, in hours.
+    pub hours: Option<f64>,
+    /// Directory for CSV output.
+    pub out_dir: PathBuf,
+    /// Hasher for the consistency condition.
+    pub hasher: HasherKind,
+    /// Trim sweeps for a fast smoke run.
+    pub quick: bool,
+}
+
+impl Default for ExpContext {
+    fn default() -> Self {
+        ExpContext {
+            seed: 42,
+            hours: None,
+            out_dir: PathBuf::from("results"),
+            hasher: HasherKind::Fast64,
+            quick: false,
+        }
+    }
+}
+
+impl ExpContext {
+    /// The measured duration for an experiment whose default is
+    /// `default_hours` (CLI `--hours` overrides; `--quick` halves).
+    #[must_use]
+    pub fn duration(&self, default_hours: f64) -> DurMs {
+        let mut hours = self.hours.unwrap_or(default_hours);
+        if self.quick {
+            hours = (hours / 2.0).max(0.5);
+        }
+        (hours * HOUR as f64) as DurMs
+    }
+
+    /// A system-size sweep, trimmed under `--quick`.
+    #[must_use]
+    pub fn sweep(&self, full: &[usize]) -> Vec<usize> {
+        if self.quick && full.len() > 2 {
+            vec![full[0], *full.last().expect("non-empty sweep")]
+        } else {
+            full.to_vec()
+        }
+    }
+}
+
+/// The paper's five availability models (§5) plus the high-churn variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Model {
+    /// Static network.
+    Stat,
+    /// Join/leave churn at 20%/hour.
+    Synth,
+    /// SYNTH plus births/deaths at 20%/day.
+    SynthBd,
+    /// Births/deaths at 40%/day (§5.3).
+    SynthBd2,
+    /// PlanetLab-like trace (N = 239).
+    Pl,
+    /// Overnet-like trace (N = 550, 20-minute grid).
+    Ov,
+}
+
+impl Model {
+    /// The plot label used in the paper.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Model::Stat => "STAT",
+            Model::Synth => "SYNTH",
+            Model::SynthBd => "SYNTH-BD",
+            Model::SynthBd2 => "SYNTH-BD2",
+            Model::Pl => "PL",
+            Model::Ov => "OV",
+        }
+    }
+
+    /// Builds the trace for stable size `n` (ignored for PL/OV, whose sizes
+    /// are fixed by the paper) over `duration` of measured time.
+    #[must_use]
+    pub fn trace(self, n: usize, duration: DurMs, seed: u64) -> Trace {
+        match self {
+            Model::Stat => stat(n, duration, 0.1, seed),
+            Model::Synth => synthetic(
+                SynthParams { control_fraction: 0.1, ..SynthParams::synth(n) }
+                    .duration(duration)
+                    .seed(seed),
+            ),
+            Model::SynthBd => synthetic(SynthParams::synth_bd(n).duration(duration).seed(seed)),
+            Model::SynthBd2 => {
+                synthetic(SynthParams::synth_bd2(n).duration(duration).seed(seed))
+            }
+            Model::Pl => planetlab_like(duration, seed),
+            Model::Ov => overnet_like(duration, seed),
+        }
+    }
+
+    /// The paper's protocol configuration for this model (§5 defaults;
+    /// PL/OV use the paper's explicit `K` and `cvs`).
+    #[must_use]
+    pub fn config_builder(self, n: usize) -> ConfigBuilder {
+        match self {
+            Model::Pl => Config::builder(avmon_churn::PLANETLAB_N).k(8).cvs(16),
+            Model::Ov => Config::builder(avmon_churn::OVERNET_N).k(9).cvs(19),
+            _ => Config::builder(n),
+        }
+    }
+}
+
+/// Runs one simulation of `model` at stable size `n`.
+///
+/// `tweak` customizes the protocol configuration (e.g. PR2 on, forgetful
+/// off, explicit `cvs`).
+#[must_use]
+pub fn run_model(
+    model: Model,
+    n: usize,
+    duration: DurMs,
+    ctx: &ExpContext,
+    tweak: impl FnOnce(ConfigBuilder) -> ConfigBuilder,
+) -> SimReport {
+    let trace = model.trace(n, duration, ctx.seed);
+    let config = tweak(model.config_builder(n)).build().expect("experiment config");
+    let opts = SimOptions::new(config).seed(ctx.seed).hasher(ctx.hasher);
+    Simulation::new(trace, opts).run()
+}
+
+/// Runs `f` over `items` on all available cores (order-preserving).
+///
+/// Simulations are independent and CPU-bound; sweeps over (model, N)
+/// combinations parallelize embarrassingly.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if workers <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let chunks: Vec<Vec<T>> = {
+        let mut chunks = Vec::new();
+        let mut iter = items.into_iter();
+        loop {
+            let c: Vec<T> = iter.by_ref().take(chunk).collect();
+            if c.is_empty() {
+                break;
+            }
+            chunks.push(c);
+        }
+        chunks
+    };
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+    })
+}
+
+/// Milliseconds → minutes, as `f64` (plot axis convention).
+#[must_use]
+pub fn min(ms: u64) -> f64 {
+    ms as f64 / 60_000.0
+}
+
+/// Milliseconds → seconds, as `f64`.
+#[must_use]
+pub fn sec(ms: u64) -> f64 {
+    ms as f64 / 1_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_override_and_quick() {
+        let mut ctx = ExpContext::default();
+        assert_eq!(ctx.duration(2.0), 2 * HOUR);
+        ctx.hours = Some(4.0);
+        assert_eq!(ctx.duration(2.0), 4 * HOUR);
+        ctx.quick = true;
+        assert_eq!(ctx.duration(2.0), 2 * HOUR);
+    }
+
+    #[test]
+    fn sweep_trims_under_quick() {
+        let mut ctx = ExpContext::default();
+        assert_eq!(ctx.sweep(&[100, 500, 1000, 2000]), vec![100, 500, 1000, 2000]);
+        ctx.quick = true;
+        assert_eq!(ctx.sweep(&[100, 500, 1000, 2000]), vec![100, 2000]);
+    }
+
+    #[test]
+    fn model_configs_match_paper() {
+        let pl = Model::Pl.config_builder(0).build().unwrap();
+        assert_eq!((pl.k, pl.cvs, pl.system_size), (8, 16, 239));
+        let ov = Model::Ov.config_builder(0).build().unwrap();
+        assert_eq!((ov.k, ov.cvs, ov.system_size), (9, 19, 550));
+        let synth = Model::Synth.config_builder(2000).build().unwrap();
+        assert_eq!((synth.k, synth.cvs), (11, 27));
+    }
+
+    #[test]
+    fn traces_have_expected_names() {
+        for (model, name) in [
+            (Model::Stat, "STAT"),
+            (Model::Synth, "SYNTH"),
+            (Model::SynthBd, "SYNTH-BD"),
+            (Model::SynthBd2, "SYNTH-BD2"),
+        ] {
+            let t = model.trace(100, HOUR, 1);
+            assert_eq!(t.name, name);
+            assert_eq!(model.label(), name);
+        }
+    }
+
+    #[test]
+    fn run_model_smoke() {
+        let ctx = ExpContext::default();
+        let report = run_model(Model::Stat, 60, 20 * avmon::MINUTE, &ctx, |b| b);
+        assert!(!report.discovery.is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! Discovery-time experiments: Figures 3, 4, 5, 6, 11, 13, 15.
+
+use avmon::CvsPolicy;
+use avmon_sim::metrics::{cdf, mean, mean_drop_max, stddev};
+
+use crate::experiments::common::{min, run_model, sec, ExpContext, Model};
+use crate::output::{f3, ResultTable};
+
+fn latencies_min(report: &avmon_sim::SimReport, l: usize) -> Vec<f64> {
+    report.discovery_latencies(l).iter().map(|&ms| min(ms)).collect()
+}
+
+fn latencies_sec(report: &avmon_sim::SimReport, l: usize) -> Vec<f64> {
+    report.discovery_latencies(l).iter().map(|&ms| sec(ms)).collect()
+}
+
+/// Fig. 3: average discovery time of the first monitor for the control
+/// group, vs N, for STAT / SYNTH / SYNTH-BD. The paper's aggregation drops
+/// the single highest outlier per setting (footnote 8).
+#[must_use]
+pub fn fig3(ctx: &ExpContext) -> Vec<ResultTable> {
+    let mut table = ResultTable::new(
+        "fig3",
+        "average discovery time of first monitor (minutes) vs N",
+        &["model", "n", "avg_discovery_min", "discovered", "undiscovered"],
+    );
+    let mut jobs = Vec::new();
+    for model in [Model::Stat, Model::Synth, Model::SynthBd] {
+        for n in ctx.sweep(&[100, 500, 1000, 2000]) {
+            // SYNTH-BD's control group is the post-warm-up births, which
+            // trickle in at 20%/day — it needs a longer window to fill.
+            let hours = if model == Model::SynthBd { 6.0 } else { 2.0 };
+            jobs.push((model, n, ctx.duration(hours)));
+        }
+    }
+    let rows = crate::experiments::common::par_map(jobs, |(model, n, duration)| {
+        let report = run_model(model, n, duration, ctx, |b| b);
+        let lat = latencies_min(&report, 1);
+        vec![
+            model.label().into(),
+            n.to_string(),
+            f3(mean_drop_max(&lat)),
+            lat.len().to_string(),
+            report.undiscovered(1).to_string(),
+        ]
+    });
+    for row in rows {
+        table.push(row);
+    }
+    vec![table]
+}
+
+/// Figs. 4 & 5: CDFs of first-monitor discovery time for STAT and
+/// SYNTH-BD at N ∈ {100, 2000}.
+#[must_use]
+pub fn fig4_5(ctx: &ExpContext, model: Model, id: &str) -> Vec<ResultTable> {
+    let mut table = ResultTable::new(
+        id,
+        format!("CDF of first-monitor discovery time (seconds), {}", model.label()),
+        &["model", "n", "seconds", "fraction_discovered"],
+    );
+    let duration = ctx.duration(if model == Model::SynthBd { 6.0 } else { 2.0 });
+    let grid: Vec<f64> = (0..=24).map(|i| f64::from(i) * 5.0).collect(); // 0..120 s
+    for n in ctx.sweep(&[100, 2000]) {
+        let report = run_model(model, n, duration, ctx, |b| b);
+        let lat = latencies_sec(&report, 1);
+        let fractions = cdf(&lat, &grid);
+        // Normalize over all control nodes (undiscovered count as > grid).
+        let total = (lat.len() + report.undiscovered(1)).max(1) as f64;
+        let scale = lat.len() as f64 / total;
+        for (x, frac) in grid.iter().zip(fractions) {
+            table.push(vec![
+                model.label().into(),
+                n.to_string(),
+                f3(*x),
+                f3(frac * scale),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+/// Fig. 6: average time to the first L monitors (L = 1, 2, 3), N = 2000,
+/// three synthetic models.
+#[must_use]
+pub fn fig6(ctx: &ExpContext) -> Vec<ResultTable> {
+    let mut table = ResultTable::new(
+        "fig6",
+        "average time to discovery of first L monitors (minutes), N=2000",
+        &["model", "l", "avg_discovery_min", "nodes_reaching_l"],
+    );
+    let n = if ctx.quick { 500 } else { 2000 };
+    for model in [Model::Stat, Model::Synth, Model::SynthBd] {
+        let duration = ctx.duration(if model == Model::SynthBd { 6.0 } else { 2.0 });
+        let report = run_model(model, n, duration, ctx, |b| b);
+        for l in 1..=3usize {
+            let lat = latencies_min(&report, l);
+            table.push(vec![
+                model.label().into(),
+                l.to_string(),
+                f3(mean_drop_max(&lat)),
+                lat.len().to_string(),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+/// Fig. 11: average discovery time (± stddev) vs cvs ∈ {4,6,8,10}·N^¼ on
+/// STAT, N ∈ {500, 1000, 2000}.
+#[must_use]
+pub fn fig11(ctx: &ExpContext) -> Vec<ResultTable> {
+    let mut table = ResultTable::new(
+        "fig11",
+        "average discovery time (seconds) vs cvs, STAT",
+        &["n", "factor", "cvs", "avg_discovery_sec", "stddev_sec"],
+    );
+    let duration = ctx.duration(2.0);
+    let mut jobs = Vec::new();
+    for n in ctx.sweep(&[500, 1000, 2000]) {
+        for factor in [4.0, 6.0, 8.0, 10.0] {
+            jobs.push((n, factor));
+        }
+    }
+    let rows = crate::experiments::common::par_map(jobs, |(n, factor)| {
+        let cvs = CvsPolicy::ScaledMdc { factor }.cvs(n);
+        let report = run_model(Model::Stat, n, duration, ctx, |b| b.cvs(cvs));
+        let lat = latencies_sec(&report, 1);
+        vec![
+            n.to_string(),
+            format!("{factor}"),
+            cvs.to_string(),
+            f3(mean(&lat)),
+            f3(stddev(&lat)),
+        ]
+    });
+    for row in rows {
+        table.push(row);
+    }
+    vec![table]
+}
+
+/// Fig. 13: CDF of first-monitor discovery for the PL and OV traces.
+#[must_use]
+pub fn fig13(ctx: &ExpContext) -> Vec<ResultTable> {
+    let mut table = ResultTable::new(
+        "fig13",
+        "CDF of first-monitor discovery time (minutes), PL & OV traces",
+        &["model", "minutes", "fraction_discovered"],
+    );
+    let duration = ctx.duration(6.0);
+    let grid: Vec<f64> = (0..=12).map(|i| f64::from(i) * 0.25).collect(); // 0..3 min
+    for model in [Model::Pl, Model::Ov] {
+        let report = run_model(model, 0, duration, ctx, |b| b);
+        let lat = latencies_min(&report, 1);
+        let total = (lat.len() + report.undiscovered(1)).max(1) as f64;
+        let scale = lat.len() as f64 / total;
+        for (x, frac) in grid.iter().zip(cdf(&lat, &grid)) {
+            table.push(vec![model.label().into(), f3(*x), f3(frac * scale)]);
+        }
+    }
+    vec![table]
+}
+
+/// Fig. 15: discovery-time CDFs under SYNTH-BD vs the doubled-churn
+/// SYNTH-BD2, N = 2000.
+#[must_use]
+pub fn fig15(ctx: &ExpContext) -> Vec<ResultTable> {
+    let mut table = ResultTable::new(
+        "fig15",
+        "CDF of first-monitor discovery time (minutes), SYNTH-BD vs SYNTH-BD2",
+        &["model", "n_longterm", "minutes", "fraction_discovered"],
+    );
+    let duration = ctx.duration(4.0);
+    let n = if ctx.quick { 500 } else { 2000 };
+    let grid: Vec<f64> = (0..=8).map(|i| f64::from(i) * 0.25).collect();
+    for model in [Model::SynthBd, Model::SynthBd2] {
+        let report = run_model(model, n, duration, ctx, |b| b);
+        let n_longterm = report.series.len();
+        let lat = latencies_min(&report, 1);
+        let total = (lat.len() + report.undiscovered(1)).max(1) as f64;
+        let scale = lat.len() as f64 / total;
+        for (x, frac) in grid.iter().zip(cdf(&lat, &grid)) {
+            table.push(vec![
+                model.label().into(),
+                n_longterm.to_string(),
+                f3(*x),
+                f3(frac * scale),
+            ]);
+        }
+    }
+    vec![table]
+}

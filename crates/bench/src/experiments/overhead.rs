@@ -1,0 +1,202 @@
+//! Computation and memory overhead experiments: Figures 7, 8, 9, 10, 12,
+//! 14, 16.
+
+use avmon::CvsPolicy;
+use avmon_sim::metrics::{cdf, mean, stddev};
+
+use crate::experiments::common::{run_model, ExpContext, Model};
+use crate::output::{f3, ResultTable};
+
+/// Fig. 7: average consistency-condition computations per second per node
+/// (± stddev across nodes) vs N, three synthetic models.
+#[must_use]
+pub fn fig7(ctx: &ExpContext) -> Vec<ResultTable> {
+    let mut table = ResultTable::new(
+        "fig7",
+        "average computations per second per node vs N",
+        &["model", "n", "cvs", "avg_comps_per_sec", "stddev", "two_cvs_sq_per_min"],
+    );
+    let duration = ctx.duration(2.0);
+    let mut jobs = Vec::new();
+    for model in [Model::Stat, Model::Synth, Model::SynthBd] {
+        for n in ctx.sweep(&[100, 500, 1000, 2000]) {
+            jobs.push((model, n));
+        }
+    }
+    let rows = crate::experiments::common::par_map(jobs, |(model, n)| {
+        let report = run_model(model, n, duration, ctx, |b| b);
+        let comps = report.comps_per_second();
+        vec![
+            model.label().into(),
+            n.to_string(),
+            report.cvs.to_string(),
+            f3(mean(&comps)),
+            f3(stddev(&comps)),
+            f3(2.0 * (report.cvs * report.cvs) as f64),
+        ]
+    });
+    for row in rows {
+        table.push(row);
+    }
+    vec![table]
+}
+
+/// Fig. 8: CDF of per-node computations per second, N ∈ {100, 2000} ×
+/// three models.
+#[must_use]
+pub fn fig8(ctx: &ExpContext) -> Vec<ResultTable> {
+    let mut table = ResultTable::new(
+        "fig8",
+        "CDF of per-node computations per second",
+        &["model", "n", "comps_per_sec", "fraction_of_nodes"],
+    );
+    let duration = ctx.duration(2.0);
+    for model in [Model::Stat, Model::Synth, Model::SynthBd] {
+        for n in ctx.sweep(&[100, 2000]) {
+            let report = run_model(model, n, duration, ctx, |b| b);
+            let comps = report.comps_per_second();
+            let hi = comps.iter().cloned().fold(1.0f64, f64::max).ceil();
+            let grid: Vec<f64> = (0..=25).map(|i| f64::from(i) * hi / 25.0).collect();
+            for (x, frac) in grid.iter().zip(cdf(&comps, &grid)) {
+                table.push(vec![
+                    model.label().into(),
+                    n.to_string(),
+                    f3(*x),
+                    f3(frac),
+                ]);
+            }
+        }
+    }
+    vec![table]
+}
+
+/// Fig. 9: average memory entries |PS|+|TS|+|CV| per node (± stddev) vs N.
+#[must_use]
+pub fn fig9(ctx: &ExpContext) -> Vec<ResultTable> {
+    let mut table = ResultTable::new(
+        "fig9",
+        "average memory entries (|PS|+|TS|+|CV|) per node vs N",
+        &["model", "n", "avg_entries", "stddev", "expected_cvs_plus_2k"],
+    );
+    let duration = ctx.duration(2.0);
+    let mut jobs = Vec::new();
+    for model in [Model::Stat, Model::Synth, Model::SynthBd] {
+        for n in ctx.sweep(&[100, 500, 1000, 2000]) {
+            jobs.push((model, n));
+        }
+    }
+    let rows = crate::experiments::common::par_map(jobs, |(model, n)| {
+        let report = run_model(model, n, duration, ctx, |b| b);
+        let mem = report.memory_entries();
+        vec![
+            model.label().into(),
+            n.to_string(),
+            f3(mean(&mem)),
+            f3(stddev(&mem)),
+            f3(report.cvs as f64 + 2.0 * f64::from(report.k)),
+        ]
+    });
+    for row in rows {
+        table.push(row);
+    }
+    vec![table]
+}
+
+/// Fig. 10: CDF of per-node memory entries, N ∈ {100, 2000} × three models.
+#[must_use]
+pub fn fig10(ctx: &ExpContext) -> Vec<ResultTable> {
+    let mut table = ResultTable::new(
+        "fig10",
+        "CDF of per-node memory entries",
+        &["model", "n", "entries", "fraction_of_nodes"],
+    );
+    let duration = ctx.duration(2.0);
+    for model in [Model::Stat, Model::Synth, Model::SynthBd] {
+        for n in ctx.sweep(&[100, 2000]) {
+            let report = run_model(model, n, duration, ctx, |b| b);
+            let mem = report.memory_entries();
+            let grid: Vec<f64> = (0..=18).map(|i| f64::from(i) * 5.0).collect(); // 0..90
+            for (x, frac) in grid.iter().zip(cdf(&mem, &grid)) {
+                table.push(vec![
+                    model.label().into(),
+                    n.to_string(),
+                    f3(*x),
+                    f3(frac),
+                ]);
+            }
+        }
+    }
+    vec![table]
+}
+
+/// Fig. 12: memory entries and computations per second vs cvs, STAT,
+/// N ∈ {500, 2000}.
+#[must_use]
+pub fn fig12(ctx: &ExpContext) -> Vec<ResultTable> {
+    let mut table = ResultTable::new(
+        "fig12",
+        "memory entries and computations/sec vs cvs, STAT",
+        &["n", "cvs", "avg_memory_entries", "avg_comps_per_sec"],
+    );
+    let duration = ctx.duration(2.0);
+    for n in ctx.sweep(&[500, 2000]) {
+        for factor in [4.0, 6.0, 8.0, 10.0] {
+            let cvs = CvsPolicy::ScaledMdc { factor }.cvs(n);
+            let report = run_model(Model::Stat, n, duration, ctx, |b| b.cvs(cvs));
+            table.push(vec![
+                n.to_string(),
+                cvs.to_string(),
+                f3(mean(&report.memory_entries())),
+                f3(mean(&report.comps_per_second())),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+/// Fig. 14: CDF of per-node memory entries for the PL and OV traces.
+#[must_use]
+pub fn fig14(ctx: &ExpContext) -> Vec<ResultTable> {
+    let mut table = ResultTable::new(
+        "fig14",
+        "CDF of per-node memory entries, PL & OV traces",
+        &["model", "entries", "fraction_of_nodes", "expected"],
+    );
+    let duration = ctx.duration(6.0);
+    for model in [Model::Pl, Model::Ov] {
+        let report = run_model(model, 0, duration, ctx, |b| b);
+        let mem = report.memory_entries();
+        let expected = report.cvs as f64 + 2.0 * f64::from(report.k);
+        let grid: Vec<f64> = (0..=18).map(|i| f64::from(i) * 5.0).collect();
+        for (x, frac) in grid.iter().zip(cdf(&mem, &grid)) {
+            table.push(vec![model.label().into(), f3(*x), f3(frac), f3(expected)]);
+        }
+    }
+    vec![table]
+}
+
+/// Fig. 16: average memory entries (± stddev) under SYNTH-BD vs SYNTH-BD2.
+#[must_use]
+pub fn fig16(ctx: &ExpContext) -> Vec<ResultTable> {
+    let mut table = ResultTable::new(
+        "fig16",
+        "average memory entries vs N, SYNTH-BD vs SYNTH-BD2",
+        &["model", "n", "avg_entries", "stddev"],
+    );
+    let duration = ctx.duration(4.0);
+    let mut jobs = Vec::new();
+    for model in [Model::SynthBd, Model::SynthBd2] {
+        for n in ctx.sweep(&[100, 500, 1000, 2000]) {
+            jobs.push((model, n));
+        }
+    }
+    let rows = crate::experiments::common::par_map(jobs, |(model, n)| {
+        let report = run_model(model, n, duration, ctx, |b| b);
+        let mem = report.memory_entries();
+        vec![model.label().into(), n.to_string(), f3(mean(&mem)), f3(stddev(&mem))]
+    });
+    for row in rows {
+        table.push(row);
+    }
+    vec![table]
+}

@@ -1,0 +1,68 @@
+//! Table 1: the analytic variant comparison, plus an empirical validation
+//! run that checks the predicted orderings in simulation.
+
+use avmon::{CvsPolicy, DiscoveryMode};
+use avmon_sim::metrics::{mean, mean_drop_max};
+
+use crate::experiments::common::{min, run_model, ExpContext, Model};
+use crate::output::{f3, ResultTable};
+
+/// Renders the analytic Table 1 (at N = 10^6 like the paper's running
+/// example, plus N = 2000 to match the simulations), and validates the
+/// orderings empirically at N = 500.
+#[must_use]
+pub fn table1(ctx: &ExpContext) -> Vec<ResultTable> {
+    let mut analytic = ResultTable::new(
+        "table1",
+        "analytic variant comparison (memory/bandwidth M, discovery D, computation C)",
+        &["n", "approach", "cvs", "m_entries", "d_periods", "c_per_round"],
+    );
+    for n in [2000usize, 1_000_000] {
+        for row in avmon_analysis::table1(n) {
+            analytic.push(vec![
+                n.to_string(),
+                row.approach.into(),
+                row.cvs.map_or_else(|| "-".into(), |v| v.to_string()),
+                f3(row.memory_bandwidth),
+                f3(row.discovery_periods),
+                if row.computations_per_round == 0.0 {
+                    "one-time".into()
+                } else {
+                    f3(row.computations_per_round)
+                },
+            ]);
+        }
+    }
+
+    // Empirical validation: run each variant at N = 500 on STAT and check
+    // who wins on which metric.
+    let mut empirical = ResultTable::new(
+        "table1-empirical",
+        "measured variant comparison at N=500 (STAT)",
+        &["variant", "cvs", "avg_discovery_min", "avg_bw_bps", "avg_comps_per_sec"],
+    );
+    let n = 500;
+    let duration = ctx.duration(2.0);
+    let variants: Vec<(&str, Option<CvsPolicy>)> = vec![
+        ("Broadcast", None),
+        ("AVMON logN", Some(CvsPolicy::LogN)),
+        ("AVMON Optimal-MDC", Some(CvsPolicy::OptimalMdc)),
+        ("AVMON Optimal-MD", Some(CvsPolicy::OptimalMd)),
+        ("AVMON 4*N^1/4 (paper)", Some(CvsPolicy::PAPER_DEFAULT)),
+    ];
+    for (name, policy) in variants {
+        let report = run_model(Model::Stat, n, duration, ctx, |b| match policy {
+            Some(p) => b.cvs_policy(p),
+            None => b.discovery(DiscoveryMode::Broadcast),
+        });
+        let lat: Vec<f64> = report.discovery_latencies(1).iter().map(|&ms| min(ms)).collect();
+        empirical.push(vec![
+            name.into(),
+            report.cvs.to_string(),
+            f3(mean_drop_max(&lat)),
+            f3(mean(&report.bandwidth_bps())),
+            f3(mean(&report.comps_per_second())),
+        ]);
+    }
+    vec![analytic, empirical]
+}

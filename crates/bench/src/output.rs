@@ -1,0 +1,182 @@
+//! Experiment output: CSV files under `results/` plus aligned console
+//! tables, so each harness run prints the same series the paper plots.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A tabular result: one header row plus data rows of equal arity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultTable {
+    /// Experiment identifier (`fig3`, `table1`, `ext-dht`, …).
+    pub id: String,
+    /// Human caption describing what the paper's artifact shows.
+    pub caption: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Data rows (stringified values).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(
+        id: impl Into<String>,
+        caption: impl Into<String>,
+        columns: &[&str],
+    ) -> Self {
+        ResultTable {
+            id: id.into(),
+            caption: caption.into(),
+            columns: columns.iter().map(|&c| c.to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row arity differs from the header.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch in {}", self.id);
+        self.rows.push(row);
+    }
+
+    /// Appends a row of displayable values.
+    pub fn push_display(&mut self, row: &[&dyn std::fmt::Display]) {
+        self.push(row.iter().map(|v| v.to_string()).collect());
+    }
+
+    /// The CSV serialization (header + rows).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let escaped: Vec<String> = row
+                .iter()
+                .map(|cell| {
+                    if cell.contains(',') || cell.contains('"') {
+                        format!("\"{}\"", cell.replace('"', "\"\""))
+                    } else {
+                        cell.clone()
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "{}", escaped.join(","));
+        }
+        out
+    }
+
+    /// Writes `<out_dir>/<id>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, out_dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(out_dir)?;
+        let path = out_dir.join(format!("{}.csv", self.id));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+
+    /// Renders an aligned console table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {}", self.id, self.caption);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", cells.join("  "));
+        }
+        out
+    }
+}
+
+/// Formats a float with 3 decimal places (experiment convention).
+#[must_use]
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with 1 decimal place.
+#[must_use]
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ResultTable {
+        let mut t = ResultTable::new("figx", "a demo table", &["n", "value"]);
+        t.push(vec!["100".into(), "1.5".into()]);
+        t.push(vec!["2000".into(), "2.25".into()]);
+        t
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines, vec!["n,value", "100,1.5", "2000,2.25"]);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = ResultTable::new("f", "c", &["a"]);
+        t.push(vec!["x,y".into()]);
+        t.push(vec!["say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = sample();
+        t.push(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn render_is_aligned() {
+        let text = sample().render();
+        assert!(text.contains("figx"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn writes_file() {
+        let dir = std::env::temp_dir().join("avmon-results-test");
+        let path = sample().write_csv(&dir).unwrap();
+        assert!(path.exists());
+        assert!(std::fs::read_to_string(path).unwrap().starts_with("n,value"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f1(1.26), "1.3");
+    }
+}

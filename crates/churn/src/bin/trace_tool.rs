@@ -1,0 +1,131 @@
+//! `trace-tool` — generate, inspect and convert AVMON availability traces.
+//!
+//! ```bash
+//! trace-tool gen synth    --n 500 --hours 4 --seed 7 --out synth.json
+//! trace-tool gen overnet  --hours 48 --out ov.json
+//! trace-tool stat ov.json
+//! trace-tool convert ov.json ov.trace      # JSON ↔ text by extension
+//! ```
+
+use std::process::ExitCode;
+
+use avmon::HOUR;
+use avmon_churn::{
+    overnet_like, planetlab_like, stat, synthetic, SynthParams, Trace,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("stat") => cmd_stat(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage:\n  trace-tool gen <stat|synth|synth-bd|synth-bd2|planetlab|overnet> \
+                 [--n N] [--hours H] [--seed S] --out FILE\n  trace-tool stat FILE\n  \
+                 trace-tool convert IN OUT"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn cmd_gen(args: &[String]) -> ExitCode {
+    let Some(model) = args.first() else {
+        eprintln!("gen: missing model");
+        return ExitCode::FAILURE;
+    };
+    let n: usize = parse_flag(args, "--n").and_then(|v| v.parse().ok()).unwrap_or(500);
+    let hours: f64 = parse_flag(args, "--hours").and_then(|v| v.parse().ok()).unwrap_or(4.0);
+    let seed: u64 = parse_flag(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let Some(out) = parse_flag(args, "--out") else {
+        eprintln!("gen: missing --out FILE");
+        return ExitCode::FAILURE;
+    };
+    let duration = (hours * HOUR as f64) as u64;
+    let trace = match model.as_str() {
+        "stat" => stat(n, duration, 0.1, seed),
+        "synth" => synthetic(SynthParams::synth(n).duration(duration).seed(seed)),
+        "synth-bd" => synthetic(SynthParams::synth_bd(n).duration(duration).seed(seed)),
+        "synth-bd2" => synthetic(SynthParams::synth_bd2(n).duration(duration).seed(seed)),
+        "planetlab" | "pl" => planetlab_like(duration, seed),
+        "overnet" | "ov" => overnet_like(duration, seed),
+        other => {
+            eprintln!("gen: unknown model {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = write_trace(&trace, &out) {
+        eprintln!("gen: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {} ({} events, {} identities)", out, trace.events.len(), trace.identities().len());
+    ExitCode::SUCCESS
+}
+
+fn cmd_stat(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("stat: missing FILE");
+        return ExitCode::FAILURE;
+    };
+    let trace = match read_trace(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("stat: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let s = trace.stats();
+    println!("trace          {}", trace.name);
+    println!("stable size N  {}", trace.stable_size);
+    println!("horizon        {:.2} h", trace.horizon as f64 / HOUR as f64);
+    println!("identities     {}", s.identities);
+    println!("births/deaths  {}/{}", s.births, s.deaths);
+    println!("joins/leaves   {}/{}", s.joins, s.leaves);
+    println!("mean avail     {:.3}", s.mean_availability);
+    println!("churn          {:.1}%/hour", s.churn_per_hour * 100.0);
+    println!("control group  {}", trace.control_group.len());
+    for h in 0..((trace.horizon / HOUR).min(8)) {
+        println!("alive @ {h:>2}h    {}", trace.alive_at(h * HOUR + HOUR / 2));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_convert(args: &[String]) -> ExitCode {
+    let (Some(input), Some(output)) = (args.first(), args.get(1)) else {
+        eprintln!("convert: need IN and OUT");
+        return ExitCode::FAILURE;
+    };
+    match read_trace(input).and_then(|t| write_trace(&t, output)) {
+        Ok(()) => {
+            println!("converted {input} -> {output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("convert: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read_trace(path: &str) -> Result<Trace, String> {
+    if path.ends_with(".json") {
+        avmon_churn::load_json(path).map_err(|e| e.to_string())
+    } else {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        avmon_churn::from_text(&text).map_err(|e| e.to_string())
+    }
+}
+
+fn write_trace(trace: &Trace, path: &str) -> Result<(), String> {
+    if path.ends_with(".json") {
+        avmon_churn::save_json(trace, path).map_err(|e| e.to_string())
+    } else {
+        std::fs::write(path, avmon_churn::to_text(trace)).map_err(|e| e.to_string())
+    }
+}

@@ -1,0 +1,249 @@
+//! Trace serialization: JSON (self-describing) and a line-oriented text
+//! format for interoperability with external trace tooling.
+//!
+//! The text format is one event per line —
+//! `<time_ms> <birth|join|leave|death> <ip:port>` — preceded by a header
+//! line `#avmon-trace <name> <stable_size> <horizon_ms> <measure_from_ms>`
+//! and an optional `#control <ip:port>...` line. Real measured traces (e.g.
+//! re-obtained PlanetLab pings) can be converted to this format and fed to
+//! every experiment unchanged.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use avmon::NodeId;
+
+use crate::event::{ChurnEvent, ChurnEventKind, Trace};
+
+/// Errors from trace parsing and file I/O.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying file error.
+    Io(std::io::Error),
+    /// JSON (de)serialization error.
+    Json(serde_json::Error),
+    /// Text-format syntax error with line number and explanation.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl core::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace file error: {e}"),
+            TraceIoError::Json(e) => write!(f, "trace json error: {e}"),
+            TraceIoError::Syntax { line, message } => {
+                write!(f, "trace syntax error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Json(e) => Some(e),
+            TraceIoError::Syntax { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceIoError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceIoError::Json(e)
+    }
+}
+
+/// Serializes a trace to pretty JSON.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Json`] if serialization fails.
+pub fn to_json(trace: &Trace) -> Result<String, TraceIoError> {
+    Ok(serde_json::to_string_pretty(trace)?)
+}
+
+/// Parses a trace from JSON.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Json`] on malformed JSON.
+pub fn from_json(json: &str) -> Result<Trace, TraceIoError> {
+    Ok(serde_json::from_str(json)?)
+}
+
+/// Writes a trace to a JSON file.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on serialization or file errors.
+pub fn save_json(trace: &Trace, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
+    std::fs::write(path, to_json(trace)?)?;
+    Ok(())
+}
+
+/// Reads a trace from a JSON file.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on file or parse errors.
+pub fn load_json(path: impl AsRef<Path>) -> Result<Trace, TraceIoError> {
+    from_json(&std::fs::read_to_string(path)?)
+}
+
+/// Serializes a trace to the line-oriented text format.
+#[must_use]
+pub fn to_text(trace: &Trace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "#avmon-trace {} {} {} {}",
+        trace.name, trace.stable_size, trace.horizon, trace.measure_from
+    );
+    if !trace.control_group.is_empty() {
+        let ids: Vec<String> = trace.control_group.iter().map(ToString::to_string).collect();
+        let _ = writeln!(out, "#control {}", ids.join(" "));
+    }
+    for e in &trace.events {
+        let kind = match e.kind {
+            ChurnEventKind::Birth => "birth",
+            ChurnEventKind::Join => "join",
+            ChurnEventKind::Leave => "leave",
+            ChurnEventKind::Death => "death",
+        };
+        let _ = writeln!(out, "{} {} {}", e.at, kind, e.node);
+    }
+    out
+}
+
+/// Parses the line-oriented text format.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Syntax`] with the offending line number on any
+/// malformed header, kind, time or node id.
+pub fn from_text(text: &str) -> Result<Trace, TraceIoError> {
+    let syntax = |line: usize, message: String| TraceIoError::Syntax { line, message };
+    let mut lines = text.lines().enumerate();
+
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| syntax(1, "empty trace file".into()))?;
+    let parts: Vec<&str> = header.split_whitespace().collect();
+    if parts.len() != 5 || parts[0] != "#avmon-trace" {
+        return Err(syntax(1, format!("bad header: {header:?}")));
+    }
+    let name = parts[1].to_string();
+    let stable_size: usize =
+        parts[2].parse().map_err(|e| syntax(1, format!("stable size: {e}")))?;
+    let horizon = parts[3].parse().map_err(|e| syntax(1, format!("horizon: {e}")))?;
+    let measure_from = parts[4].parse().map_err(|e| syntax(1, format!("measure_from: {e}")))?;
+
+    let mut control = Vec::new();
+    let mut events = Vec::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("#control") {
+            for tok in rest.split_whitespace() {
+                control.push(
+                    tok.parse::<NodeId>()
+                        .map_err(|e| syntax(line_no, format!("control id: {e}")))?,
+                );
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // comment
+        }
+        let mut tok = line.split_whitespace();
+        let (Some(t), Some(kind), Some(node)) = (tok.next(), tok.next(), tok.next()) else {
+            return Err(syntax(line_no, format!("expected '<time> <kind> <node>': {line:?}")));
+        };
+        let at = t.parse().map_err(|e| syntax(line_no, format!("time: {e}")))?;
+        let kind = match kind {
+            "birth" => ChurnEventKind::Birth,
+            "join" => ChurnEventKind::Join,
+            "leave" => ChurnEventKind::Leave,
+            "death" => ChurnEventKind::Death,
+            other => return Err(syntax(line_no, format!("unknown kind {other:?}"))),
+        };
+        let node =
+            node.parse::<NodeId>().map_err(|e| syntax(line_no, format!("node id: {e}")))?;
+        events.push(ChurnEvent { at, node, kind });
+    }
+    Ok(Trace::new(name, stable_size, horizon, measure_from, control, events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{stat, synthetic, SynthParams};
+    use avmon::HOUR;
+
+    #[test]
+    fn json_round_trip() {
+        let t = synthetic(SynthParams::synth(100).duration(HOUR));
+        let json = to_json(&t).unwrap();
+        assert_eq!(from_json(&json).unwrap(), t);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let t = synthetic(SynthParams::synth_bd(80).duration(2 * HOUR));
+        let text = to_text(&t);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let t = stat(50, HOUR, 0.1, 3);
+        let dir = std::env::temp_dir().join("avmon-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stat.json");
+        save_json(&t, &path).unwrap();
+        assert_eq!(load_json(&path).unwrap(), t);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(matches!(from_text(""), Err(TraceIoError::Syntax { line: 1, .. })));
+        assert!(matches!(
+            from_text("#avmon-trace x 1"),
+            Err(TraceIoError::Syntax { line: 1, .. })
+        ));
+        let bad_kind = "#avmon-trace t 1 1000 0\n10 explode 10.0.0.1:4000\n";
+        assert!(matches!(from_text(bad_kind), Err(TraceIoError::Syntax { line: 2, .. })));
+        let bad_id = "#avmon-trace t 1 1000 0\n10 birth nonsense\n";
+        assert!(matches!(from_text(bad_id), Err(TraceIoError::Syntax { line: 2, .. })));
+    }
+
+    #[test]
+    fn text_allows_comments_and_blank_lines() {
+        let text = "#avmon-trace mini 1 1000 0\n# a comment\n\n0 birth 10.0.0.1:4000\n";
+        let t = from_text(text).unwrap();
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.name, "mini");
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = from_text("").unwrap_err();
+        assert!(e.to_string().contains("line 1"));
+    }
+}

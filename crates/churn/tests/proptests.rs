@@ -1,0 +1,80 @@
+//! Property-based tests for trace generation and serialization.
+
+use avmon::HOUR;
+use avmon_churn::{
+    from_json, from_text, overnet_like, planetlab_like, stat, synthetic, to_json, to_text,
+    ChurnEventKind, SynthParams,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated synthetic trace validates (alternation, horizon)
+    /// and keeps the alive population within a sane band.
+    #[test]
+    fn synth_traces_are_well_formed(
+        n in 20usize..300,
+        churn in 0.0f64..0.5,
+        bd in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let params = SynthParams {
+            n,
+            churn_per_hour: churn,
+            birth_death_per_day: bd,
+            warmup: HOUR,
+            duration: HOUR,
+            control_fraction: 0.1,
+            seed,
+        };
+        let trace = synthetic(params); // Trace::new panics on inconsistency
+        prop_assert!(trace.alive_at(trace.horizon - 1) >= n / 4);
+        prop_assert!(trace.events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    /// JSON and text round-trips are lossless for every generator.
+    #[test]
+    fn serialization_round_trips(seed in any::<u64>(), pick in 0u8..5) {
+        let trace = match pick {
+            0 => stat(50, HOUR, 0.1, seed),
+            1 => synthetic(SynthParams::synth(50).duration(HOUR).seed(seed)),
+            2 => synthetic(SynthParams::synth_bd(50).duration(HOUR).seed(seed)),
+            3 => planetlab_like(HOUR, seed),
+            _ => overnet_like(HOUR, seed),
+        };
+        prop_assert_eq!(&from_json(&to_json(&trace).unwrap()).unwrap(), &trace);
+        prop_assert_eq!(&from_text(&to_text(&trace)).unwrap(), &trace);
+    }
+
+    /// Per-node availability is always a valid fraction, and the up
+    /// intervals tile without overlap.
+    #[test]
+    fn availability_is_a_fraction(seed in any::<u64>()) {
+        let trace = synthetic(SynthParams::synth_bd(60).duration(2 * HOUR).seed(seed));
+        for node in trace.identities().into_iter().take(20) {
+            let a = trace.availability_of(node, 0, trace.horizon);
+            prop_assert!((0.0..=1.0).contains(&a), "availability {}", a);
+        }
+        for (_, ups) in trace.up_intervals() {
+            for w in ups.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "overlapping up intervals");
+            }
+        }
+    }
+
+    /// Births strictly precede every other event of the same identity.
+    #[test]
+    fn births_come_first(seed in any::<u64>()) {
+        let trace = synthetic(SynthParams::synth_bd(40).duration(HOUR).seed(seed));
+        let mut born = std::collections::BTreeSet::new();
+        for e in &trace.events {
+            match e.kind {
+                ChurnEventKind::Birth => {
+                    prop_assert!(born.insert(e.node), "double birth");
+                }
+                _ => prop_assert!(born.contains(&e.node), "event before birth"),
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Adversarial node behaviors from the paper's system model.
+//!
+//! "Each node would like to have its availability seen as high as possible
+//! by the system. In addition, a given node may have up to a constant number
+//! of colluders ('friends') that always misreport its availability" (§1/§3).
+//! These behaviors drive the overreporting experiment (Fig. 20), the
+//! collusion analysis (§4.3), and the verifiability tests.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::NodeId;
+
+/// How a node behaves when serving availability and monitor reports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Behavior {
+    /// Follows the protocol faithfully.
+    #[default]
+    Honest,
+    /// Reports 100% availability for *every* node in its target set
+    /// (the Fig. 20 overreporting attack).
+    OverreportAll,
+    /// Reports 100% availability for its colluding friends only (§4.3).
+    Colluding {
+        /// The colludees whose availability this node misreports.
+        friends: BTreeSet<NodeId>,
+    },
+    /// When asked for its own monitors, advertises this fake list instead
+    /// of its true pinging set (the selfish attack defeated by
+    /// verifiability).
+    SelfishAdvertiser {
+        /// The nodes (typically colluders) it falsely claims as monitors.
+        fake_monitors: Vec<NodeId>,
+    },
+}
+
+impl Behavior {
+    /// Whether availability answers about `target` are misreported as 1.0.
+    #[must_use]
+    pub fn misreports(&self, target: NodeId) -> bool {
+        match self {
+            Behavior::Honest | Behavior::SelfishAdvertiser { .. } => false,
+            Behavior::OverreportAll => true,
+            Behavior::Colluding { friends } => friends.contains(&target),
+        }
+    }
+
+    /// The monitor list to advertise instead of the true pinging set, if
+    /// this behavior lies about it.
+    #[must_use]
+    pub fn fake_report(&self) -> Option<&[NodeId]> {
+        match self {
+            Behavior::SelfishAdvertiser { fake_monitors } => Some(fake_monitors),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_never_misreports() {
+        let b = Behavior::Honest;
+        assert!(!b.misreports(NodeId::from_index(1)));
+        assert!(b.fake_report().is_none());
+    }
+
+    #[test]
+    fn overreporter_misreports_everyone() {
+        let b = Behavior::OverreportAll;
+        assert!(b.misreports(NodeId::from_index(1)));
+        assert!(b.misreports(NodeId::from_index(999)));
+    }
+
+    #[test]
+    fn colluder_misreports_friends_only() {
+        let friend = NodeId::from_index(5);
+        let b = Behavior::Colluding { friends: BTreeSet::from([friend]) };
+        assert!(b.misreports(friend));
+        assert!(!b.misreports(NodeId::from_index(6)));
+    }
+
+    #[test]
+    fn selfish_advertiser_lies_about_monitors_not_availability() {
+        let fakes = vec![NodeId::from_index(7)];
+        let b = Behavior::SelfishAdvertiser { fake_monitors: fakes.clone() };
+        assert_eq!(b.fake_report(), Some(fakes.as_slice()));
+        assert!(!b.misreports(NodeId::from_index(7)));
+    }
+
+    #[test]
+    fn default_is_honest() {
+        assert_eq!(Behavior::default(), Behavior::Honest);
+    }
+}

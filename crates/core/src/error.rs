@@ -1,0 +1,116 @@
+//! Error types for the AVMON crate.
+
+use core::fmt;
+
+use crate::NodeId;
+
+/// Errors surfaced by the public AVMON API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A wire message failed to decode.
+    Codec(CodecError),
+    /// A claimed monitor failed consistency-condition verification.
+    InvalidMonitor {
+        /// The node whose pinging set was being verified.
+        target: NodeId,
+        /// The claimed monitor that failed the check.
+        claimed: NodeId,
+    },
+    /// A configuration parameter was out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Codec(e) => write!(f, "codec error: {e}"),
+            Error::InvalidMonitor { target, claimed } => {
+                write!(f, "node {claimed} is not a verified monitor of {target}")
+            }
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for Error {
+    fn from(e: CodecError) -> Self {
+        Error::Codec(e)
+    }
+}
+
+/// Errors produced while decoding wire messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The buffer ended before the message was complete.
+    Truncated {
+        /// How many more bytes were needed (lower bound).
+        needed: usize,
+    },
+    /// The message tag byte is not a known message type.
+    UnknownTag(u8),
+    /// A length field exceeded its sanity bound.
+    LengthOutOfRange {
+        /// The declared length.
+        declared: usize,
+        /// The maximum allowed.
+        max: usize,
+    },
+    /// Trailing bytes followed a complete message.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed } => {
+                write!(f, "truncated message: at least {needed} more bytes needed")
+            }
+            CodecError::UnknownTag(tag) => write!(f, "unknown message tag {tag:#04x}"),
+            CodecError::LengthOutOfRange { declared, max } => {
+                write!(f, "length field {declared} exceeds maximum {max}")
+            }
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors: Vec<Error> = vec![
+            Error::Codec(CodecError::UnknownTag(0xff)),
+            Error::InvalidMonitor {
+                target: NodeId::from_index(1),
+                claimed: NodeId::from_index(2),
+            },
+            Error::InvalidConfig("cvs must be positive".into()),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn codec_error_is_source() {
+        use std::error::Error as _;
+        let e = Error::from(CodecError::TrailingBytes(3));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,192 @@
+//! Node identities.
+//!
+//! AVMON identifies a node by its `<IP address, port number>` pair (§3.1);
+//! the consistency condition hashes the 12-byte concatenation of the two
+//! endpoint identities of a candidate monitoring pair.
+
+use core::fmt;
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+use serde::{Deserialize, Serialize};
+
+/// A node identity: an IPv4 address and port, exactly as in the paper.
+///
+/// The identity is the *consistent* input to monitor selection — it must
+/// never change across leaves, failures and rejoins of the same node.
+///
+/// # Example
+///
+/// ```
+/// use avmon::NodeId;
+///
+/// let a = NodeId::new([10, 0, 0, 1], 9000);
+/// assert_eq!(a.to_string(), "10.0.0.1:9000");
+/// let b: NodeId = "10.0.0.2:9000".parse()?;
+/// assert_ne!(a, b);
+/// # Ok::<(), avmon::ParseNodeIdError>(())
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId {
+    ip: [u8; 4],
+    port: u16,
+}
+
+impl NodeId {
+    /// Number of bytes in the wire encoding of an identity.
+    pub const ENCODED_LEN: usize = 6;
+
+    /// Creates an identity from an IPv4 address and a port.
+    #[must_use]
+    pub const fn new(ip: [u8; 4], port: u16) -> Self {
+        NodeId { ip, port }
+    }
+
+    /// A convenience constructor used throughout tests and simulations:
+    /// maps a dense index to a unique identity in `10.0.0.0/8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit the 3-byte host space (≥ 2^24).
+    #[must_use]
+    pub fn from_index(index: u32) -> Self {
+        assert!(index < (1 << 24), "index {index} exceeds 10.0.0.0/8 host space");
+        let [_, b, c, d] = index.to_be_bytes();
+        NodeId::new([10, b, c, d], 4000)
+    }
+
+    /// The IPv4 address.
+    #[must_use]
+    pub fn ip(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.ip)
+    }
+
+    /// The port number.
+    #[must_use]
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// The 6-byte wire encoding: 4 address bytes then the big-endian port.
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; 6] {
+        let p = self.port.to_be_bytes();
+        [self.ip[0], self.ip[1], self.ip[2], self.ip[3], p[0], p[1]]
+    }
+
+    /// Decodes a 6-byte wire encoding.
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; 6]) -> Self {
+        NodeId {
+            ip: [bytes[0], bytes[1], bytes[2], bytes[3]],
+            port: u16::from_be_bytes([bytes[4], bytes[5]]),
+        }
+    }
+
+    /// The 12-byte consistency-condition input for the ordered pair
+    /// `(monitor, target)` — i.e. the bytes hashed to evaluate
+    /// `H(monitor, target) ≤ K/N`.
+    ///
+    /// The order matters: `pair_bytes(y, x)` decides `y ∈ PS(x)`, while
+    /// `pair_bytes(x, y)` decides `x ∈ PS(y)`.
+    #[must_use]
+    pub fn pair_bytes(monitor: NodeId, target: NodeId) -> [u8; 12] {
+        let m = monitor.to_bytes();
+        let t = target.to_bytes();
+        [
+            m[0], m[1], m[2], m[3], m[4], m[5], //
+            t[0], t[1], t[2], t[3], t[4], t[5],
+        ]
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.ip(), self.port)
+    }
+}
+
+impl From<SocketAddrV4> for NodeId {
+    fn from(addr: SocketAddrV4) -> Self {
+        NodeId::new(addr.ip().octets(), addr.port())
+    }
+}
+
+impl From<NodeId> for SocketAddrV4 {
+    fn from(id: NodeId) -> Self {
+        SocketAddrV4::new(id.ip(), id.port())
+    }
+}
+
+/// Error returned when parsing a [`NodeId`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNodeIdError {
+    input: String,
+}
+
+impl fmt::Display for ParseNodeIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid node id syntax: {:?} (expected a.b.c.d:port)", self.input)
+    }
+}
+
+impl std::error::Error for ParseNodeIdError {}
+
+impl std::str::FromStr for NodeId {
+    type Err = ParseNodeIdError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.parse::<SocketAddrV4>()
+            .map(NodeId::from)
+            .map_err(|_| ParseNodeIdError { input: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_bytes() {
+        let id = NodeId::new([192, 168, 1, 42], 65535);
+        assert_eq!(NodeId::from_bytes(id.to_bytes()), id);
+    }
+
+    #[test]
+    fn from_index_is_injective_sample() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            assert!(seen.insert(NodeId::from_index(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 10.0.0.0/8")]
+    fn from_index_rejects_huge_values() {
+        let _ = NodeId::from_index(1 << 24);
+    }
+
+    #[test]
+    fn pair_bytes_is_order_sensitive() {
+        let a = NodeId::from_index(1);
+        let b = NodeId::from_index(2);
+        assert_ne!(NodeId::pair_bytes(a, b), NodeId::pair_bytes(b, a));
+        assert_eq!(NodeId::pair_bytes(a, b).len(), 12);
+    }
+
+    #[test]
+    fn parses_display_output() {
+        let id = NodeId::new([10, 1, 2, 3], 4000);
+        let parsed: NodeId = id.to_string().parse().unwrap();
+        assert_eq!(parsed, id);
+        assert!("not-an-addr".parse::<NodeId>().is_err());
+    }
+
+    #[test]
+    fn socket_addr_round_trip() {
+        let id = NodeId::new([127, 0, 0, 1], 8080);
+        let sock: SocketAddrV4 = id.into();
+        assert_eq!(NodeId::from(sock), id);
+    }
+}

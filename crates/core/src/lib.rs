@@ -1,0 +1,90 @@
+//! # AVMON — consistent availability monitoring overlays
+//!
+//! A from-scratch Rust implementation of **AVMON** (Ramses V. Morales and
+//! Indranil Gupta, *"AVMON: Optimal and Scalable Discovery of Consistent
+//! Availability Monitoring Overlays for Distributed Systems"*, ICDCS 2007).
+//!
+//! AVMON selects and discovers, for every node `x` of a churned distributed
+//! system, a *pinging set* `PS(x)` of nodes that monitor `x`'s long-term
+//! availability — in a way that is simultaneously:
+//!
+//! 1. **consistent** — `y ∈ PS(x)` never changes, regardless of churn;
+//! 2. **verifiable** — any third node can check the relationship;
+//! 3. **random** — pinging sets are uniform and uncorrelated;
+//! 4. **discoverable** — monitors are found within about one protocol period;
+//! 5. **load-balanced** — overheads are uniform across nodes;
+//! 6. **scalable** — per-node cost is `O(cvs)` memory/bandwidth and
+//!    `O(cvs²)` hash checks per period, with `cvs` as small as `N^{1/4}`.
+//!
+//! The selection scheme is the hash-based consistency condition
+//! `y ∈ PS(x) ⇔ H(y,x) ≤ K/N` (§3.1); discovery runs over a random
+//! bounded *coarse view* maintained by join spanning-trees and periodic
+//! shuffles (§3.2); monitors then ping their targets, store availability
+//! histories, and answer verifiable "l out of K" reports (§3.3).
+//!
+//! ## Architecture
+//!
+//! The protocol is a **sans-io state machine**: [`Node`] consumes inputs
+//! stamped with a driver-supplied clock and returns [`Action`]s. The same
+//! state machine is driven by:
+//!
+//! * `avmon-sim` — the trace-driven discrete-event simulator used to
+//!   reproduce the paper's evaluation,
+//! * `avmon-runtime` — thread-per-node clusters over in-memory channels or
+//!   real UDP sockets.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use avmon::{Config, HashSelector, JoinKind, Node, NodeId};
+//! use std::sync::Arc;
+//!
+//! // Consistent system parameters shared by every node.
+//! let config = Config::builder(1_000).build()?;
+//! let selector = Arc::new(HashSelector::from_config(&config));
+//!
+//! // A node is pure state: drivers feed it time, messages and timers.
+//! let mut node = Node::new(NodeId::new([10, 0, 0, 1], 4000), config, selector, 7);
+//! let actions = node.start(0, JoinKind::Fresh, Some(NodeId::new([10, 0, 0, 2], 4000)));
+//! assert!(!actions.is_empty());
+//! # Ok::<(), avmon::Error>(())
+//! ```
+//!
+//! See the workspace `examples/` directory for complete scenarios
+//! (simulated overlays, replica selection, multicast, a real UDP cluster).
+
+pub mod behavior;
+pub mod codec;
+pub mod config;
+pub mod error;
+pub mod history;
+pub mod id;
+pub mod message;
+pub mod node;
+pub mod query;
+pub mod selector;
+pub mod stats;
+pub mod time;
+pub mod view;
+
+pub use behavior::Behavior;
+pub use config::{Config, ConfigBuilder, CvsPolicy, DiscoveryMode, ForgetfulConfig};
+pub use error::{CodecError, Error};
+pub use history::{AvailabilityStore, HistoryStore};
+pub use id::{NodeId, ParseNodeIdError};
+pub use message::{Message, MessageKind, Nonce};
+pub use node::{Action, Actions, AppEvent, JoinKind, Node, PersistentState, TargetRecord, Timer};
+pub use query::{AvailabilityQuery, QueryOutcome};
+pub use selector::{
+    verify_report, CentralSelector, DhtRingSelector, HashSelector, MonitorSelector,
+    ReportVerification, SelfReportSelector, SharedSelector,
+};
+pub use stats::NodeStats;
+pub use time::{DurMs, TimeMs, HOUR, MINUTE, SECOND};
+pub use view::CoarseView;
+
+// Re-export the hashing substrate: it is part of the public API surface
+// (custom deployments may pick their hasher).
+pub use avmon_hash::{
+    Fast64PairHasher, HashPoint, HasherKind, Md5PairHasher, PairHasher, Sha1PairHasher, Threshold,
+};

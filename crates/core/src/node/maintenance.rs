@@ -1,0 +1,239 @@
+//! Coarse-view maintenance and monitor discovery (Figs. 1 and 2).
+
+use super::{Action, Actions, AppEvent, Node, Pending, Timer};
+use crate::message::Message;
+use crate::time::TimeMs;
+use crate::NodeId;
+
+impl Node {
+    /// One protocol period of the coarse-membership protocol (Fig. 2):
+    /// liveness-ping one random view entry, fetch the view of another, and
+    /// (if enabled) run the PR2 re-advertisement check.
+    pub(super) fn protocol_period(&mut self, now: TimeMs, actions: &mut Actions) {
+        // 0. Loss recovery (not in the paper, whose network is reliable):
+        //    an empty view means this node is invisible and blind — its
+        //    original JOIN or view inheritance was lost. Retry through the
+        //    join contact.
+        if self.view.is_empty() {
+            if let Some(contact) = self.contact {
+                self.send(
+                    actions,
+                    contact,
+                    Message::Join { origin: self.id, weight: self.config.cvs as u32, hops: 0 },
+                );
+                let nonce = self.fresh_nonce();
+                self.pending.insert(nonce, Pending::InitView { peer: contact });
+                self.send(actions, contact, Message::InitViewRequest { nonce });
+                actions.push(Action::SetTimer {
+                    timer: Timer::Expire(nonce),
+                    at: now + self.config.ping_timeout,
+                });
+            }
+            return;
+        }
+
+        // 1. Ping a random coarse-view entry; unresponsive ⇒ removed (via
+        //    the Expire timer).
+        if let Some(z) = self.view.pick_random(&mut self.rng) {
+            let nonce = self.fresh_nonce();
+            self.pending.insert(nonce, Pending::ViewPing { peer: z });
+            self.send(actions, z, Message::ViewPing { nonce });
+            actions.push(Action::SetTimer {
+                timer: Timer::Expire(nonce),
+                at: now + self.config.ping_timeout,
+            });
+        }
+
+        // 2. Fetch the coarse view of another random entry.
+        if let Some(w) = self.view.pick_random(&mut self.rng) {
+            let nonce = self.fresh_nonce();
+            self.pending.insert(nonce, Pending::ViewFetch { peer: w });
+            self.send(actions, w, Message::ViewFetch { nonce });
+            actions.push(Action::SetTimer {
+                timer: Timer::Expire(nonce),
+                at: now + self.config.ping_timeout,
+            });
+        }
+
+        // 3. PR2 (§5.4): if no monitoring ping has arrived for two protocol
+        //    periods, force all view entries to re-add this node.
+        if self.config.pr2 {
+            let basis = match (self.last_monitor_ping_rx, self.pr2_last_fired) {
+                (Some(rx), Some(fired)) => rx.max(fired),
+                (Some(rx), None) => rx,
+                (None, Some(fired)) => fired,
+                (None, None) => self.started_at,
+            };
+            if now.saturating_sub(basis) >= 2 * self.config.protocol_period {
+                self.pr2_last_fired = Some(now);
+                let peers: Vec<NodeId> = self.view.iter().collect();
+                for peer in peers {
+                    self.send(actions, peer, Message::AddMeRequest);
+                }
+            }
+        }
+    }
+
+    /// Fig. 1: processing of a `JOIN(origin, c)` message.
+    pub(super) fn handle_join(
+        &mut self,
+        _now: TimeMs,
+        origin: NodeId,
+        weight: u32,
+        hops: u32,
+        actions: &mut Actions,
+    ) {
+        if weight == 0 || hops >= self.config.join_hop_limit {
+            return;
+        }
+        let mut c = weight;
+        if origin != self.id && !self.view.contains(origin) {
+            self.view.insert_or_replace(origin, &mut self.rng);
+            c -= 1;
+            actions.push(Action::App(AppEvent::JoinAbsorbed { origin }));
+        }
+        if c == 0 {
+            return;
+        }
+        // Split the remaining weight into ⌊c/2⌋ and ⌈c/2⌉ and forward each
+        // to a random coarse-view entry (never back to the origin itself).
+        let halves = [c / 2, c - c / 2];
+        for half in halves {
+            if half == 0 {
+                continue;
+            }
+            if let Some(next) = self.view.pick_random_excluding(&mut self.rng, origin) {
+                self.stats.joins_forwarded += 1;
+                self.send(actions, next, Message::Join { origin, weight: half, hops: hops + 1 });
+            }
+        }
+    }
+
+    /// Fig. 2 core: on receiving `CV(w)`, cross-check the consistency
+    /// condition over `({CV(x)∪{x,w}} × {CV(w)∪{x,w}})` in both orders,
+    /// `NOTIFY` both endpoints of each match, then shuffle the view.
+    pub(super) fn process_fetched_view(
+        &mut self,
+        now: TimeMs,
+        w: NodeId,
+        fetched: &[NodeId],
+        actions: &mut Actions,
+    ) {
+        // A = CV(x) ∪ {x, w}
+        let mut side_a: Vec<NodeId> = self.view.iter().collect();
+        if !side_a.contains(&self.id) {
+            side_a.push(self.id);
+        }
+        if !side_a.contains(&w) {
+            side_a.push(w);
+        }
+        // B = CV(w) ∪ {x, w}
+        let mut side_b: Vec<NodeId> = Vec::with_capacity(fetched.len() + 2);
+        for &v in fetched {
+            if !side_b.contains(&v) {
+                side_b.push(v);
+            }
+        }
+        if !side_b.contains(&self.id) {
+            side_b.push(self.id);
+        }
+        if !side_b.contains(&w) {
+            side_b.push(w);
+        }
+
+        for i in 0..side_a.len() {
+            let u = side_a[i];
+            for j in 0..side_b.len() {
+                let v = side_b[j];
+                if u == v {
+                    continue;
+                }
+                for (monitor, target) in [(u, v), (v, u)] {
+                    if self.check(monitor, target) && self.mark_notified(monitor, target) {
+                        self.notify_pair(now, monitor, target, actions);
+                    }
+                }
+            }
+        }
+
+        // Shuffle: CV(x) := cvs random entries of CV(x) ∪ CV(w) ∪ {w}.
+        self.view.shuffle_merge(w, fetched, &mut self.rng);
+    }
+
+    /// Records that `(monitor, target)` has been notified; returns whether
+    /// it is new. The cache is cleared when full, so retransmission is
+    /// merely delayed, never suppressed forever.
+    fn mark_notified(&mut self, monitor: NodeId, target: NodeId) -> bool {
+        if self.notified.len() >= self.notified_cap {
+            self.notified.clear();
+        }
+        self.notified.insert((monitor, target))
+    }
+
+    /// Sends `NOTIFY(monitor, target)` to both endpoints, handling the case
+    /// where one endpoint is this node itself.
+    fn notify_pair(&mut self, now: TimeMs, monitor: NodeId, target: NodeId, actions: &mut Actions) {
+        for endpoint in [monitor, target] {
+            if endpoint == self.id {
+                self.handle_notify(now, monitor, target, actions);
+            } else {
+                self.stats.notifies_sent += 1;
+                self.send(actions, endpoint, Message::Notify { monitor, target });
+            }
+        }
+    }
+
+    /// §3.3: `NOTIFY(monitor, target)` reception — re-verify the condition
+    /// and update `PS` / `TS`.
+    pub(super) fn handle_notify(
+        &mut self,
+        now: TimeMs,
+        monitor: NodeId,
+        target: NodeId,
+        actions: &mut Actions,
+    ) {
+        if monitor == target {
+            return;
+        }
+        if target == self.id && monitor != self.id && !self.ps.contains(&monitor) {
+            // Someone claims `monitor` should monitor me: verify, then admit.
+            if self.check(monitor, target) {
+                self.ps.insert(monitor);
+                actions.push(Action::App(AppEvent::MonitorDiscovered { monitor }));
+            }
+        }
+        if monitor == self.id && target != self.id && !self.targets.contains_key(&target) {
+            // Someone claims I should monitor `target`: verify, then adopt.
+            if self.check(monitor, target) {
+                self.targets.insert(
+                    target,
+                    super::TargetRecord::new(now, self.history_template.clone()),
+                );
+                actions.push(Action::App(AppEvent::TargetDiscovered { target }));
+            }
+        }
+    }
+
+    /// Broadcast-baseline presence handling (Table 1): the receiver checks
+    /// both directions of the condition against the joiner directly.
+    pub(super) fn handle_presence(&mut self, now: TimeMs, origin: NodeId, actions: &mut Actions) {
+        if origin == self.id {
+            return;
+        }
+        // Do I monitor the joiner?
+        if !self.targets.contains_key(&origin) && self.check(self.id, origin) {
+            self.targets
+                .insert(origin, super::TargetRecord::new(now, self.history_template.clone()));
+            actions.push(Action::App(AppEvent::TargetDiscovered { target: origin }));
+            self.stats.notifies_sent += 1;
+            self.send(actions, origin, Message::Notify { monitor: self.id, target: origin });
+        }
+        // Does the joiner monitor me?
+        if !self.ps.contains(&origin) && self.check(origin, self.id) {
+            self.ps.insert(origin);
+            actions.push(Action::App(AppEvent::MonitorDiscovered { monitor: origin }));
+            self.stats.notifies_sent += 1;
+            self.send(actions, origin, Message::Notify { monitor: origin, target: self.id });
+        }
+    }
+}

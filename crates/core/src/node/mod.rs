@@ -1,0 +1,661 @@
+//! The AVMON node state machine.
+//!
+//! [`Node`] is **sans-io**: it never touches sockets, clocks or threads.
+//! A driver (the discrete-event simulator, the threaded runtime, or the UDP
+//! runtime) feeds it three kinds of inputs — [`Node::start`],
+//! [`Node::handle_message`], [`Node::handle_timer`] — each stamped with the
+//! current time, and executes the [`Action`]s it returns: sending messages,
+//! arming timers, and surfacing [`AppEvent`]s to the application.
+//!
+//! One `Node` value implements every sub-protocol of the paper: the JOIN
+//! spanning tree (Fig. 1), coarse-view maintenance and monitor discovery
+//! (Fig. 2), availability monitoring with forgetful pinging (§3.3), monitor
+//! reporting (§3.3), the PR2 optimization (§5.4), and the Broadcast baseline
+//! (Table 1).
+
+mod maintenance;
+mod monitoring;
+#[cfg(test)]
+mod tests;
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::behavior::Behavior;
+use crate::codec;
+use crate::config::{Config, DiscoveryMode};
+use crate::history::HistoryStore;
+use crate::message::{Message, Nonce};
+use crate::selector::{ReportVerification, SharedSelector};
+use crate::stats::NodeStats;
+use crate::time::{DurMs, TimeMs};
+use crate::view::CoarseView;
+use crate::NodeId;
+
+/// Why a node is entering the system (Fig. 1 distinguishes the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// First ever join (birth): JOIN weight is `cvs`.
+    Fresh,
+    /// Re-entry after an absence: JOIN weight is
+    /// `min(cvs, down_duration / protocol_period)`.
+    Rejoin {
+        /// How long the node was out of the system.
+        down_duration: DurMs,
+    },
+}
+
+/// Timers a node asks its driver to arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Timer {
+    /// The coarse-membership protocol period tick (Fig. 2).
+    Protocol,
+    /// The monitoring-ping period tick (§3.3).
+    Monitoring,
+    /// Expiry of an outstanding request (ping / fetch / RPC).
+    Expire(Nonce),
+}
+
+/// Effects requested by the state machine; the driver must execute them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Transmit `msg` to `to`.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: Message,
+    },
+    /// Deliver `msg` to every node in the system (Broadcast baseline only;
+    /// never emitted in [`DiscoveryMode::CoarseView`]).
+    Broadcast {
+        /// The message.
+        msg: Message,
+    },
+    /// Invoke [`Node::handle_timer`] with `timer` at time `at`.
+    SetTimer {
+        /// Which timer.
+        timer: Timer,
+        /// Absolute protocol time at which to fire.
+        at: TimeMs,
+    },
+    /// An application-visible event (discoveries, report outcomes, …).
+    App(AppEvent),
+}
+
+/// Application-visible protocol events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppEvent {
+    /// This node learned of a (verified) member of its own pinging set.
+    MonitorDiscovered {
+        /// The monitor that will track this node's availability.
+        monitor: NodeId,
+    },
+    /// This node was assigned a (verified) target to monitor.
+    TargetDiscovered {
+        /// The node this node must now monitor.
+        target: NodeId,
+    },
+    /// The initial coarse view was inherited from the join contact.
+    ViewInherited {
+        /// The contact that supplied the view.
+        from: NodeId,
+        /// Entries adopted.
+        adopted: usize,
+    },
+    /// A JOIN for `origin` was absorbed into this node's coarse view.
+    JoinAbsorbed {
+        /// The joining node now present in the view.
+        origin: NodeId,
+    },
+    /// A monitor report for `target` arrived and was verified.
+    ReportOutcome {
+        /// The node whose monitors were requested.
+        target: NodeId,
+        /// Verification result (verified / rejected claims).
+        verification: ReportVerification,
+    },
+    /// An availability answer arrived from one of `target`'s monitors.
+    HistoryOutcome {
+        /// The monitor that answered.
+        monitor: NodeId,
+        /// The monitored node the answer is about.
+        target: NodeId,
+        /// Reported availability, if the monitor had data.
+        availability: Option<f64>,
+        /// Number of monitoring pings backing the answer.
+        samples: u64,
+    },
+    /// An outstanding report/history request timed out.
+    RequestTimedOut {
+        /// The peer that failed to answer.
+        peer: NodeId,
+    },
+}
+
+/// The list of effects returned by each input.
+pub type Actions = Vec<Action>;
+
+/// Outstanding request state, keyed by nonce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Pending {
+    ViewPing { peer: NodeId },
+    ViewFetch { peer: NodeId },
+    InitView { peer: NodeId },
+    MonitorPing { peer: NodeId },
+    Report { target: NodeId },
+    History { monitor: NodeId, target: NodeId },
+}
+
+/// Per-target monitoring state kept by a monitor (an entry of `TS(x)`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetRecord {
+    /// When the monitoring relationship was discovered.
+    pub discovered_at: TimeMs,
+    /// Monitoring pings sent to the target.
+    pub pings_sent: u64,
+    /// Monitoring pongs received from the target.
+    pub pongs_received: u64,
+    /// Time of the most recent pong.
+    pub last_pong: Option<TimeMs>,
+    /// Start of the currently-observed up session, if the target is up.
+    pub session_start: Option<TimeMs>,
+    /// Duration of the last completed observed up session (`ts(u)` in the
+    /// forgetful-pinging formula).
+    pub last_session: DurMs,
+    /// Start of the current unresponsive streak, if any.
+    pub unresponsive_since: Option<TimeMs>,
+    /// The availability history (sub-problem II storage).
+    pub history: HistoryStore,
+}
+
+impl TargetRecord {
+    fn new(now: TimeMs, history: HistoryStore) -> Self {
+        TargetRecord {
+            discovered_at: now,
+            pings_sent: 0,
+            pongs_received: 0,
+            last_pong: None,
+            session_start: None,
+            last_session: 0,
+            unresponsive_since: None,
+            history,
+        }
+    }
+
+    /// The paper's §5.4 estimator: the fraction of monitoring pings that
+    /// received a response. `None` before the first ping.
+    #[must_use]
+    pub fn availability_estimate(&self) -> Option<f64> {
+        (self.pings_sent > 0).then(|| self.pongs_received as f64 / self.pings_sent as f64)
+    }
+}
+
+/// A node's durable state: what §3 requires to survive failures and rejoins
+/// ("persistent storage that can be retrieved after a failure or a rejoin").
+///
+/// Thanks to consistency, `PS` and `TS` membership never has to change on
+/// churn — only this snapshot needs to be saved and restored; no history
+/// transfer between nodes is ever required.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PersistentState {
+    /// The pinging set (nodes known to monitor this node).
+    pub ps: Vec<NodeId>,
+    /// The target set with per-target monitoring state.
+    pub targets: Vec<(NodeId, TargetRecord)>,
+}
+
+/// The AVMON protocol state machine for one node.
+///
+/// # Example
+///
+/// ```
+/// use avmon::{Config, HashSelector, JoinKind, Node, NodeId};
+/// use std::sync::Arc;
+///
+/// let config = Config::builder(100).build()?;
+/// let selector = Arc::new(HashSelector::from_config(&config));
+/// let mut node = Node::new(NodeId::from_index(1), config, selector, 42);
+/// let actions = node.start(0, JoinKind::Fresh, Some(NodeId::from_index(2)));
+/// assert!(!actions.is_empty()); // JOIN + init-view + timers
+/// # Ok::<(), avmon::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct Node {
+    id: NodeId,
+    config: Config,
+    selector: SharedSelector,
+    behavior: Behavior,
+    rng: SmallRng,
+    view: CoarseView,
+    ps: BTreeSet<NodeId>,
+    targets: BTreeMap<NodeId, TargetRecord>,
+    pending: HashMap<Nonce, Pending>,
+    /// Pairs this node has already NOTIFY-ed, so that rediscovering the
+    /// same match every period (Fig. 2 re-scans all pairs) does not
+    /// retransmit. Bounded: cleared wholesale when it reaches capacity, so
+    /// notifications are eventually retransmitted and Theorem 1 (eventual
+    /// discovery) is preserved even if an endpoint was down the first time.
+    notified: std::collections::HashSet<(NodeId, NodeId)>,
+    notified_cap: usize,
+    /// The join contact, kept for re-joining when the coarse view empties
+    /// out (possible under message loss, which the paper's reliable-network
+    /// model excludes but real deployments do not).
+    contact: Option<NodeId>,
+    history_template: HistoryStore,
+    started_at: TimeMs,
+    last_monitor_ping_rx: Option<TimeMs>,
+    pr2_last_fired: Option<TimeMs>,
+    stats: NodeStats,
+}
+
+impl Node {
+    /// Creates a node with the given identity, configuration, selection
+    /// scheme, and RNG seed (all protocol randomness derives from `seed`).
+    #[must_use]
+    pub fn new(id: NodeId, config: Config, selector: SharedSelector, seed: u64) -> Self {
+        let cvs = config.cvs;
+        Node {
+            id,
+            config,
+            selector,
+            behavior: Behavior::Honest,
+            rng: SmallRng::seed_from_u64(seed),
+            view: CoarseView::new(id, cvs),
+            ps: BTreeSet::new(),
+            targets: BTreeMap::new(),
+            pending: HashMap::new(),
+            notified: std::collections::HashSet::new(),
+            notified_cap: (8 * cvs * cvs).max(1024),
+            contact: None,
+            history_template: HistoryStore::default(),
+            started_at: 0,
+            last_monitor_ping_rx: None,
+            pr2_last_fired: None,
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// Sets the node's behavior (attack model); defaults to honest.
+    pub fn set_behavior(&mut self, behavior: Behavior) {
+        self.behavior = behavior;
+    }
+
+    /// The behavior in effect.
+    #[must_use]
+    pub fn behavior(&self) -> &Behavior {
+        &self.behavior
+    }
+
+    /// Sets the history-store prototype cloned for each newly discovered
+    /// target (defaults to [`HistoryStore::raw`]).
+    pub fn set_history_template(&mut self, template: HistoryStore) {
+        self.history_template = template;
+    }
+
+    /// This node's identity.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The coarse view.
+    #[must_use]
+    pub fn view(&self) -> &CoarseView {
+        &self.view
+    }
+
+    /// The pinging set `PS(x)`: nodes known to monitor this node.
+    pub fn pinging_set(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.ps.iter().copied()
+    }
+
+    /// Number of known monitors, `|PS(x)|`.
+    #[must_use]
+    pub fn pinging_set_len(&self) -> usize {
+        self.ps.len()
+    }
+
+    /// The target set `TS(x)`: nodes this node monitors.
+    pub fn target_set(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.targets.keys().copied()
+    }
+
+    /// Number of monitored targets, `|TS(x)|`.
+    #[must_use]
+    pub fn target_set_len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Monitoring state for `target`, if this node monitors it.
+    #[must_use]
+    pub fn target_record(&self, target: NodeId) -> Option<&TargetRecord> {
+        self.targets.get(&target)
+    }
+
+    /// The §5.4 availability estimate for `target` (fraction of monitoring
+    /// pings answered), if monitored here.
+    #[must_use]
+    pub fn availability_estimate(&self, target: NodeId) -> Option<f64> {
+        self.targets.get(&target).and_then(TargetRecord::availability_estimate)
+    }
+
+    /// Total memory entries `|CV| + |PS| + |TS|` (the metric of Figs. 9-10).
+    #[must_use]
+    pub fn memory_entries(&self) -> usize {
+        self.view.len() + self.ps.len() + self.targets.len()
+    }
+
+    /// Protocol counters.
+    #[must_use]
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// Extracts the durable state to be written to persistent storage.
+    #[must_use]
+    pub fn snapshot_persistent(&self) -> PersistentState {
+        PersistentState {
+            ps: self.ps.iter().copied().collect(),
+            targets: self.targets.iter().map(|(&id, rec)| (id, rec.clone())).collect(),
+        }
+    }
+
+    /// Restores durable state after a failure or rejoin.
+    ///
+    /// Observation-window fields that refer to the node's own past presence
+    /// (current session start, unresponsive streak) are reset: while this
+    /// node was away it observed nothing.
+    pub fn restore_persistent(&mut self, state: PersistentState) {
+        self.ps = state.ps.into_iter().collect();
+        self.targets = state
+            .targets
+            .into_iter()
+            .map(|(id, mut rec)| {
+                rec.session_start = None;
+                rec.unresponsive_since = None;
+                (id, rec)
+            })
+            .collect();
+    }
+
+    /// Pre-populates the coarse view (driver bootstrap for the initial
+    /// population, before any JOIN has circulated).
+    pub fn seed_view(&mut self, seeds: &[NodeId]) {
+        for &s in seeds {
+            self.view.insert(s);
+        }
+    }
+
+    /// Enters the system (Fig. 1). `contact` is any node currently believed
+    /// alive; `None` for the very first bootstrap node.
+    ///
+    /// Emits the JOIN message (weight per `kind`), the init-view request,
+    /// and arms the periodic timers with a random phase (protocol periods
+    /// are "executed asynchronously across nodes", §3.2).
+    pub fn start(&mut self, now: TimeMs, kind: JoinKind, contact: Option<NodeId>) -> Actions {
+        let mut actions = Actions::new();
+        self.started_at = now;
+        self.last_monitor_ping_rx = None;
+        self.pr2_last_fired = None;
+        self.pending.clear();
+
+        match self.config.discovery {
+            DiscoveryMode::Broadcast => {
+                let msg = Message::Presence { origin: self.id };
+                self.stats.messages_sent += self.config.system_size as u64;
+                self.stats.bytes_sent +=
+                    codec::encoded_len(&msg) as u64 * self.config.system_size as u64;
+                actions.push(Action::Broadcast { msg });
+            }
+            DiscoveryMode::CoarseView => {
+                self.contact = contact.filter(|&c| c != self.id);
+                if let Some(contact) = self.contact {
+                    let weight = match kind {
+                        JoinKind::Fresh => self.config.cvs as u32,
+                        JoinKind::Rejoin { down_duration } => {
+                            let periods = down_duration / self.config.protocol_period;
+                            (self.config.cvs as u32).min(periods as u32)
+                        }
+                    };
+                    if weight > 0 {
+                        self.send(
+                            &mut actions,
+                            contact,
+                            Message::Join { origin: self.id, weight, hops: 0 },
+                        );
+                    }
+                    let nonce = self.fresh_nonce();
+                    self.pending.insert(nonce, Pending::InitView { peer: contact });
+                    self.send(&mut actions, contact, Message::InitViewRequest { nonce });
+                    actions.push(Action::SetTimer {
+                        timer: Timer::Expire(nonce),
+                        at: now + self.config.ping_timeout,
+                    });
+                }
+                // Random phase so periods are asynchronous across nodes.
+                let phase = self.rng.gen_range(0..self.config.protocol_period);
+                actions.push(Action::SetTimer { timer: Timer::Protocol, at: now + phase });
+            }
+        }
+        let mphase = self.rng.gen_range(0..self.config.monitoring_period);
+        actions.push(Action::SetTimer { timer: Timer::Monitoring, at: now + mphase });
+        actions
+    }
+
+    /// Processes an incoming message.
+    pub fn handle_message(&mut self, now: TimeMs, from: NodeId, msg: Message) -> Actions {
+        self.stats.messages_received += 1;
+        self.stats.bytes_received += codec::encoded_len(&msg) as u64;
+        let mut actions = Actions::new();
+        match msg {
+            Message::Join { origin, weight, hops } => {
+                self.handle_join(now, origin, weight, hops, &mut actions);
+            }
+            Message::InitViewRequest { nonce } => {
+                let view = self.view.as_slice().to_vec();
+                self.send(&mut actions, from, Message::InitViewReply { nonce, view });
+            }
+            Message::InitViewReply { nonce, view } => {
+                if let Some(Pending::InitView { peer }) = self.pending.remove(&nonce) {
+                    if peer == from {
+                        let mut adopted = 0;
+                        for id in view {
+                            if self.view.insert(id) {
+                                adopted += 1;
+                            }
+                        }
+                        actions.push(Action::App(AppEvent::ViewInherited { from, adopted }));
+                    }
+                }
+            }
+            Message::ViewPing { nonce } => {
+                self.send(&mut actions, from, Message::ViewPong { nonce });
+            }
+            Message::ViewPong { nonce } => {
+                if let Some(Pending::ViewPing { peer }) = self.pending.get(&nonce) {
+                    if *peer == from {
+                        self.pending.remove(&nonce);
+                    }
+                }
+            }
+            Message::ViewFetch { nonce } => {
+                let view = self.view.as_slice().to_vec();
+                self.send(&mut actions, from, Message::ViewFetchReply { nonce, view });
+            }
+            Message::ViewFetchReply { nonce, view } => {
+                if let Some(Pending::ViewFetch { peer }) = self.pending.get(&nonce).cloned() {
+                    if peer == from {
+                        self.pending.remove(&nonce);
+                        self.process_fetched_view(now, from, &view, &mut actions);
+                    }
+                }
+            }
+            Message::Notify { monitor, target } => {
+                self.handle_notify(now, monitor, target, &mut actions);
+            }
+            Message::MonitorPing { nonce } => {
+                self.last_monitor_ping_rx = Some(now);
+                self.stats.monitor_pings_received += 1;
+                self.send(&mut actions, from, Message::MonitorPong { nonce });
+            }
+            Message::MonitorPong { nonce } => {
+                if let Some(Pending::MonitorPing { peer }) = self.pending.get(&nonce) {
+                    if *peer == from {
+                        self.pending.remove(&nonce);
+                        self.record_pong(now, from);
+                    }
+                }
+            }
+            Message::ReportRequest { nonce, count } => {
+                self.serve_report(from, nonce, count, &mut actions);
+            }
+            Message::ReportReply { nonce, monitors } => {
+                if let Some(Pending::Report { target }) = self.pending.remove(&nonce) {
+                    if target == from {
+                        self.stats.hash_checks += monitors.len() as u64;
+                        let verification =
+                            crate::selector::verify_report(&*self.selector, target, &monitors);
+                        actions.push(Action::App(AppEvent::ReportOutcome { target, verification }));
+                    }
+                }
+            }
+            Message::HistoryRequest { nonce, target } => {
+                self.serve_history(now, from, nonce, target, &mut actions);
+            }
+            Message::HistoryReply { nonce, target, availability, samples } => {
+                if let Some(Pending::History { monitor, target: expected }) =
+                    self.pending.remove(&nonce)
+                {
+                    if monitor == from && target == expected {
+                        actions.push(Action::App(AppEvent::HistoryOutcome {
+                            monitor,
+                            target,
+                            availability,
+                            samples,
+                        }));
+                    }
+                }
+            }
+            Message::AddMeRequest => {
+                self.view.insert_or_replace(from, &mut self.rng);
+            }
+            Message::Presence { origin } => {
+                self.handle_presence(now, origin, &mut actions);
+            }
+        }
+        actions
+    }
+
+    /// Processes a fired timer.
+    pub fn handle_timer(&mut self, now: TimeMs, timer: Timer) -> Actions {
+        let mut actions = Actions::new();
+        match timer {
+            Timer::Protocol => {
+                self.protocol_period(now, &mut actions);
+                actions.push(Action::SetTimer {
+                    timer: Timer::Protocol,
+                    at: now + self.config.protocol_period,
+                });
+            }
+            Timer::Monitoring => {
+                self.monitoring_period(now, &mut actions);
+                actions.push(Action::SetTimer {
+                    timer: Timer::Monitoring,
+                    at: now + self.config.monitoring_period,
+                });
+            }
+            Timer::Expire(nonce) => {
+                if let Some(pending) = self.pending.remove(&nonce) {
+                    self.handle_expiry(now, pending, &mut actions);
+                }
+            }
+        }
+        actions
+    }
+
+    /// Issues a monitor-report request to `target` (the "l out of K" client
+    /// side, §3.3). The reply surfaces as [`AppEvent::ReportOutcome`].
+    pub fn request_report(&mut self, now: TimeMs, target: NodeId, count: u8) -> Actions {
+        let mut actions = Actions::new();
+        let nonce = self.fresh_nonce();
+        self.pending.insert(nonce, Pending::Report { target });
+        self.send(&mut actions, target, Message::ReportRequest { nonce, count });
+        actions.push(Action::SetTimer {
+            timer: Timer::Expire(nonce),
+            at: now + self.config.ping_timeout,
+        });
+        actions
+    }
+
+    /// Asks `monitor` for its measured availability of `target`. The reply
+    /// surfaces as [`AppEvent::HistoryOutcome`].
+    pub fn request_history(&mut self, now: TimeMs, monitor: NodeId, target: NodeId) -> Actions {
+        let mut actions = Actions::new();
+        let nonce = self.fresh_nonce();
+        self.pending.insert(nonce, Pending::History { monitor, target });
+        self.send(&mut actions, monitor, Message::HistoryRequest { nonce, target });
+        actions.push(Action::SetTimer {
+            timer: Timer::Expire(nonce),
+            at: now + self.config.ping_timeout,
+        });
+        actions
+    }
+
+    fn handle_expiry(&mut self, now: TimeMs, pending: Pending, actions: &mut Actions) {
+        match pending {
+            Pending::ViewPing { peer } | Pending::ViewFetch { peer } => {
+                // Fig. 2: "an unresponsive node is removed from the CV". A
+                // fetch timeout is treated identically (DESIGN.md note 2).
+                if self.view.remove(peer) {
+                    self.stats.view_evictions += 1;
+                }
+            }
+            Pending::InitView { .. } => {
+                // The contact vanished before supplying a view; the node
+                // proceeds with whatever JOIN absorption gives it.
+            }
+            Pending::MonitorPing { peer } => {
+                self.record_miss(now, peer);
+            }
+            Pending::Report { target } => {
+                actions.push(Action::App(AppEvent::RequestTimedOut { peer: target }));
+            }
+            Pending::History { monitor, .. } => {
+                actions.push(Action::App(AppEvent::RequestTimedOut { peer: monitor }));
+            }
+        }
+    }
+
+    /// Evaluates the consistency condition, counting the hash computation.
+    fn check(&mut self, monitor: NodeId, target: NodeId) -> bool {
+        self.stats.hash_checks += 1;
+        self.selector.is_monitor(monitor, target)
+    }
+
+    /// Emits `msg` to `to`, maintaining send-side accounting.
+    fn send(&mut self, actions: &mut Actions, to: NodeId, msg: Message) {
+        debug_assert_ne!(to, self.id, "nodes never message themselves");
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += codec::encoded_len(&msg) as u64;
+        actions.push(Action::Send { to, msg });
+    }
+
+    fn fresh_nonce(&mut self) -> Nonce {
+        loop {
+            let nonce = Nonce(self.rng.gen());
+            if !self.pending.contains_key(&nonce) {
+                return nonce;
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Availability monitoring: periodic pings to the target set, forgetful
+//! pinging (§3.3), and the report/history services.
+
+use rand::Rng;
+
+use super::{Action, Actions, Node, Pending, Timer};
+use crate::history::AvailabilityStore;
+use crate::message::{Message, Nonce};
+use crate::time::TimeMs;
+use crate::NodeId;
+
+impl Node {
+    /// One monitoring period (§3.3): ping every target in `TS(x)`, subject
+    /// to the forgetful-pinging schedule for unresponsive targets.
+    pub(super) fn monitoring_period(&mut self, now: TimeMs, actions: &mut Actions) {
+        // Decide which targets to ping. (Collected first: the send path
+        // needs `&mut self`.)
+        let mut to_ping: Vec<NodeId> = Vec::with_capacity(self.targets.len());
+        let mut suppressed = 0u64;
+        for (&target, rec) in &self.targets {
+            let ping = match (self.config.forgetful, rec.unresponsive_since) {
+                (Some(f), Some(since)) if now.saturating_sub(since) > f.tau => {
+                    // Forgetful pinging: probability c·ts/(ts+t). `ts` is
+                    // floored at one monitoring period — a target that was
+                    // never seen up would otherwise be dropped forever.
+                    let t = now.saturating_sub(since) as f64;
+                    let ts = rec.last_session.max(self.config.monitoring_period) as f64;
+                    let p = (f.c * ts / (ts + t)).clamp(0.0, 1.0);
+                    self.rng.gen_bool(p)
+                }
+                _ => true,
+            };
+            if ping {
+                to_ping.push(target);
+            } else {
+                suppressed += 1;
+            }
+        }
+        self.stats.monitor_pings_suppressed += suppressed;
+
+        for target in to_ping {
+            let nonce = self.fresh_nonce();
+            self.pending.insert(nonce, Pending::MonitorPing { peer: target });
+            self.send(actions, target, Message::MonitorPing { nonce });
+            self.stats.monitor_pings_sent += 1;
+            if let Some(rec) = self.targets.get_mut(&target) {
+                rec.pings_sent += 1;
+            }
+            actions.push(Action::SetTimer {
+                timer: Timer::Expire(nonce),
+                at: now + self.config.ping_timeout,
+            });
+        }
+    }
+
+    /// A target answered its monitoring ping.
+    pub(super) fn record_pong(&mut self, now: TimeMs, target: NodeId) {
+        self.stats.monitor_pongs_received += 1;
+        if let Some(rec) = self.targets.get_mut(&target) {
+            rec.pongs_received += 1;
+            rec.history.record(now, true);
+            if rec.unresponsive_since.take().is_some() || rec.session_start.is_none() {
+                // Either the target just came back, or this is the very
+                // first observation: a new observed up-session begins.
+                rec.session_start = Some(now);
+            }
+            rec.last_pong = Some(now);
+        }
+    }
+
+    /// A monitoring ping to `target` timed out.
+    pub(super) fn record_miss(&mut self, now: TimeMs, target: NodeId) {
+        if let Some(rec) = self.targets.get_mut(&target) {
+            rec.history.record(now, false);
+            if rec.unresponsive_since.is_none() {
+                rec.unresponsive_since = Some(now);
+                // Close the observed up-session: ts(u) := its length.
+                if let (Some(start), Some(last)) = (rec.session_start.take(), rec.last_pong) {
+                    rec.last_session = last.saturating_sub(start);
+                }
+            }
+        }
+    }
+
+    /// §3.3 report service: "it is the burden of node x to report to node y
+    /// the requisite number of its monitoring nodes". A selfish advertiser
+    /// substitutes its fake list — which verification then rejects.
+    pub(super) fn serve_report(
+        &mut self,
+        from: NodeId,
+        nonce: Nonce,
+        count: u8,
+        actions: &mut Actions,
+    ) {
+        let monitors: Vec<NodeId> = match self.behavior.fake_report() {
+            Some(fakes) => fakes.iter().copied().take(usize::from(count)).collect(),
+            None => {
+                // Any `l` of PS(x) will do; sample without replacement.
+                let mut candidates: Vec<NodeId> = self.ps.iter().copied().collect();
+                let take = usize::from(count).min(candidates.len());
+                for i in 0..take {
+                    let j = self.rng.gen_range(i..candidates.len());
+                    candidates.swap(i, j);
+                }
+                candidates.truncate(take);
+                candidates
+            }
+        };
+        self.send(actions, from, Message::ReportReply { nonce, monitors });
+    }
+
+    /// Availability-history service: answers with the measured estimate, or
+    /// a misreported 100% under the overreporting / collusion behaviors.
+    pub(super) fn serve_history(
+        &mut self,
+        now: TimeMs,
+        from: NodeId,
+        nonce: Nonce,
+        target: NodeId,
+        actions: &mut Actions,
+    ) {
+        let (availability, samples) = if self.behavior.misreports(target) {
+            let samples = self.targets.get(&target).map_or(0, |r| r.pings_sent);
+            (Some(1.0), samples)
+        } else {
+            match self.targets.get(&target) {
+                Some(rec) => {
+                    // Prefer the history store's estimator when it has data;
+                    // fall back to the raw ping-fraction estimate.
+                    let a = rec
+                        .history
+                        .availability(now)
+                        .or_else(|| rec.availability_estimate());
+                    (a, rec.pings_sent)
+                }
+                None => (None, 0),
+            }
+        };
+        self.send(
+            actions,
+            from,
+            Message::HistoryReply { nonce, target, availability, samples },
+        );
+    }
+}

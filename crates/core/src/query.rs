@@ -1,0 +1,459 @@
+//! The client side of availability queries (§3.3), as a reusable state
+//! machine.
+//!
+//! To learn node `x`'s availability, a client `y`:
+//!
+//! 1. asks `x` to report `l ≤ K` of its monitors ("it is the burden of
+//!    node x to report to node y the requisite number of its monitoring
+//!    nodes");
+//! 2. **verifies** each claimed monitor against the consistency condition
+//!    (`x` "cannot lie about these");
+//! 3. queries each verified monitor for its measured history of `x`;
+//! 4. aggregates the answers.
+//!
+//! [`AvailabilityQuery`] drives those four steps over any driver: feed it
+//! the [`AppEvent`]s your node produces and execute the [`Actions`] it
+//! returns, until it yields a [`QueryOutcome`].
+
+use crate::node::{Actions, AppEvent, Node};
+use crate::time::TimeMs;
+use crate::NodeId;
+
+/// Progress states of an availability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Phase {
+    /// Waiting for the target's monitor report.
+    AwaitingReport,
+    /// Waiting for history answers from the verified monitors.
+    AwaitingHistories {
+        /// Monitors that have not answered yet.
+        outstanding: Vec<NodeId>,
+    },
+    /// Finished (outcome already produced).
+    Done,
+}
+
+/// The final result of an availability query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// The node whose availability was queried.
+    pub target: NodeId,
+    /// Mean of the verified monitors' availability answers, if any.
+    pub availability: Option<f64>,
+    /// Per-monitor answers `(monitor, availability, samples)`.
+    pub answers: Vec<(NodeId, f64, u64)>,
+    /// Monitors whose claims verified.
+    pub verified: Vec<NodeId>,
+    /// Claims rejected by the consistency condition (evidence of lying).
+    pub rejected: Vec<NodeId>,
+    /// Monitors that verified but never answered (down or slow).
+    pub unresponsive: Vec<NodeId>,
+}
+
+impl QueryOutcome {
+    /// Whether the target tried to advertise unverifiable monitors.
+    #[must_use]
+    pub fn target_lied(&self) -> bool {
+        !self.rejected.is_empty()
+    }
+}
+
+/// A verified availability query in progress — see the module docs.
+///
+/// # Example
+///
+/// ```no_run
+/// use avmon::query::AvailabilityQuery;
+/// use avmon::{Node, NodeId};
+///
+/// # fn demo(node: &mut Node, now: u64, target: NodeId) {
+/// let mut query = AvailabilityQuery::new(target, 3);
+/// let actions = query.start(node, now);
+/// // …driver executes actions; then for each AppEvent `e` the node
+/// // produces: if let Some(outcome) = query.on_event(node, now, &e)… etc.
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvailabilityQuery {
+    target: NodeId,
+    l: u8,
+    phase: Phase,
+    verified: Vec<NodeId>,
+    rejected: Vec<NodeId>,
+    answers: Vec<(NodeId, f64, u64)>,
+    unresponsive: Vec<NodeId>,
+    follow_up_actions: bool,
+}
+
+impl AvailabilityQuery {
+    /// Prepares a query for `target`'s availability via `l` monitors
+    /// (the "l out of K" policy parameter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l == 0` — a zero-monitor query answers nothing.
+    #[must_use]
+    pub fn new(target: NodeId, l: u8) -> Self {
+        assert!(l > 0, "l-out-of-K queries need l ≥ 1");
+        AvailabilityQuery {
+            target,
+            l,
+            phase: Phase::AwaitingReport,
+            verified: Vec::new(),
+            rejected: Vec::new(),
+            answers: Vec::new(),
+            unresponsive: Vec::new(),
+            follow_up_actions: false,
+        }
+    }
+
+    /// The queried node.
+    #[must_use]
+    pub fn target(&self) -> NodeId {
+        self.target
+    }
+
+    /// Whether the query has completed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    /// Kicks off the query from `node` (the client). Execute the returned
+    /// actions on your driver.
+    pub fn start(&mut self, node: &mut Node, now: TimeMs) -> Actions {
+        node.request_report(now, self.target, self.l)
+    }
+
+    /// Feeds one application event produced by the client node. Returns
+    /// follow-up actions to execute plus the outcome once complete.
+    ///
+    /// Events that do not belong to this query are ignored (several
+    /// queries can run concurrently on one node).
+    pub fn on_event(
+        &mut self,
+        node: &mut Node,
+        now: TimeMs,
+        event: &AppEvent,
+    ) -> (Actions, Option<QueryOutcome>) {
+        match (&mut self.phase, event) {
+            (Phase::AwaitingReport, AppEvent::ReportOutcome { target, verification })
+                if *target == self.target =>
+            {
+                self.verified = verification.verified.clone();
+                self.rejected = verification.rejected.clone();
+                if self.verified.is_empty() {
+                    self.phase = Phase::Done;
+                    return (Actions::new(), Some(self.outcome()));
+                }
+                let mut actions = Actions::new();
+                for &monitor in &self.verified {
+                    actions.extend(node.request_history(now, monitor, self.target));
+                }
+                self.phase = Phase::AwaitingHistories { outstanding: self.verified.clone() };
+                (actions, None)
+            }
+            (Phase::AwaitingReport, AppEvent::RequestTimedOut { peer })
+                if *peer == self.target =>
+            {
+                // The target itself is unresponsive: report nothing.
+                self.phase = Phase::Done;
+                (Actions::new(), Some(self.outcome()))
+            }
+            (
+                Phase::AwaitingHistories { outstanding },
+                AppEvent::HistoryOutcome { monitor, target, availability, samples },
+            ) if *target == self.target => {
+                if let Some(pos) = outstanding.iter().position(|m| m == monitor) {
+                    outstanding.swap_remove(pos);
+                    if let Some(a) = availability {
+                        self.answers.push((*monitor, *a, *samples));
+                    }
+                    if outstanding.is_empty() {
+                        self.phase = Phase::Done;
+                        return (Actions::new(), Some(self.outcome()));
+                    }
+                }
+                (Actions::new(), None)
+            }
+            (Phase::AwaitingHistories { outstanding }, AppEvent::RequestTimedOut { peer }) => {
+                if let Some(pos) = outstanding.iter().position(|m| m == peer) {
+                    outstanding.swap_remove(pos);
+                    self.unresponsive.push(*peer);
+                    if outstanding.is_empty() {
+                        self.phase = Phase::Done;
+                        return (Actions::new(), Some(self.outcome()));
+                    }
+                }
+                (Actions::new(), None)
+            }
+            _ => (Actions::new(), None),
+        }
+    }
+
+    fn outcome(&self) -> QueryOutcome {
+        let availability = if self.answers.is_empty() {
+            None
+        } else {
+            Some(self.answers.iter().map(|&(_, a, _)| a).sum::<f64>() / self.answers.len() as f64)
+        };
+        QueryOutcome {
+            target: self.target,
+            availability,
+            answers: self.answers.clone(),
+            verified: self.verified.clone(),
+            rejected: self.rejected.clone(),
+            unresponsive: self.unresponsive.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::Behavior;
+    use crate::config::Config;
+    use crate::message::Message;
+    use crate::node::{Action, JoinKind, Timer};
+    use crate::selector::{HashSelector, MonitorSelector};
+    use std::sync::Arc;
+
+    fn id(i: u32) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    /// A deterministic two-node "network": run the client's actions against
+    /// the server node, collecting app events.
+    fn pump(
+        client: &mut Node,
+        servers: &mut std::collections::HashMap<NodeId, Node>,
+        actions: Actions,
+        now: TimeMs,
+    ) -> Vec<AppEvent> {
+        let mut events = Vec::new();
+        let mut queue: Vec<Action> = actions;
+        let mut timers = Vec::new();
+        while let Some(action) = queue.pop() {
+            match action {
+                Action::Send { to, msg } => {
+                    if let Some(server) = servers.get_mut(&to) {
+                        for reply in server.handle_message(now, client.id(), msg) {
+                            if let Action::Send { to: back, msg } = reply {
+                                if back == client.id() {
+                                    for a in client.handle_message(now, to, msg.clone()) {
+                                        match a {
+                                            Action::App(e) => events.push(e),
+                                            other => queue.push(other),
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Action::SetTimer { timer, at } => timers.push((timer, at)),
+                Action::App(e) => events.push(e),
+                Action::Broadcast { .. } => {}
+            }
+        }
+        // Fire remaining expiry timers (unanswered requests time out).
+        for (timer, at) in timers {
+            if let Timer::Expire(_) = timer {
+                for a in client.handle_timer(at, timer) {
+                    if let Action::App(e) = a {
+                        events.push(e);
+                    }
+                }
+            }
+        }
+        events
+    }
+
+    fn build_world() -> (Node, std::collections::HashMap<NodeId, Node>, Vec<NodeId>) {
+        // Real hash selector over 64 nodes; find a target with monitors.
+        let config = Config::builder(64).k(16).build().unwrap();
+        let selector = Arc::new(HashSelector::from_config(&config));
+        let target = id(1);
+        let monitors: Vec<NodeId> = (2..64)
+            .map(id)
+            .filter(|&m| selector.is_monitor(m, target))
+            .collect();
+        assert!(monitors.len() >= 2, "need at least two monitors for the test");
+
+        let mut server_target = Node::new(target, config.clone(), selector.clone(), 1);
+        let _ = server_target.start(0, JoinKind::Fresh, None);
+        let mut servers = std::collections::HashMap::new();
+        for &m in &monitors {
+            // Teach the target its monitors, and each monitor its target.
+            let _ = server_target.handle_message(
+                0,
+                id(60),
+                Message::Notify { monitor: m, target },
+            );
+            let mut monitor_node = Node::new(m, config.clone(), selector.clone(), 2);
+            let _ = monitor_node.start(0, JoinKind::Fresh, None);
+            let _ =
+                monitor_node.handle_message(0, id(60), Message::Notify { monitor: m, target });
+            // Give the monitor some history: 3 pings, 2 answered.
+            for (round, up) in [(1u64, true), (2, true), (3, false)] {
+                let actions = monitor_node.handle_timer(round * 60_000, Timer::Monitoring);
+                for a in &actions {
+                    if let Action::Send { msg: Message::MonitorPing { nonce }, .. } = a {
+                        if up {
+                            let _ = monitor_node.handle_message(
+                                round * 60_000 + 1,
+                                target,
+                                Message::MonitorPong { nonce: *nonce },
+                            );
+                        }
+                    }
+                }
+                for a in actions {
+                    if let Action::SetTimer { timer: t @ Timer::Expire(_), at } = a {
+                        let _ = monitor_node.handle_timer(at, t);
+                    }
+                }
+            }
+            servers.insert(m, monitor_node);
+        }
+        servers.insert(target, server_target);
+
+        let mut client = Node::new(id(0), config, selector, 3);
+        let _ = client.start(0, JoinKind::Fresh, None);
+        (client, servers, monitors)
+    }
+
+    #[test]
+    fn full_query_round_trip_aggregates_monitor_answers() {
+        let (mut client, mut servers, _) = build_world();
+        let mut query = AvailabilityQuery::new(id(1), 3);
+        assert!(!query.is_done());
+        let actions = query.start(&mut client, 10);
+        let mut outcome = None;
+        let mut pending = pump(&mut client, &mut servers, actions, 10);
+        let mut guard = 0;
+        while outcome.is_none() && guard < 10 {
+            guard += 1;
+            let mut next_events = Vec::new();
+            for event in pending.drain(..) {
+                let (actions, done) = query.on_event(&mut client, 20, &event);
+                next_events.extend(pump(&mut client, &mut servers, actions, 20));
+                if done.is_some() {
+                    outcome = done;
+                    break;
+                }
+            }
+            pending = next_events;
+        }
+        let outcome = outcome.expect("query completes");
+        assert!(query.is_done());
+        assert!(!outcome.target_lied());
+        assert!(!outcome.verified.is_empty());
+        // Each monitor saw 2/3 pings answered.
+        let a = outcome.availability.expect("some answers");
+        assert!((a - 2.0 / 3.0).abs() < 1e-9, "aggregate {a}");
+        for &(_, est, samples) in &outcome.answers {
+            assert!((est - 2.0 / 3.0).abs() < 1e-9);
+            assert_eq!(samples, 3);
+        }
+    }
+
+    #[test]
+    fn query_detects_lying_target() {
+        let (mut client, mut servers, _) = build_world();
+        // Make the target advertise only a provably-false monitor claim.
+        let config = Config::builder(64).k(16).build().unwrap();
+        let selector = HashSelector::from_config(&config);
+        let fake = (2..64)
+            .map(id)
+            .find(|&m| !selector.is_monitor(m, id(1)))
+            .expect("some non-monitor exists");
+        servers
+            .get_mut(&id(1))
+            .unwrap()
+            .set_behavior(Behavior::SelfishAdvertiser { fake_monitors: vec![fake] });
+        let mut query = AvailabilityQuery::new(id(1), 2);
+        let actions = query.start(&mut client, 10);
+        let events = pump(&mut client, &mut servers, actions, 10);
+        let mut outcome = None;
+        for event in events {
+            let (_, done) = query.on_event(&mut client, 20, &event);
+            if done.is_some() {
+                outcome = done;
+            }
+        }
+        let outcome = outcome.expect("query completes immediately: nothing verified");
+        assert!(outcome.target_lied());
+        assert!(outcome.verified.is_empty());
+        assert_eq!(outcome.availability, None);
+    }
+
+    #[test]
+    fn query_times_out_on_dead_target() {
+        let (mut client, mut servers, _) = build_world();
+        servers.remove(&id(1)); // target is gone
+        let mut query = AvailabilityQuery::new(id(1), 2);
+        let actions = query.start(&mut client, 10);
+        let events = pump(&mut client, &mut servers, actions, 10);
+        let mut outcome = None;
+        for event in events {
+            let (_, done) = query.on_event(&mut client, 20, &event);
+            if done.is_some() {
+                outcome = done;
+            }
+        }
+        let outcome = outcome.expect("timeout completes the query");
+        assert_eq!(outcome.availability, None);
+        assert!(outcome.verified.is_empty());
+    }
+
+    #[test]
+    fn unresponsive_monitors_are_recorded() {
+        let (mut client, mut servers, monitors) = build_world();
+        // Remove one monitor: its history request will time out.
+        servers.remove(&monitors[0]);
+        let mut query = AvailabilityQuery::new(id(1), monitors.len().min(255) as u8);
+        let actions = query.start(&mut client, 10);
+        let mut outcome = None;
+        let mut pending = pump(&mut client, &mut servers, actions, 10);
+        let mut guard = 0;
+        while outcome.is_none() && guard < 10 {
+            guard += 1;
+            let mut next = Vec::new();
+            for event in pending.drain(..) {
+                let (actions, done) = query.on_event(&mut client, 20, &event);
+                next.extend(pump(&mut client, &mut servers, actions, 20));
+                if done.is_some() {
+                    outcome = done;
+                    break;
+                }
+            }
+            pending = next;
+        }
+        let outcome = outcome.expect("query completes");
+        assert!(outcome.unresponsive.contains(&monitors[0]));
+        assert!(outcome.availability.is_some(), "others still answered");
+    }
+
+    #[test]
+    #[should_panic(expected = "l ≥ 1")]
+    fn zero_l_rejected() {
+        let _ = AvailabilityQuery::new(id(1), 0);
+    }
+
+    #[test]
+    fn unrelated_events_are_ignored() {
+        let config = Config::builder(16).build().unwrap();
+        let selector = Arc::new(HashSelector::from_config(&config));
+        let mut client = Node::new(id(0), config, selector, 1);
+        let mut query = AvailabilityQuery::new(id(1), 1);
+        let (actions, outcome) = query.on_event(
+            &mut client,
+            5,
+            &AppEvent::MonitorDiscovered { monitor: id(9) },
+        );
+        assert!(actions.is_empty());
+        assert!(outcome.is_none());
+        assert!(!query.is_done());
+    }
+}

@@ -1,0 +1,106 @@
+//! Per-node protocol counters.
+//!
+//! The evaluation metrics of §5 — bandwidth (Fig. 19), computational
+//! overhead (Figs. 7, 8, 12), useless pings (Fig. 18) — are all derived
+//! from these counters. Drivers sample them periodically and difference
+//! consecutive snapshots.
+
+use serde::{Deserialize, Serialize};
+
+/// Monotonic counters maintained by a [`Node`](crate::Node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct NodeStats {
+    /// Messages emitted (all types).
+    pub messages_sent: u64,
+    /// Bytes emitted (wire-codec encoded size of every sent message).
+    pub bytes_sent: u64,
+    /// Messages received and processed.
+    pub messages_received: u64,
+    /// Bytes received (wire-codec encoded size).
+    pub bytes_received: u64,
+    /// Consistency-condition evaluations (the "computations" of Fig. 7:
+    /// one hash evaluation each).
+    pub hash_checks: u64,
+    /// `NOTIFY` messages emitted after positive checks.
+    pub notifies_sent: u64,
+    /// JOIN messages forwarded on behalf of other nodes.
+    pub joins_forwarded: u64,
+    /// Monitoring pings sent to targets.
+    pub monitor_pings_sent: u64,
+    /// Monitoring pings suppressed by forgetful pinging.
+    pub monitor_pings_suppressed: u64,
+    /// Monitoring pongs received from targets.
+    pub monitor_pongs_received: u64,
+    /// Monitoring pings received (kept for the PR2 trigger and load stats).
+    pub monitor_pings_received: u64,
+    /// Coarse-view entries removed after ping/fetch timeouts.
+    pub view_evictions: u64,
+}
+
+impl NodeStats {
+    /// Field-wise difference `self - earlier` (both snapshots of the same
+    /// node; counters are monotonic so saturating arithmetic suffices).
+    #[must_use]
+    pub fn delta(&self, earlier: &NodeStats) -> NodeStats {
+        NodeStats {
+            messages_sent: self.messages_sent.saturating_sub(earlier.messages_sent),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            messages_received: self.messages_received.saturating_sub(earlier.messages_received),
+            bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
+            hash_checks: self.hash_checks.saturating_sub(earlier.hash_checks),
+            notifies_sent: self.notifies_sent.saturating_sub(earlier.notifies_sent),
+            joins_forwarded: self.joins_forwarded.saturating_sub(earlier.joins_forwarded),
+            monitor_pings_sent: self.monitor_pings_sent.saturating_sub(earlier.monitor_pings_sent),
+            monitor_pings_suppressed: self
+                .monitor_pings_suppressed
+                .saturating_sub(earlier.monitor_pings_suppressed),
+            monitor_pongs_received: self
+                .monitor_pongs_received
+                .saturating_sub(earlier.monitor_pongs_received),
+            monitor_pings_received: self
+                .monitor_pings_received
+                .saturating_sub(earlier.monitor_pings_received),
+            view_evictions: self.view_evictions.saturating_sub(earlier.view_evictions),
+        }
+    }
+
+    /// Accumulates `other` into `self` (for system-wide aggregation).
+    pub fn merge(&mut self, other: &NodeStats) {
+        self.messages_sent += other.messages_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.messages_received += other.messages_received;
+        self.bytes_received += other.bytes_received;
+        self.hash_checks += other.hash_checks;
+        self.notifies_sent += other.notifies_sent;
+        self.joins_forwarded += other.joins_forwarded;
+        self.monitor_pings_sent += other.monitor_pings_sent;
+        self.monitor_pings_suppressed += other.monitor_pings_suppressed;
+        self.monitor_pongs_received += other.monitor_pongs_received;
+        self.monitor_pings_received += other.monitor_pings_received;
+        self.view_evictions += other.view_evictions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let earlier = NodeStats { messages_sent: 10, bytes_sent: 100, ..Default::default() };
+        let later = NodeStats { messages_sent: 15, bytes_sent: 160, ..Default::default() };
+        let d = later.delta(&earlier);
+        assert_eq!(d.messages_sent, 5);
+        assert_eq!(d.bytes_sent, 60);
+        assert_eq!(d.hash_checks, 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut total = NodeStats::default();
+        total.merge(&NodeStats { hash_checks: 7, ..Default::default() });
+        total.merge(&NodeStats { hash_checks: 5, notifies_sent: 1, ..Default::default() });
+        assert_eq!(total.hash_checks, 12);
+        assert_eq!(total.notifies_sent, 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Protocol time.
+//!
+//! The protocol state machine is agnostic to wall-clock time: every driver
+//! (discrete-event simulator, threaded runtime, UDP runtime) supplies `now`
+//! as milliseconds on a monotonically non-decreasing axis starting at an
+//! arbitrary origin.
+
+/// A point in protocol time, in milliseconds since the driver's origin.
+pub type TimeMs = u64;
+
+/// A span of protocol time, in milliseconds.
+pub type DurMs = u64;
+
+/// One second in protocol time.
+pub const SECOND: DurMs = 1_000;
+
+/// One minute in protocol time — the paper's default protocol period and
+/// monitoring period (§5).
+pub const MINUTE: DurMs = 60 * SECOND;
+
+/// One hour in protocol time.
+pub const HOUR: DurMs = 60 * MINUTE;
+
+/// Converts milliseconds to fractional minutes (for reporting).
+#[must_use]
+pub fn as_minutes(ms: DurMs) -> f64 {
+    ms as f64 / MINUTE as f64
+}
+
+/// Converts milliseconds to fractional seconds (for reporting).
+#[must_use]
+pub fn as_seconds(ms: DurMs) -> f64 {
+    ms as f64 / SECOND as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(MINUTE, 60_000);
+        assert_eq!(HOUR, 3_600_000);
+        assert!((as_minutes(90_000) - 1.5).abs() < 1e-12);
+        assert!((as_seconds(1_500) - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the core protocol data structures.
+
+use avmon::codec::{decode, encode, encoded_len};
+use avmon::{
+    CoarseView, Config, CvsPolicy, HashSelector, Message, MonitorSelector, NodeId, Nonce,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_node_id() -> impl Strategy<Value = NodeId> {
+    (any::<[u8; 4]>(), any::<u16>()).prop_map(|(ip, port)| NodeId::new(ip, port))
+}
+
+fn arb_view(max: usize) -> impl Strategy<Value = Vec<NodeId>> {
+    proptest::collection::vec(arb_node_id(), 0..max)
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (arb_node_id(), any::<u32>(), any::<u32>())
+            .prop_map(|(origin, weight, hops)| Message::Join { origin, weight, hops }),
+        any::<u64>().prop_map(|n| Message::InitViewRequest { nonce: Nonce(n) }),
+        (any::<u64>(), arb_view(64))
+            .prop_map(|(n, view)| Message::InitViewReply { nonce: Nonce(n), view }),
+        any::<u64>().prop_map(|n| Message::ViewPing { nonce: Nonce(n) }),
+        any::<u64>().prop_map(|n| Message::ViewPong { nonce: Nonce(n) }),
+        any::<u64>().prop_map(|n| Message::ViewFetch { nonce: Nonce(n) }),
+        (any::<u64>(), arb_view(64))
+            .prop_map(|(n, view)| Message::ViewFetchReply { nonce: Nonce(n), view }),
+        (arb_node_id(), arb_node_id())
+            .prop_map(|(monitor, target)| Message::Notify { monitor, target }),
+        any::<u64>().prop_map(|n| Message::MonitorPing { nonce: Nonce(n) }),
+        any::<u64>().prop_map(|n| Message::MonitorPong { nonce: Nonce(n) }),
+        (any::<u64>(), any::<u8>())
+            .prop_map(|(n, count)| Message::ReportRequest { nonce: Nonce(n), count }),
+        (any::<u64>(), arb_view(32))
+            .prop_map(|(n, monitors)| Message::ReportReply { nonce: Nonce(n), monitors }),
+        (any::<u64>(), arb_node_id())
+            .prop_map(|(n, target)| Message::HistoryRequest { nonce: Nonce(n), target }),
+        (any::<u64>(), arb_node_id(), proptest::option::of(0.0f64..=1.0), any::<u64>()).prop_map(
+            |(n, target, availability, samples)| Message::HistoryReply {
+                nonce: Nonce(n),
+                target,
+                availability,
+                samples
+            }
+        ),
+        Just(Message::AddMeRequest),
+        arb_node_id().prop_map(|origin| Message::Presence { origin }),
+    ]
+}
+
+proptest! {
+    /// Every message the protocol can produce round-trips the wire codec.
+    #[test]
+    fn codec_round_trips(msg in arb_message()) {
+        let bytes = encode(&msg);
+        prop_assert_eq!(decode(&bytes).unwrap(), msg);
+    }
+
+    /// `encoded_len` is exact for every message.
+    #[test]
+    fn encoded_len_matches_encode(msg in arb_message()) {
+        prop_assert_eq!(encode(&msg).len(), encoded_len(&msg));
+    }
+
+    /// Decoding arbitrary junk never panics (it may error).
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode(&bytes);
+    }
+
+    /// Coarse-view invariants hold under arbitrary operation sequences:
+    /// bounded size, no self, no duplicates.
+    #[test]
+    fn view_invariants_hold(
+        cap in 2usize..24,
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((0u8..5, 0u32..64), 1..200),
+    ) {
+        let owner = NodeId::from_index(999);
+        let mut view = CoarseView::new(owner, cap);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for (op, arg) in ops {
+            let id = NodeId::from_index(arg);
+            match op {
+                0 => { view.insert(id); }
+                1 => { view.insert_or_replace(id, &mut rng); }
+                2 => { view.remove(id); }
+                3 => {
+                    let peer = NodeId::from_index(arg + 1000);
+                    let peer_view: Vec<NodeId> =
+                        (arg..arg + 10).map(NodeId::from_index).collect();
+                    view.shuffle_merge(peer, &peer_view, &mut rng);
+                }
+                _ => {
+                    let src: Vec<NodeId> = (arg..arg + 30).map(NodeId::from_index).collect();
+                    view.adopt(&src);
+                }
+            }
+            prop_assert!(view.len() <= cap, "capacity exceeded");
+            prop_assert!(!view.contains(owner), "self in view");
+            let mut seen = std::collections::HashSet::new();
+            for e in view.iter() {
+                prop_assert!(seen.insert(e), "duplicate entry");
+            }
+        }
+    }
+
+    /// The hash selector is a pure function of the pair: repeated queries
+    /// agree, and constructing a second selector gives identical answers.
+    #[test]
+    fn selector_is_pure(a in arb_node_id(), b in arb_node_id(), k in 1u32..64, n in 64usize..100_000) {
+        let cfg = Config::builder(n).k(k).build().unwrap();
+        let s1 = HashSelector::from_config(&cfg);
+        let s2 = HashSelector::from_config(&cfg);
+        prop_assert_eq!(s1.is_monitor(a, b), s2.is_monitor(a, b));
+        prop_assert_eq!(s1.is_monitor(a, b), s1.is_monitor(a, b));
+    }
+
+    /// CvsPolicy outputs are monotone in N and at least 2.
+    #[test]
+    fn cvs_policies_monotone(n in 4usize..1_000_000) {
+        for policy in [CvsPolicy::OptimalMd, CvsPolicy::OptimalMdc, CvsPolicy::LogN, CvsPolicy::PAPER_DEFAULT] {
+            let small = policy.cvs(n);
+            let big = policy.cvs(n * 2);
+            prop_assert!(small >= 2);
+            prop_assert!(big >= small, "{policy:?} not monotone at {n}");
+        }
+    }
+}

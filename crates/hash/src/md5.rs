@@ -1,0 +1,291 @@
+//! MD5 message digest (RFC 1321), implemented from scratch.
+//!
+//! The AVMON paper evaluates its consistency condition with "libSSL's MD5
+//! implementation ... with only the first 64 bits returned considered"
+//! (§5, default setting 4). No cryptographic strength is required — the hash
+//! only needs to be consistent, verifiable and uniform — but reproducing the
+//! paper exactly requires real MD5, so here it is, validated against the
+//! RFC 1321 test suite.
+
+use crate::{HashPoint, PairHasher};
+
+/// Per-round left-rotate amounts (RFC 1321 §3.4).
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+/// Sine-derived additive constants: `T[i] = floor(2^32 * |sin(i + 1)|)`.
+const T: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+    0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+    0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+    0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+];
+
+/// Incremental MD5 hasher.
+///
+/// # Example
+///
+/// ```
+/// use avmon_hash::Md5;
+///
+/// let mut h = Md5::new();
+/// h.update(b"message ");
+/// h.update(b"digest");
+/// assert_eq!(
+///     h.finalize(),
+///     [0xf9, 0x6b, 0x69, 0x7d, 0x7c, 0xb7, 0x93, 0x8d,
+///      0x52, 0x5a, 0x2f, 0x31, 0xaa, 0xf1, 0x61, 0xd0],
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    /// Total message length in bytes (mod 2^64).
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Md5 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Md5 {
+    /// Creates a fresh hasher in the RFC 1321 initial state.
+    #[must_use]
+    pub fn new() -> Self {
+        Md5 {
+            state: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476],
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the digest state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = rest.len().min(64 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            let mut arr = [0u8; 64];
+            arr.copy_from_slice(block);
+            self.compress(&arr);
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Completes the digest, returning the 16-byte MD5 value.
+    #[must_use]
+    pub fn finalize(mut self) -> [u8; 16] {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: a single 0x80 byte, then zeros until length ≡ 56 (mod 64),
+        // then the 64-bit little-endian bit count.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // Manually absorb the length to avoid it being counted in `len`.
+        self.buf[56..64].copy_from_slice(&bit_len.to_le_bytes());
+        let block = self.buf;
+        self.compress(&block);
+
+        let mut out = [0u8; 16];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut m = [0u32; 16];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            m[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+
+        let [mut a, mut b, mut c, mut d] = self.state;
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(
+                a.wrapping_add(f)
+                    .wrapping_add(T[i])
+                    .wrapping_add(m[g])
+                    .rotate_left(S[i]),
+            );
+            a = tmp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+}
+
+/// One-shot MD5 of `data`.
+///
+/// # Example
+///
+/// ```
+/// let digest = avmon_hash::md5(b"abc");
+/// assert_eq!(digest[0], 0x90);
+/// ```
+#[must_use]
+pub fn md5(data: &[u8]) -> [u8; 16] {
+    let mut h = Md5::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// The paper's pair hasher: MD5 digest, first 64 bits, big-endian.
+///
+/// # Example
+///
+/// ```
+/// use avmon_hash::{Md5PairHasher, PairHasher};
+///
+/// let h = Md5PairHasher::new();
+/// let p = h.point(b"node-pair");
+/// assert_eq!(p, h.point(b"node-pair"));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Md5PairHasher;
+
+impl Md5PairHasher {
+    /// Creates the hasher (stateless).
+    #[must_use]
+    pub fn new() -> Self {
+        Md5PairHasher
+    }
+}
+
+impl PairHasher for Md5PairHasher {
+    fn point(&self, input: &[u8]) -> HashPoint {
+        let digest = md5(input);
+        let mut first = [0u8; 8];
+        first.copy_from_slice(&digest[..8]);
+        HashPoint::from_bits(u64::from_be_bytes(first))
+    }
+
+    fn name(&self) -> &'static str {
+        "md5"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// The complete RFC 1321 appendix A.5 test suite.
+    #[test]
+    fn rfc1321_test_suite() {
+        let cases: [(&[u8], &str); 7] = [
+            (b"", "d41d8cd98f00b204e9800998ecf8427e"),
+            (b"a", "0cc175b9c0f1b6a831c399e269772661"),
+            (b"abc", "900150983cd24fb0d6963f7d28e17f72"),
+            (b"message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            (
+                b"abcdefghijklmnopqrstuvwxyz",
+                "c3fcd3d76192e4007dfb496cca67e13b",
+            ),
+            (
+                b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(hex(&md5(input)), expected, "input {:?}", input);
+        }
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data: Vec<u8> = (0u16..1000).map(|i| (i % 251) as u8).collect();
+        let oneshot = md5(&data);
+        for chunk_size in [1usize, 3, 63, 64, 65, 127, 1000] {
+            let mut h = Md5::new();
+            for chunk in data.chunks(chunk_size) {
+                h.update(chunk);
+            }
+            assert_eq!(h.finalize(), oneshot, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        // Padding edge cases: lengths 55, 56, 57, 63, 64, 65.
+        let known = [
+            (55usize, "ef1772b6dff9a122358552954ad0df65"),
+            (56, "3b0c8ac703f828b04c6c197006d17218"),
+            (57, "652b906d60af96844ebd21b674f35e93"),
+            (63, "b06521f39153d618550606be297466d5"),
+            (64, "014842d480b571495a4a0363793f7367"),
+            (65, "c743a45e0d2e6a95cb859adae0248435"),
+        ];
+        for (len, expected) in known {
+            let data = vec![b'a'; len];
+            assert_eq!(hex(&md5(&data)), expected, "len {len}");
+        }
+    }
+
+    #[test]
+    fn pair_hasher_uses_first_64_bits_big_endian() {
+        let h = Md5PairHasher::new();
+        let digest = md5(b"xyz");
+        let mut first = [0u8; 8];
+        first.copy_from_slice(&digest[..8]);
+        assert_eq!(h.point(b"xyz").to_bits(), u64::from_be_bytes(first));
+    }
+
+    #[test]
+    fn million_a_matches_reference() {
+        // Classic stress vector: MD5 of one million 'a' bytes.
+        let mut h = Md5::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(hex(&h.finalize()), "7707d6ae4e027c70eea2a935c2296f21");
+    }
+}

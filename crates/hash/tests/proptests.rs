@@ -1,0 +1,61 @@
+//! Property-based tests for the hashing substrate.
+
+use avmon_hash::{Fast64PairHasher, HashPoint, Md5, PairHasher, Sha1, Threshold};
+use proptest::prelude::*;
+
+proptest! {
+    /// Incremental hashing must match one-shot hashing for any split.
+    #[test]
+    fn md5_incremental_matches_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = Md5::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), avmon_hash::md5(&data));
+    }
+
+    #[test]
+    fn sha1_incremental_matches_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = Sha1::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), avmon_hash::sha1(&data));
+    }
+
+    /// Hash points are total-ordered consistently with their fraction value.
+    #[test]
+    fn point_order_matches_fraction(a in any::<u64>(), b in any::<u64>()) {
+        let (pa, pb) = (HashPoint::from_bits(a), HashPoint::from_bits(b));
+        prop_assert_eq!(pa < pb, a < b);
+        prop_assert!(pa.as_fraction() >= 0.0 && pa.as_fraction() < 1.0);
+    }
+
+    /// A threshold accepts exactly the points at or below its bits.
+    #[test]
+    fn threshold_accept_is_leq(k in 0.0f64..1000.0, n in 1.0f64..1e9, bits in any::<u64>()) {
+        let t = Threshold::from_ratio(k, n);
+        prop_assert_eq!(t.accepts(HashPoint::from_bits(bits)), bits <= t.to_bits());
+    }
+
+    /// Fast64 must be deterministic and input-sensitive.
+    #[test]
+    fn fast64_pure(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let h = Fast64PairHasher::new();
+        prop_assert_eq!(h.point(&data), h.point(&data));
+    }
+
+    /// Distinct 12-byte pair encodings should essentially never collide on
+    /// any hasher (64-bit space; proptest explores a few hundred cases).
+    #[test]
+    fn pair_encodings_do_not_collide(a in any::<[u8; 12]>(), b in any::<[u8; 12]>()) {
+        prop_assume!(a != b);
+        for hasher in [
+            Box::new(Fast64PairHasher::new()) as Box<dyn PairHasher>,
+            avmon_hash::HasherKind::Md5.build(),
+            avmon_hash::HasherKind::Sha1.build(),
+        ] {
+            prop_assert_ne!(hasher.point(&a), hasher.point(&b), "hasher {}", hasher.name());
+        }
+    }
+}

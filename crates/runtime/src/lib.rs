@@ -1,0 +1,36 @@
+//! # avmon-runtime — real-time drivers for AVMON nodes
+//!
+//! The same sans-io [`avmon::Node`] state machine that powers the paper's
+//! discrete-event evaluation, mapped onto wall-clock time and real
+//! transports:
+//!
+//! * thread-per-node clusters over an in-memory crossbeam hub (with
+//!   optional loss injection for failure testing), and
+//! * real UDP sockets on localhost, where a [`avmon::NodeId`] *is* the
+//!   socket address — the paper's `<IP, port>` identity model, literally.
+//!
+//! ```no_run
+//! use avmon::Config;
+//! use avmon_runtime::{Cluster, ClusterTransport};
+//! use std::time::Duration;
+//!
+//! let config = Config::builder(16)
+//!     .protocol_period(250)
+//!     .monitoring_period(250)
+//!     .ping_timeout(100)
+//!     .build()?;
+//! let cluster = Cluster::builder(config, 16)
+//!     .transport(ClusterTransport::Udp)
+//!     .spawn()?;
+//! cluster.wait_for_discovery(1, Duration::from_secs(20));
+//! cluster.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod cluster;
+pub mod driver;
+pub mod transport;
+
+pub use cluster::{Cluster, ClusterBuilder, ClusterTransport};
+pub use driver::{Command, NodeDriver, NodeSnapshot, SnapshotBoard};
+pub use transport::{MemoryHub, MemoryTransport, Transport, UdpTransport};

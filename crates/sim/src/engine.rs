@@ -1,0 +1,639 @@
+//! The trace-driven discrete-event simulation engine.
+//!
+//! Replays a churn [`Trace`] against a population of AVMON [`Node`] state
+//! machines: lifecycle events create and destroy node incarnations (with
+//! persistent storage surviving, per §3), messages travel through a latency
+//! model and vanish if the destination has departed, timers fire on the
+//! simulated clock, and metrics are sampled once per interval. A run is a
+//! pure function of `(trace, options)` — reruns are bit-identical.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
+
+use avmon::{
+    Action, Actions, AppEvent, Behavior, Config, HasherKind, HashSelector, HistoryStore, JoinKind,
+    Message, Node, NodeId, NodeStats, PersistentState, SharedSelector, TimeMs, Timer,
+};
+use avmon_churn::{ChurnEventKind, Trace};
+use avmon_hash::fast64::mix64;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::{AvailabilityMeasure, DiscoveryLog, NodeSeries, SimReport};
+use crate::network::LatencyModel;
+
+/// Simulation options beyond the protocol [`Config`].
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Protocol configuration shared by every node.
+    pub config: Config,
+    /// Which hasher backs the consistency condition (default [`HasherKind::Fast64`];
+    /// pass [`HasherKind::Md5`] for the paper's exact construction).
+    pub hasher: HasherKind,
+    /// Message propagation delays.
+    pub latency: LatencyModel,
+    /// Master seed; every node RNG and the network RNG derive from it.
+    pub seed: u64,
+    /// Metric sampling interval (default: one protocol period).
+    pub sample_interval: avmon::DurMs,
+    /// History-store prototype installed on every node, if overridden.
+    pub history_template: Option<HistoryStore>,
+    /// Per-node behavior assignments (attack experiments).
+    pub behaviors: Vec<(NodeId, Behavior)>,
+    /// Track discovery logs for every identity rather than only the
+    /// trace's control group.
+    pub track_all_discovery: bool,
+    /// Buffer application events for retrieval via
+    /// [`Simulation::take_app_events`] (off by default: long runs would
+    /// accumulate unbounded buffers).
+    pub collect_app_events: bool,
+}
+
+impl SimOptions {
+    /// Defaults for a given protocol configuration.
+    #[must_use]
+    pub fn new(config: Config) -> Self {
+        let sample_interval = config.protocol_period;
+        SimOptions {
+            config,
+            hasher: HasherKind::Fast64,
+            latency: LatencyModel::default(),
+            seed: 1,
+            sample_interval,
+            history_template: None,
+            behaviors: Vec::new(),
+            track_all_discovery: false,
+            collect_app_events: false,
+        }
+    }
+
+    /// Overrides the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the hasher.
+    #[must_use]
+    pub fn hasher(mut self, hasher: HasherKind) -> Self {
+        self.hasher = hasher;
+        self
+    }
+
+    /// Assigns `behavior` to `node`.
+    #[must_use]
+    pub fn behavior(mut self, node: NodeId, behavior: Behavior) -> Self {
+        self.behaviors.push((node, behavior));
+        self
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Churn { node: NodeId, kind: ChurnEventKind },
+    Deliver { from: NodeId, to: NodeId, msg: Message },
+    Timer { node: NodeId, incarnation: u64, timer: Timer },
+    /// Snapshot counters at the start of the measurement window so the
+    /// first sample doesn't absorb the whole warm-up.
+    Baseline,
+    Sample,
+}
+
+#[derive(Debug)]
+struct Event {
+    at: TimeMs,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest (and, on ties,
+        // first-scheduled) event pops first. Determinism depends on this.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+#[derive(Debug)]
+struct SimNode {
+    proto: Option<Node>,
+    incarnation: u64,
+    persistent: PersistentState,
+    behavior: Behavior,
+    born_at: Option<TimeMs>,
+    left_at: Option<TimeMs>,
+    last_stats: NodeStats,
+}
+
+impl SimNode {
+    fn new(behavior: Behavior) -> Self {
+        SimNode {
+            proto: None,
+            incarnation: 0,
+            persistent: PersistentState::default(),
+            behavior,
+            born_at: None,
+            left_at: None,
+            last_stats: NodeStats::default(),
+        }
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// # Example
+///
+/// ```
+/// use avmon::Config;
+/// use avmon_churn::stat;
+/// use avmon_sim::{SimOptions, Simulation};
+///
+/// let trace = stat(60, 30 * avmon::MINUTE, 0.1, 7);
+/// let config = Config::builder(60).build()?;
+/// let mut sim = Simulation::new(trace, SimOptions::new(config));
+/// let report = sim.run();
+/// // Every control node finds its first monitor quickly.
+/// assert!(report.discovery_latencies(1).len() >= 5);
+/// # Ok::<(), avmon::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    trace: Trace,
+    opts: SimOptions,
+    selector: SharedSelector,
+    nodes: HashMap<NodeId, SimNode>,
+    alive: Vec<NodeId>,
+    alive_index: HashMap<NodeId, usize>,
+    queue: BinaryHeap<Event>,
+    now: TimeMs,
+    seq: u64,
+    rng: SmallRng,
+    tracked: HashSet<NodeId>,
+    discovery: BTreeMap<NodeId, DiscoveryLog>,
+    series: BTreeMap<NodeId, NodeSeries>,
+    graveyard_stats: NodeStats,
+    initial_cohort: Vec<NodeId>,
+    app_events: Vec<(NodeId, AppEvent)>,
+    finished: bool,
+}
+
+impl Simulation {
+    /// Builds a simulation over `trace` with `opts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    #[must_use]
+    pub fn new(trace: Trace, opts: SimOptions) -> Self {
+        assert!(!trace.events.is_empty(), "cannot simulate an empty trace");
+        let selector = HashSelector::from_config_with_kind(&opts.config, opts.hasher);
+        let mut queue = BinaryHeap::with_capacity(trace.events.len() * 2);
+        let mut seq = 0u64;
+        for e in &trace.events {
+            queue.push(Event {
+                at: e.at,
+                seq,
+                kind: EventKind::Churn { node: e.node, kind: e.kind },
+            });
+            seq += 1;
+        }
+        // Sampling ticks cover the measurement window; the baseline tick
+        // zeroes the counters at its start.
+        queue.push(Event { at: trace.measure_from, seq, kind: EventKind::Baseline });
+        seq += 1;
+        let mut t = trace.measure_from + opts.sample_interval;
+        while t <= trace.horizon {
+            queue.push(Event { at: t, seq, kind: EventKind::Sample });
+            seq += 1;
+            t += opts.sample_interval;
+        }
+        let tracked: HashSet<NodeId> = if opts.track_all_discovery {
+            trace.identities().into_iter().collect()
+        } else {
+            trace.control_group.iter().copied().collect()
+        };
+        let initial_cohort: Vec<NodeId> = trace
+            .events
+            .iter()
+            .filter(|e| e.at == 0 && e.kind == ChurnEventKind::Birth)
+            .map(|e| e.node)
+            .collect();
+        let behaviors: HashMap<NodeId, Behavior> = opts.behaviors.iter().cloned().collect();
+        let mut nodes = HashMap::with_capacity(trace.identities().len());
+        for id in trace.identities() {
+            let behavior = behaviors.get(&id).cloned().unwrap_or_default();
+            nodes.insert(id, SimNode::new(behavior));
+        }
+        let rng = SmallRng::seed_from_u64(opts.seed ^ 0xdead_beef_cafe_f00d);
+        Simulation {
+            trace,
+            opts,
+            selector,
+            nodes,
+            alive: Vec::new(),
+            alive_index: HashMap::new(),
+            queue,
+            now: 0,
+            seq,
+            rng,
+            tracked,
+            discovery: BTreeMap::new(),
+            series: BTreeMap::new(),
+            graveyard_stats: NodeStats::default(),
+            initial_cohort,
+            app_events: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> TimeMs {
+        self.now
+    }
+
+    /// The trace being replayed.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Identities currently alive.
+    pub fn alive(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.alive.iter().copied()
+    }
+
+    /// Read access to a live node's protocol state.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(&id).and_then(|n| n.proto.as_ref())
+    }
+
+    /// Drains buffered application events (requires
+    /// [`SimOptions::collect_app_events`]).
+    pub fn take_app_events(&mut self) -> Vec<(NodeId, AppEvent)> {
+        std::mem::take(&mut self.app_events)
+    }
+
+    /// Issues a verifiable monitor-report request from `from` to `target`
+    /// (the "l out of K" client side); outcomes arrive as buffered
+    /// [`AppEvent::ReportOutcome`] events.
+    pub fn request_report(&mut self, from: NodeId, target: NodeId, count: u8) {
+        let now = self.now;
+        if let Some(node) = self.nodes.get_mut(&from).and_then(|n| n.proto.as_mut()) {
+            let actions = node.request_report(now, target, count);
+            self.apply_actions(from, actions);
+        }
+    }
+
+    /// Asks monitor `monitor` for `target`'s availability from node `from`;
+    /// outcomes arrive as buffered [`AppEvent::HistoryOutcome`] events.
+    pub fn request_history(&mut self, from: NodeId, monitor: NodeId, target: NodeId) {
+        let now = self.now;
+        if let Some(node) = self.nodes.get_mut(&from).and_then(|n| n.proto.as_mut()) {
+            let actions = node.request_history(now, monitor, target);
+            self.apply_actions(from, actions);
+        }
+    }
+
+    /// Runs to the trace horizon and produces the report.
+    pub fn run(&mut self) -> SimReport {
+        self.run_until(self.trace.horizon);
+        self.report()
+    }
+
+    /// Advances simulated time to `deadline` (capped at the horizon).
+    pub fn run_until(&mut self, deadline: TimeMs) {
+        let deadline = deadline.min(self.trace.horizon);
+        while let Some(head) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            let event = self.queue.pop().expect("peeked");
+            self.now = event.at;
+            self.dispatch(event.kind);
+        }
+        self.now = deadline;
+        if deadline == self.trace.horizon {
+            self.finished = true;
+        }
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Churn { node, kind } => self.on_churn(node, kind),
+            EventKind::Deliver { from, to, msg } => self.on_deliver(from, to, msg),
+            EventKind::Timer { node, incarnation, timer } => {
+                let Some(sim_node) = self.nodes.get_mut(&node) else { return };
+                if sim_node.incarnation != incarnation {
+                    return; // stale timer from a previous incarnation
+                }
+                let now = self.now;
+                if let Some(proto) = sim_node.proto.as_mut() {
+                    let actions = proto.handle_timer(now, timer);
+                    self.apply_actions(node, actions);
+                }
+            }
+            EventKind::Baseline => {
+                for &id in &self.alive {
+                    let sim_node = self.nodes.get_mut(&id).expect("alive implies known");
+                    if let Some(proto) = sim_node.proto.as_ref() {
+                        sim_node.last_stats = *proto.stats();
+                    }
+                }
+            }
+            EventKind::Sample => self.on_sample(),
+        }
+    }
+
+    fn on_churn(&mut self, id: NodeId, kind: ChurnEventKind) {
+        match kind {
+            ChurnEventKind::Birth | ChurnEventKind::Join => {
+                let contact = self.pick_contact(id);
+                let sim_node = self.nodes.get_mut(&id).expect("identity known");
+                debug_assert!(sim_node.proto.is_none(), "churn: {id} already up");
+                let join_kind = match kind {
+                    ChurnEventKind::Birth => {
+                        sim_node.born_at = Some(self.now);
+                        JoinKind::Fresh
+                    }
+                    _ => JoinKind::Rejoin {
+                        down_duration: self.now.saturating_sub(sim_node.left_at.unwrap_or(0)),
+                    },
+                };
+                let node_seed = mix64(
+                    self.opts.seed
+                        ^ mix64(u64::from_be_bytes({
+                            let b = id.to_bytes();
+                            [0, 0, b[0], b[1], b[2], b[3], b[4], b[5]]
+                        }))
+                        ^ mix64(sim_node.incarnation),
+                );
+                let mut proto =
+                    Node::new(id, self.opts.config.clone(), self.selector.clone(), node_seed);
+                proto.set_behavior(sim_node.behavior.clone());
+                if let Some(template) = &self.opts.history_template {
+                    proto.set_history_template(template.clone());
+                }
+                if kind == ChurnEventKind::Join {
+                    proto.restore_persistent(std::mem::take(&mut sim_node.persistent));
+                }
+                sim_node.last_stats = NodeStats::default();
+                if kind == ChurnEventKind::Birth
+                    && self.now == 0
+                    && self.initial_cohort.len() > 1
+                {
+                    // Bootstrap the initial population with warm views: at
+                    // time zero there is no overlay yet to join through.
+                    let cvs = self.opts.config.cvs;
+                    let mut seeds = Vec::with_capacity(cvs);
+                    for _ in 0..cvs * 2 {
+                        let pick =
+                            self.initial_cohort[self.rng.gen_range(0..self.initial_cohort.len())];
+                        if pick != id && !seeds.contains(&pick) {
+                            seeds.push(pick);
+                            if seeds.len() == cvs {
+                                break;
+                            }
+                        }
+                    }
+                    proto.seed_view(&seeds);
+                }
+                let now = self.now;
+                let actions = proto.start(now, join_kind, contact);
+                sim_node.proto = Some(proto);
+                if self.tracked.contains(&id) {
+                    self.discovery
+                        .entry(id)
+                        .or_insert_with(|| DiscoveryLog { born_at: now, monitor_times: vec![] });
+                }
+                self.alive_insert(id);
+                self.apply_actions(id, actions);
+            }
+            ChurnEventKind::Leave | ChurnEventKind::Death => {
+                let sim_node = self.nodes.get_mut(&id).expect("identity known");
+                if let Some(proto) = sim_node.proto.take() {
+                    // Fold the unsampled tail of this incarnation's counters.
+                    let delta = proto.stats().delta(&sim_node.last_stats);
+                    if self.now >= self.trace.measure_from {
+                        let series = self.series.entry(id).or_default();
+                        series.hash_checks += delta.hash_checks;
+                        series.bytes_sent += delta.bytes_sent;
+                        series.monitor_pings_sent += delta.monitor_pings_sent;
+                    }
+                    self.graveyard_stats.merge(proto.stats());
+                    sim_node.persistent = proto.snapshot_persistent();
+                }
+                sim_node.incarnation += 1;
+                sim_node.left_at = Some(self.now);
+                self.alive_remove(id);
+            }
+        }
+    }
+
+    fn on_deliver(&mut self, from: NodeId, to: NodeId, msg: Message) {
+        let Some(sim_node) = self.nodes.get_mut(&to) else { return };
+        let now = self.now;
+        match sim_node.proto.as_mut() {
+            Some(proto) => {
+                let actions = proto.handle_message(now, from, msg);
+                self.apply_actions(to, actions);
+            }
+            None => {
+                // Destination has departed: the message is lost. Monitoring
+                // pings to absent nodes are the "useless pings" of Fig. 18.
+                if msg.is_monitoring_ping() && now >= self.trace.measure_from {
+                    self.series.entry(from).or_default().useless_pings += 1;
+                }
+            }
+        }
+    }
+
+    fn on_sample(&mut self) {
+        if self.now < self.trace.measure_from {
+            return;
+        }
+        for &id in &self.alive {
+            let sim_node = self.nodes.get_mut(&id).expect("alive implies known");
+            let Some(proto) = sim_node.proto.as_ref() else { continue };
+            let stats = *proto.stats();
+            let delta = stats.delta(&sim_node.last_stats);
+            sim_node.last_stats = stats;
+            let series = self.series.entry(id).or_default();
+            series.samples += 1;
+            series.hash_checks += delta.hash_checks;
+            series.bytes_sent += delta.bytes_sent;
+            series.monitor_pings_sent += delta.monitor_pings_sent;
+            let mem = proto.memory_entries();
+            series.memory_entries_sum += mem as u64;
+            series.memory_entries_max = series.memory_entries_max.max(mem);
+        }
+    }
+
+    fn apply_actions(&mut self, node: NodeId, actions: Actions) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    let delay = self.opts.latency.sample(&mut self.rng);
+                    self.push(self.now + delay, EventKind::Deliver { from: node, to, msg });
+                }
+                Action::Broadcast { msg } => {
+                    let targets: Vec<NodeId> =
+                        self.alive.iter().copied().filter(|&id| id != node).collect();
+                    for to in targets {
+                        let delay = self.opts.latency.sample(&mut self.rng);
+                        self.push(
+                            self.now + delay,
+                            EventKind::Deliver { from: node, to, msg: msg.clone() },
+                        );
+                    }
+                }
+                Action::SetTimer { timer, at } => {
+                    let incarnation = self.nodes[&node].incarnation;
+                    self.push(at.max(self.now), EventKind::Timer { node, incarnation, timer });
+                }
+                Action::App(event) => self.on_app_event(node, event),
+            }
+        }
+    }
+
+    fn on_app_event(&mut self, node: NodeId, event: AppEvent) {
+        if let AppEvent::MonitorDiscovered { .. } = &event {
+            if let Some(log) = self.discovery.get_mut(&node) {
+                log.monitor_times.push(self.now);
+            }
+        }
+        if self.opts.collect_app_events {
+            self.app_events.push((node, event));
+        }
+    }
+
+    fn push(&mut self, at: TimeMs, kind: EventKind) {
+        self.queue.push(Event { at, seq: self.seq, kind });
+        self.seq += 1;
+    }
+
+    fn pick_contact(&mut self, joiner: NodeId) -> Option<NodeId> {
+        if self.alive.is_empty() {
+            return None;
+        }
+        for _ in 0..8 {
+            let pick = self.alive[self.rng.gen_range(0..self.alive.len())];
+            if pick != joiner {
+                return Some(pick);
+            }
+        }
+        None
+    }
+
+    fn alive_insert(&mut self, id: NodeId) {
+        if self.alive_index.contains_key(&id) {
+            return;
+        }
+        self.alive_index.insert(id, self.alive.len());
+        self.alive.push(id);
+    }
+
+    fn alive_remove(&mut self, id: NodeId) {
+        if let Some(idx) = self.alive_index.remove(&id) {
+            let last = self.alive.len() - 1;
+            self.alive.swap_remove(idx);
+            if idx != last {
+                let moved = self.alive[idx];
+                self.alive_index.insert(moved, idx);
+            }
+        }
+    }
+
+    /// Collects every monitor's availability estimate for `target`,
+    /// applying each monitor's (possibly adversarial) reporting behavior —
+    /// i.e. the values `target`'s pinging set would report if queried.
+    #[must_use]
+    pub fn monitor_estimates(&self, target: NodeId) -> Vec<f64> {
+        let mut estimates = Vec::new();
+        for (&mid, sim_node) in &self.nodes {
+            if mid == target {
+                continue;
+            }
+            let record = match sim_node.proto.as_ref() {
+                Some(proto) => proto.target_record(target).cloned(),
+                None => sim_node
+                    .persistent
+                    .targets
+                    .iter()
+                    .find(|(t, _)| *t == target)
+                    .map(|(_, rec)| rec.clone()),
+            };
+            let Some(record) = record else { continue };
+            if record.pings_sent == 0 {
+                continue;
+            }
+            if sim_node.behavior.misreports(target) {
+                estimates.push(1.0);
+            } else if let Some(est) = record.availability_estimate() {
+                estimates.push(est);
+            }
+        }
+        // The monitor map iterates in hash order; sort so that downstream
+        // float reductions are bit-reproducible across runs.
+        estimates.sort_by(|a, b| a.partial_cmp(b).expect("estimates are never NaN"));
+        estimates
+    }
+
+    /// Builds the final [`SimReport`].
+    #[must_use]
+    pub fn report(&self) -> SimReport {
+        let mut totals = self.graveyard_stats;
+        for sim_node in self.nodes.values() {
+            if let Some(proto) = sim_node.proto.as_ref() {
+                totals.merge(proto.stats());
+            }
+        }
+        let mut availability = Vec::new();
+        let control: HashSet<NodeId> = self.trace.control_group.iter().copied().collect();
+        for (&id, sim_node) in &self.nodes {
+            let Some(born) = sim_node.born_at else { continue };
+            let estimates = self.monitor_estimates(id);
+            if estimates.is_empty() {
+                continue;
+            }
+            let from = born.max(self.trace.measure_from);
+            if from >= self.trace.horizon {
+                continue;
+            }
+            let actual = self.trace.availability_of(id, from, self.trace.horizon);
+            availability.push(AvailabilityMeasure {
+                node: id,
+                estimated: crate::metrics::mean(&estimates),
+                actual,
+                control: control.contains(&id),
+                monitors: estimates.len(),
+            });
+        }
+        availability.sort_by_key(|m| m.node);
+        SimReport {
+            model: self.trace.name.clone(),
+            n: self.trace.stable_size,
+            cvs: self.opts.config.cvs,
+            k: self.opts.config.k,
+            sample_interval: self.opts.sample_interval,
+            discovery: self.discovery.clone(),
+            series: self.series.clone(),
+            availability,
+            totals,
+            alive_at_end: self.alive.len(),
+        }
+    }
+}

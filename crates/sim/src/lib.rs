@@ -1,0 +1,33 @@
+//! # avmon-sim — trace-driven discrete-event simulation of AVMON overlays
+//!
+//! The paper's evaluation (§5) is "a trace-driven discrete event
+//! simulation"; this crate is that simulator. It replays an
+//! [`avmon_churn::Trace`] against real [`avmon::Node`] state machines —
+//! the exact code that also runs over UDP in `avmon-runtime` — and
+//! measures the paper's metrics: discovery time, memory, computation,
+//! bandwidth, useless pings, and availability-estimation accuracy.
+//!
+//! Runs are deterministic: a simulation is a pure function of
+//! `(trace, options)`.
+//!
+//! ```
+//! use avmon::Config;
+//! use avmon_churn::stat;
+//! use avmon_sim::{metrics, SimOptions, Simulation};
+//!
+//! let trace = stat(50, 20 * avmon::MINUTE, 0.1, 3);
+//! let config = Config::builder(50).build()?;
+//! let report = Simulation::new(trace, SimOptions::new(config)).run();
+//! let latencies: Vec<f64> =
+//!     report.discovery_latencies(1).iter().map(|&ms| ms as f64).collect();
+//! assert!(metrics::mean(&latencies) < 3.0 * 60_000.0);
+//! # Ok::<(), avmon::Error>(())
+//! ```
+
+pub mod engine;
+pub mod metrics;
+pub mod network;
+
+pub use engine::{SimOptions, Simulation};
+pub use metrics::{AvailabilityMeasure, DiscoveryLog, NodeSeries, SimReport};
+pub use network::LatencyModel;

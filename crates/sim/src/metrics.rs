@@ -1,0 +1,291 @@
+//! Metric collection: everything the paper's figures are plotted from.
+//!
+//! The simulator samples each alive node's counters once per sampling
+//! interval inside the measurement window, and records discovery times
+//! when [`AppEvent::MonitorDiscovered`](avmon::AppEvent) fires. The
+//! [`SimReport`] at the end of a run exposes the exact per-node series the
+//! figures need: discovery times (Figs. 3–6, 11, 13, 15), computations per
+//! second (Figs. 7, 8, 12), memory entries (Figs. 9, 10, 12, 14, 16),
+//! outgoing bandwidth (Fig. 19), useless pings (Fig. 18), and availability
+//! estimation accuracy (Figs. 17, 20).
+
+use std::collections::BTreeMap;
+
+use avmon::{DurMs, NodeId, NodeStats, TimeMs};
+use serde::{Deserialize, Serialize};
+
+/// Running per-node accumulators, updated once per sampling interval.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeSeries {
+    /// Number of samples taken while the node was alive.
+    pub samples: u32,
+    /// Sum of per-interval hash-check deltas.
+    pub hash_checks: u64,
+    /// Sum of per-interval bytes-sent deltas.
+    pub bytes_sent: u64,
+    /// Sum of per-interval monitoring pings sent.
+    pub monitor_pings_sent: u64,
+    /// Sum of sampled memory-entry counts (`|CV|+|PS|+|TS|`).
+    pub memory_entries_sum: u64,
+    /// Maximum sampled memory-entry count.
+    pub memory_entries_max: usize,
+    /// Monitoring pings that reached a node not currently in the system.
+    pub useless_pings: u64,
+}
+
+/// A discovery log for one (control-group) node.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DiscoveryLog {
+    /// The node's birth time (basis for discovery latency).
+    pub born_at: TimeMs,
+    /// Absolute times at which the 1st, 2nd, … monitors became known.
+    pub monitor_times: Vec<TimeMs>,
+}
+
+impl DiscoveryLog {
+    /// Latency from birth to the `l`-th monitor (1-based), if reached.
+    #[must_use]
+    pub fn latency(&self, l: usize) -> Option<DurMs> {
+        assert!(l >= 1, "monitors are counted from 1");
+        self.monitor_times.get(l - 1).map(|&t| t.saturating_sub(self.born_at))
+    }
+}
+
+/// One node's availability-estimation outcome (Figs. 17, 20).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityMeasure {
+    /// The measured node.
+    pub node: NodeId,
+    /// Mean estimate across its monitors (fraction of pings answered, or
+    /// misreported values under attack).
+    pub estimated: f64,
+    /// Ground-truth availability from the trace over the same window.
+    pub actual: f64,
+    /// Whether the node is in the trace's control group.
+    pub control: bool,
+    /// How many monitors contributed estimates.
+    pub monitors: usize,
+}
+
+/// Everything measured during one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Trace/model name.
+    pub model: String,
+    /// Configured stable system size `N`.
+    pub n: usize,
+    /// Coarse-view size in effect.
+    pub cvs: usize,
+    /// `K` in effect.
+    pub k: u32,
+    /// Sampling interval used for the rate metrics.
+    pub sample_interval: DurMs,
+    /// Per-control-node discovery logs.
+    pub discovery: BTreeMap<NodeId, DiscoveryLog>,
+    /// Per-node series (every node that was ever sampled).
+    pub series: BTreeMap<NodeId, NodeSeries>,
+    /// Availability estimation outcomes (nodes with ≥1 monitor estimate).
+    pub availability: Vec<AvailabilityMeasure>,
+    /// System-wide counter totals at the end of the run.
+    pub totals: NodeStats,
+    /// Final count of alive nodes.
+    pub alive_at_end: usize,
+}
+
+impl SimReport {
+    /// Discovery latencies of the `l`-th monitor across discovered control
+    /// nodes, in milliseconds.
+    #[must_use]
+    pub fn discovery_latencies(&self, l: usize) -> Vec<DurMs> {
+        self.discovery.values().filter_map(|log| log.latency(l)).collect()
+    }
+
+    /// Control nodes that never discovered their `l`-th monitor.
+    #[must_use]
+    pub fn undiscovered(&self, l: usize) -> usize {
+        self.discovery.values().filter(|log| log.latency(l).is_none()).count()
+    }
+
+    /// Per-node average hash computations per second.
+    #[must_use]
+    pub fn comps_per_second(&self) -> Vec<f64> {
+        self.per_second(|s| s.hash_checks as f64)
+    }
+
+    /// Per-node average outgoing bandwidth in bytes per second (Fig. 19).
+    #[must_use]
+    pub fn bandwidth_bps(&self) -> Vec<f64> {
+        self.per_second(|s| s.bytes_sent as f64)
+    }
+
+    /// Per-node average memory entries (Figs. 9, 10).
+    #[must_use]
+    pub fn memory_entries(&self) -> Vec<f64> {
+        self.series
+            .values()
+            .filter(|s| s.samples > 0)
+            .map(|s| s.memory_entries_sum as f64 / f64::from(s.samples))
+            .collect()
+    }
+
+    /// Per-node useless monitoring pings per minute (Fig. 18).
+    #[must_use]
+    pub fn useless_pings_per_minute(&self) -> Vec<f64> {
+        let minutes = self.sample_interval as f64 / 60_000.0;
+        self.series
+            .values()
+            .filter(|s| s.samples > 0)
+            .map(|s| s.useless_pings as f64 / (f64::from(s.samples) * minutes))
+            .collect()
+    }
+
+    fn per_second(&self, f: impl Fn(&NodeSeries) -> f64) -> Vec<f64> {
+        let secs = self.sample_interval as f64 / 1_000.0;
+        self.series
+            .values()
+            .filter(|s| s.samples > 0)
+            .map(|s| f(s) / (f64::from(s.samples) * secs))
+            .collect()
+    }
+}
+
+/// Mean of a sample set (0 for empty sets).
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation (0 for fewer than two samples).
+#[must_use]
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Empirical CDF of `values` evaluated at each point of `grid`: the
+/// fraction of samples `≤ x`.
+#[must_use]
+pub fn cdf(values: &[f64], grid: &[f64]) -> Vec<f64> {
+    if values.is_empty() {
+        return vec![0.0; grid.len()];
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in metric samples"));
+    grid.iter()
+        .map(|&x| {
+            let count = sorted.partition_point(|&v| v <= x);
+            count as f64 / sorted.len() as f64
+        })
+        .collect()
+}
+
+/// The mean after dropping the single highest value — the paper's Fig. 3
+/// aggregation ("by ignoring the one highest measured discovery time
+/// datapoint for that setting", footnote 8).
+#[must_use]
+pub fn mean_drop_max(values: &[f64]) -> f64 {
+    if values.len() <= 1 {
+        return 0.0;
+    }
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let mut dropped = false;
+    let kept: Vec<f64> = values
+        .iter()
+        .copied()
+        .filter(|&v| {
+            if !dropped && v == max {
+                dropped = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    mean(&kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovery_log_latencies() {
+        let log = DiscoveryLog { born_at: 100, monitor_times: vec![150, 400] };
+        assert_eq!(log.latency(1), Some(50));
+        assert_eq!(log.latency(2), Some(300));
+        assert_eq!(log.latency(3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "counted from 1")]
+    fn discovery_latency_rejects_zero() {
+        let _ = DiscoveryLog::default().latency(0);
+    }
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert!((stddev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let values = vec![1.0, 2.0, 2.0, 10.0];
+        let grid = vec![0.0, 1.0, 2.0, 5.0, 10.0];
+        let c = cdf(&values, &grid);
+        assert_eq!(c, vec![0.0, 0.25, 0.75, 0.75, 1.0]);
+        assert_eq!(cdf(&[], &grid), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn mean_drop_max_ignores_single_outlier() {
+        // 110-minute outlier among sub-minute values, as in the paper.
+        let values = vec![30.0, 45.0, 20.0, 6600.0];
+        let m = mean_drop_max(&values);
+        assert!((m - (95.0 / 3.0)).abs() < 1e-9);
+        assert_eq!(mean_drop_max(&[7.0]), 0.0);
+    }
+
+    #[test]
+    fn report_rate_helpers() {
+        let mut series = BTreeMap::new();
+        series.insert(
+            NodeId::from_index(1),
+            NodeSeries {
+                samples: 2,
+                hash_checks: 240,
+                bytes_sent: 1200,
+                memory_entries_sum: 80,
+                memory_entries_max: 45,
+                useless_pings: 4,
+                monitor_pings_sent: 20,
+            },
+        );
+        let report = SimReport {
+            model: "TEST".into(),
+            n: 1,
+            cvs: 8,
+            k: 4,
+            sample_interval: 60_000,
+            discovery: BTreeMap::new(),
+            series,
+            availability: vec![],
+            totals: NodeStats::default(),
+            alive_at_end: 1,
+        };
+        // 240 checks over 2 minutes = 2 checks/second.
+        assert_eq!(report.comps_per_second(), vec![2.0]);
+        // 1200 bytes over 120 s = 10 B/s.
+        assert_eq!(report.bandwidth_bps(), vec![10.0]);
+        assert_eq!(report.memory_entries(), vec![40.0]);
+        assert_eq!(report.useless_pings_per_minute(), vec![2.0]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Network latency models.
+//!
+//! The paper assumes "communication between pairs of nodes is reliable and
+//! timely if both nodes are currently alive" (§3). The simulator therefore
+//! delivers every message whose destination is alive, after a configurable
+//! propagation delay; messages to departed nodes vanish (their senders time
+//! out, exactly as in a real deployment).
+
+use avmon::DurMs;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Propagation-delay distribution applied to each message independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long.
+    Constant(DurMs),
+    /// Uniformly distributed in `[min, max]` (inclusive).
+    Uniform {
+        /// Minimum delay.
+        min: DurMs,
+        /// Maximum delay.
+        max: DurMs,
+    },
+}
+
+impl LatencyModel {
+    /// Samples one delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a uniform model has `min > max`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> DurMs {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { min, max } => {
+                assert!(min <= max, "uniform latency needs min ≤ max");
+                rng.gen_range(min..=max)
+            }
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    /// Wide-area-ish delays: 20–100 ms, far below the 1-minute protocol
+    /// period so results match the paper's negligible-latency setting.
+    fn default() -> Self {
+        LatencyModel::Uniform { min: 20, max: 100 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m = LatencyModel::Constant(42);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), 42);
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_varies() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m = LatencyModel::Uniform { min: 10, max: 50 };
+        let samples: Vec<DurMs> = (0..200).map(|_| m.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&d| (10..=50).contains(&d)));
+        assert!(samples.iter().any(|&d| d != samples[0]), "should vary");
+    }
+
+    #[test]
+    #[should_panic(expected = "min ≤ max")]
+    fn uniform_rejects_inverted_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = LatencyModel::Uniform { min: 9, max: 3 }.sample(&mut rng);
+    }
+}

@@ -1,0 +1,184 @@
+//! End-to-end simulator tests on small overlays.
+
+use avmon::{Behavior, Config, DiscoveryMode, MINUTE};
+use avmon_churn::{stat, synthetic, SynthParams};
+use avmon_sim::{metrics, SimOptions, Simulation};
+
+fn small_config(n: usize) -> Config {
+    Config::builder(n).build().unwrap()
+}
+
+#[test]
+fn stat_control_group_discovers_first_monitors_fast() {
+    let trace = stat(100, 30 * MINUTE, 0.1, 11);
+    let report = Simulation::new(trace, SimOptions::new(small_config(100))).run();
+    // All 10 control nodes are tracked.
+    assert_eq!(report.discovery.len(), 10);
+    let latencies = report.discovery_latencies(1);
+    assert!(
+        latencies.len() >= 9,
+        "at least 9/10 control nodes should discover a monitor, got {}",
+        latencies.len()
+    );
+    // Paper Fig. 3: average discovery below ~1 protocol period. Allow 3.
+    let avg = metrics::mean(&latencies.iter().map(|&l| l as f64).collect::<Vec<_>>());
+    assert!(avg < 3.0 * MINUTE as f64, "avg discovery {avg} ms too slow");
+}
+
+#[test]
+fn memory_entries_stay_near_expected_value() {
+    let n = 100;
+    let cfg = small_config(n); // K=7, cvs=13 → expected ≈ cvs + 2K = 27
+    let trace = stat(n, 60 * MINUTE, 0.1, 5);
+    let report = Simulation::new(trace, SimOptions::new(cfg.clone())).run();
+    let mem = report.memory_entries();
+    assert!(!mem.is_empty());
+    let avg = metrics::mean(&mem);
+    let expected = cfg.cvs as f64 + 2.0 * f64::from(cfg.k);
+    assert!(
+        avg < expected * 1.4 && avg > expected * 0.4,
+        "avg memory {avg} far from expected {expected}"
+    );
+}
+
+#[test]
+fn computations_scale_as_two_cvs_squared() {
+    let n = 100;
+    let cfg = small_config(n);
+    let cvs = cfg.cvs as f64;
+    let trace = stat(n, 60 * MINUTE, 0.0, 6);
+    let report = Simulation::new(trace, SimOptions::new(cfg)).run();
+    let comps = report.comps_per_second();
+    let avg_per_min = metrics::mean(&comps) * 60.0;
+    // Fig. 7: per-minute overhead close to 2·cvs² (one check each way per
+    // pair). The ±2 on each side accounts for {x,w} inflation.
+    let expected = 2.0 * (cvs + 2.0) * (cvs + 2.0);
+    assert!(
+        avg_per_min > expected * 0.5 && avg_per_min < expected * 1.6,
+        "comps/min {avg_per_min}, expected ≈ {expected}"
+    );
+}
+
+#[test]
+fn synth_churn_does_not_break_discovery() {
+    let trace = synthetic(SynthParams::synth(100).duration(30 * MINUTE).seed(21));
+    let report = Simulation::new(trace, SimOptions::new(small_config(100)).seed(21)).run();
+    let latencies = report.discovery_latencies(1);
+    // Control nodes may leave before discovering; most should succeed.
+    assert!(
+        latencies.len() * 10 >= report.discovery.len() * 7,
+        "{} of {} discovered",
+        latencies.len(),
+        report.discovery.len()
+    );
+}
+
+#[test]
+fn broadcast_mode_discovers_in_one_round_trip() {
+    let cfg = Config::builder(100).discovery(DiscoveryMode::Broadcast).build().unwrap();
+    let trace = stat(100, 10 * MINUTE, 0.1, 9);
+    let report = Simulation::new(trace, SimOptions::new(cfg)).run();
+    let latencies = report.discovery_latencies(1);
+    assert!(!latencies.is_empty());
+    // Presence flooding: discovery within a couple of network RTTs, far
+    // below a protocol period.
+    for &l in &latencies {
+        assert!(l < 2_000, "broadcast discovery took {l} ms");
+    }
+    // … at O(N) bandwidth per join: totals dwarf the coarse-view variant.
+    assert!(report.totals.messages_sent > 0);
+}
+
+#[test]
+fn identical_seeds_give_identical_reports() {
+    let trace = synthetic(SynthParams::synth(80).duration(20 * MINUTE).seed(33));
+    let r1 = Simulation::new(trace.clone(), SimOptions::new(small_config(80)).seed(5)).run();
+    let r2 = Simulation::new(trace.clone(), SimOptions::new(small_config(80)).seed(5)).run();
+    assert_eq!(format!("{:?}", r1.totals), format!("{:?}", r2.totals));
+    assert_eq!(r1.discovery, r2.discovery);
+    let r3 = Simulation::new(trace, SimOptions::new(small_config(80)).seed(6)).run();
+    assert_ne!(format!("{:?}", r1.totals), format!("{:?}", r3.totals));
+}
+
+#[test]
+fn overreporting_monitors_inflate_estimates() {
+    let n = 60;
+    let trace = synthetic(SynthParams::synth(n).duration(40 * MINUTE).seed(44));
+    // Make a third of the initial population overreport.
+    let mut opts = SimOptions::new(small_config(n)).seed(44);
+    for i in 0..(n as u32 / 3) {
+        opts = opts.behavior(avmon::NodeId::from_index(i), Behavior::OverreportAll);
+    }
+    let report = Simulation::new(trace, opts).run();
+    assert!(!report.availability.is_empty());
+    // Estimated availabilities must never be below actual by much when a
+    // misreporter is in the mix; crucially some estimates exceed actual.
+    let inflated = report
+        .availability
+        .iter()
+        .filter(|m| m.estimated > m.actual + 0.05)
+        .count();
+    assert!(inflated > 0, "overreporting should inflate some estimates");
+}
+
+#[test]
+fn useless_pings_counted_for_departed_targets() {
+    // Churned system without forgetful pinging: monitors keep pinging
+    // departed targets, and those pings are counted.
+    let cfg = Config::builder(60).forgetful(None).build().unwrap();
+    let trace = synthetic(SynthParams::synth(60).duration(60 * MINUTE).seed(50));
+    let report = Simulation::new(trace, SimOptions::new(cfg).seed(50)).run();
+    let useless: f64 = metrics::mean(&report.useless_pings_per_minute());
+    assert!(useless > 0.0, "churn must produce useless pings");
+}
+
+#[test]
+fn report_and_history_requests_flow_through_sim() {
+    let n = 80;
+    let trace = stat(n, 30 * MINUTE, 0.0, 13);
+    let mut opts = SimOptions::new(small_config(n)).seed(13);
+    opts.collect_app_events = true;
+    let mut sim = Simulation::new(trace, opts);
+    sim.run_until(20 * MINUTE);
+    let _ = sim.take_app_events(); // discard discovery chatter
+
+    // Find a node with a non-empty pinging set.
+    let target = sim
+        .alive()
+        .find(|&id| sim.node(id).is_some_and(|n| n.pinging_set_len() > 0))
+        .expect("someone has monitors by now");
+    let asker = sim.alive().find(|&id| id != target).unwrap();
+    sim.request_report(asker, target, 3);
+    sim.run_until(21 * MINUTE);
+    let events = sim.take_app_events();
+    let outcome = events.iter().find_map(|(node, e)| match e {
+        avmon::AppEvent::ReportOutcome { target: t, verification } if *node == asker => {
+            assert_eq!(*t, target);
+            Some(verification.clone())
+        }
+        _ => None,
+    });
+    let verification = outcome.expect("report outcome must arrive");
+    assert!(verification.all_verified(), "honest reports verify");
+    assert!(!verification.verified.is_empty());
+
+    // Ask the first verified monitor for history.
+    let monitor = verification.verified[0];
+    sim.request_history(asker, monitor, target);
+    sim.run_until(22 * MINUTE);
+    let events = sim.take_app_events();
+    assert!(events.iter().any(|(node, e)| {
+        *node == asker
+            && matches!(e, avmon::AppEvent::HistoryOutcome { monitor: m, target: t, .. }
+                if *m == monitor && *t == target)
+    }));
+}
+
+#[test]
+fn alive_count_tracks_trace() {
+    let trace = synthetic(SynthParams::synth(100).duration(30 * MINUTE).seed(3));
+    let expected = trace.alive_at(trace.horizon - 1);
+    let mut sim = Simulation::new(trace, SimOptions::new(small_config(100)).seed(3));
+    let report = sim.run();
+    assert_eq!(report.alive_at_end, expected);
+}

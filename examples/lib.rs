@@ -1,0 +1,71 @@
+//! Shared helpers for the AVMON example binaries.
+//!
+//! The examples demonstrate the workloads the paper's introduction
+//! motivates: availability-aware replica selection [7], availability-based
+//! multicast parent selection [11], plus operational tooling (a churn
+//! dashboard) and a real UDP deployment.
+
+use avmon::{AppEvent, NodeId};
+use avmon_sim::Simulation;
+
+/// Pretty-prints a `(label, value)` listing with aligned labels.
+pub fn print_kv(pairs: &[(&str, String)]) {
+    let width = pairs.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    for (k, v) in pairs {
+        println!("  {k:<width$}  {v}");
+    }
+}
+
+/// Collects the verified availability of `target` as seen through the
+/// "l out of K" protocol: ask `target` for `l` monitors, verify each
+/// claim, then query every verified monitor for its measured history and
+/// average the answers.
+///
+/// Returns `(availability, verified_monitor_count)` or `None` if nothing
+/// could be verified.
+pub fn verified_availability(
+    sim: &mut Simulation,
+    asker: NodeId,
+    target: NodeId,
+    l: u8,
+) -> Option<(f64, usize)> {
+    use avmon::MINUTE;
+    sim.request_report(asker, target, l);
+    let deadline = sim.now() + MINUTE;
+    sim.run_until(deadline);
+    let mut monitors = Vec::new();
+    for (node, event) in sim.take_app_events() {
+        if node != asker {
+            continue;
+        }
+        if let AppEvent::ReportOutcome { target: t, verification } = event {
+            if t == target {
+                monitors = verification.verified;
+            }
+        }
+    }
+    if monitors.is_empty() {
+        return None;
+    }
+    for &m in &monitors {
+        sim.request_history(asker, m, target);
+    }
+    let deadline = sim.now() + MINUTE;
+    sim.run_until(deadline);
+    let mut estimates = Vec::new();
+    for (node, event) in sim.take_app_events() {
+        if node != asker {
+            continue;
+        }
+        if let AppEvent::HistoryOutcome { target: t, availability: Some(a), .. } = event {
+            if t == target {
+                estimates.push(a);
+            }
+        }
+    }
+    if estimates.is_empty() {
+        None
+    } else {
+        Some((estimates.iter().sum::<f64>() / estimates.len() as f64, monitors.len()))
+    }
+}

@@ -1,0 +1,80 @@
+//! Quickstart: build a 200-node AVMON overlay in the simulator, let it run
+//! for a few protocol periods, and inspect the monitoring relationships.
+//!
+//! ```bash
+//! cargo run -p avmon-examples --release --bin quickstart
+//! ```
+
+use avmon::{Config, HOUR, MINUTE};
+use avmon_churn::stat;
+use avmon_sim::{metrics, SimOptions, Simulation};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 200;
+
+    // 1. Consistent system parameters (every node must share these).
+    let config = Config::builder(n).build()?;
+    println!("AVMON quickstart: N={n}, K={}, cvs={}", config.k, config.cvs);
+
+    // 2. A static availability model: 200 nodes, plus a 10% control group
+    //    joining after the 1-hour warm-up (the paper's Fig. 3 setup).
+    let trace = stat(n, 30 * MINUTE, 0.1, 7);
+
+    // 3. Run the overlay.
+    let mut sim = Simulation::new(trace, SimOptions::new(config.clone()).seed(7));
+    let report = sim.run();
+
+    // 4. Discovery: how quickly did the joiners find their monitors?
+    let latencies: Vec<f64> =
+        report.discovery_latencies(1).iter().map(|&ms| ms as f64 / 1000.0).collect();
+    avmon_examples::print_kv(&[
+        ("control nodes", report.discovery.len().to_string()),
+        ("discovered ≥1 monitor", latencies.len().to_string()),
+        ("avg discovery (s)", format!("{:.1}", metrics::mean(&latencies))),
+        (
+            "expected E[D]/K (s)",
+            format!(
+                "{:.1}",
+                avmon_analysis::expected_discovery_periods(config.cvs, n as f64)
+                    / f64::from(config.k)
+                    * 60.0
+            ),
+        ),
+    ]);
+
+    // 5. Inspect one node's sets.
+    let id = *sim.trace().control_group.first().expect("control group");
+    let node = sim.node(id).expect("alive");
+    println!("\nnode {id}:");
+    let show = |ids: Vec<avmon::NodeId>| {
+        ids.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+    };
+    avmon_examples::print_kv(&[
+        ("pinging set PS(x)", show(node.pinging_set().collect())),
+        ("target set TS(x)", show(node.target_set().collect())),
+        ("coarse view size", node.view().len().to_string()),
+        ("memory entries", node.memory_entries().to_string()),
+    ]);
+
+    // 6. Verified monitor lookup: ask the node for its monitors and check
+    //    the consistency condition on each claim (the "l out of K" policy).
+    let asker = sim.alive().find(|&a| a != id).expect("another node");
+    if let Some((availability, monitors)) =
+        avmon_examples::verified_availability(&mut sim, asker, id, 3)
+    {
+        println!(
+            "\nverified availability of {id} via {monitors} monitor(s): {availability:.3}"
+        );
+    }
+
+    // 7. Overhead: what did the overlay cost per node?
+    let bw = report.bandwidth_bps();
+    let comps = report.comps_per_second();
+    println!();
+    avmon_examples::print_kv(&[
+        ("avg bandwidth (B/s)", format!("{:.2}", metrics::mean(&bw))),
+        ("avg hash checks (/s)", format!("{:.2}", metrics::mean(&comps))),
+        ("simulated span", format!("{:.1} h", (HOUR / 2 + HOUR) as f64 / HOUR as f64)),
+    ]);
+    Ok(())
+}

@@ -1,0 +1,133 @@
+//! Adversarial behaviour end-to-end: verifiability defeats selfish
+//! advertising; collusion pollution matches §4.3; overreporting has the
+//! bounded effect of Fig. 20.
+
+use std::collections::BTreeSet;
+
+use avmon::{
+    verify_report, Behavior, Config, HashSelector, MonitorSelector, NodeId, MINUTE,
+};
+use avmon_churn::{stat, synthetic, SynthParams};
+use avmon_sim::{SimOptions, Simulation};
+
+#[test]
+fn selfish_advertiser_cannot_fake_monitors_end_to_end() {
+    let n = 150;
+    let config = Config::builder(n).build().unwrap();
+    let selector = HashSelector::from_config(&config);
+    let trace = stat(n, 30 * MINUTE, 0.0, 3);
+    let liar = NodeId::from_index(10);
+    // The liar advertises "friends" that are NOT its monitors.
+    let fakes: Vec<NodeId> = (0..n as u32)
+        .map(NodeId::from_index)
+        .filter(|&m| m != liar && !selector.is_monitor(m, liar))
+        .take(3)
+        .collect();
+    assert_eq!(fakes.len(), 3);
+    let mut opts = SimOptions::new(config).seed(3);
+    opts.collect_app_events = true;
+    opts = opts.behavior(liar, Behavior::SelfishAdvertiser { fake_monitors: fakes.clone() });
+    let mut sim = Simulation::new(trace, opts);
+    sim.run_until(20 * MINUTE);
+    let _ = sim.take_app_events();
+
+    let asker = sim.alive().find(|&id| id != liar).unwrap();
+    sim.request_report(asker, liar, 3);
+    sim.run_until(21 * MINUTE);
+    let outcome = sim
+        .take_app_events()
+        .into_iter()
+        .find_map(|(node, e)| match e {
+            avmon::AppEvent::ReportOutcome { target, verification }
+                if node == asker && target == liar =>
+            {
+                Some(verification)
+            }
+            _ => None,
+        })
+        .expect("report outcome");
+    assert!(outcome.verified.is_empty(), "no fake monitor may verify");
+    assert_eq!(outcome.rejected, fakes, "all lies detected by re-hashing");
+}
+
+#[test]
+fn collusion_pollution_probability_is_small() {
+    // §4.3: with K = O(log N) and C colluders, P(PS polluted) ≈ CK/N.
+    let n = 2000usize;
+    let config = Config::builder(n).build().unwrap();
+    let selector = HashSelector::from_config(&config);
+    let c = 10u32;
+    let mut polluted = 0u32;
+    let trials = 500u32;
+    for t in 0..trials {
+        let x = NodeId::from_index(t % n as u32);
+        let colluders: Vec<NodeId> = (0..c)
+            .map(|j| NodeId::from_index((t * 37 + j * 211 + 1) % n as u32))
+            .filter(|&m| m != x)
+            .collect();
+        if colluders.iter().any(|&m| selector.is_monitor(m, x)) {
+            polluted += 1;
+        }
+    }
+    let empirical = f64::from(polluted) / f64::from(trials);
+    let analytic = 1.0 - avmon_analysis::prob_collusion_free(c, config.k, n);
+    assert!(
+        (empirical - analytic).abs() < 0.05,
+        "pollution {empirical:.3} vs analytic {analytic:.3}"
+    );
+    assert!(empirical < 0.15, "pollution stays improbable");
+}
+
+#[test]
+fn overreporting_fraction_has_bounded_effect() {
+    // Fig. 20: with 20% of nodes overreporting, only a few percent of
+    // nodes see their measured availability off by > 0.2 — because PS
+    // averaging dilutes the single liar among ≈K honest monitors.
+    let n = 300;
+    let trace = synthetic(SynthParams::synth(n).duration(3 * avmon::HOUR).seed(6));
+    let config = Config::builder(n).build().unwrap();
+    let mut opts = SimOptions::new(config).seed(6);
+    let ids: Vec<NodeId> = trace.identities().into_iter().collect();
+    for id in ids.iter().step_by(5) {
+        opts = opts.behavior(*id, Behavior::OverreportAll);
+    }
+    let report = Simulation::new(trace, opts).run();
+    let measured: Vec<_> = report.availability.iter().filter(|m| m.monitors >= 2).collect();
+    assert!(!measured.is_empty());
+    let affected =
+        measured.iter().filter(|m| (m.estimated - m.actual).abs() > 0.2).count();
+    let frac = affected as f64 / measured.len() as f64;
+    assert!(frac < 0.20, "affected fraction {frac:.3}, paper's worst case is 3.5%");
+}
+
+#[test]
+fn colluding_friends_only_inflate_their_friends() {
+    let a = NodeId::from_index(1);
+    let b = NodeId::from_index(2);
+    let behavior = Behavior::Colluding { friends: BTreeSet::from([a]) };
+    assert!(behavior.misreports(a));
+    assert!(!behavior.misreports(b));
+}
+
+#[test]
+fn verify_report_is_sound_and_complete() {
+    let config = Config::builder(500).build().unwrap();
+    let selector = HashSelector::from_config(&config);
+    let target = NodeId::from_index(123);
+    let all: Vec<NodeId> = (0..500).map(NodeId::from_index).collect();
+    let true_monitors: Vec<NodeId> = all
+        .iter()
+        .copied()
+        .filter(|&m| m != target && selector.is_monitor(m, target))
+        .collect();
+    let outcome = verify_report(&selector, target, &true_monitors);
+    assert!(outcome.all_verified(), "complete: every true monitor verifies");
+    let non_monitors: Vec<NodeId> = all
+        .iter()
+        .copied()
+        .filter(|&m| m != target && !selector.is_monitor(m, target))
+        .take(10)
+        .collect();
+    let outcome = verify_report(&selector, target, &non_monitors);
+    assert!(outcome.verified.is_empty(), "sound: no non-monitor verifies");
+}

@@ -1,0 +1,48 @@
+//! Reproducibility: a simulation is a pure function of `(trace, options)`.
+
+use avmon::Config;
+use avmon_churn::{overnet_like, synthetic, SynthParams};
+use avmon_sim::{SimOptions, Simulation};
+
+#[test]
+fn same_seed_same_everything() {
+    let trace = synthetic(SynthParams::synth_bd(120).duration(40 * avmon::MINUTE).seed(77));
+    let config = Config::builder(120).build().unwrap();
+    let run = || {
+        Simulation::new(trace.clone(), SimOptions::new(config.clone()).seed(5)).run()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.discovery, b.discovery);
+    assert_eq!(a.series, b.series);
+    assert_eq!(a.totals, b.totals);
+    assert_eq!(a.alive_at_end, b.alive_at_end);
+    assert_eq!(a.availability.len(), b.availability.len());
+    for (ma, mb) in a.availability.iter().zip(&b.availability) {
+        assert_eq!(ma.node, mb.node);
+        assert_eq!(ma.estimated, mb.estimated);
+    }
+}
+
+#[test]
+fn different_sim_seed_changes_dynamics_not_relationships() {
+    let trace = overnet_like(2 * avmon::HOUR, 9);
+    let config = Config::builder(550).k(9).cvs(19).build().unwrap();
+    let a = Simulation::new(trace.clone(), SimOptions::new(config.clone()).seed(1)).run();
+    let b = Simulation::new(trace, SimOptions::new(config).seed(2)).run();
+    // Dynamics differ…
+    assert_ne!(a.totals, b.totals);
+    // …but the monitoring relationship is seed-independent (consistency):
+    // any monitor discovered in both runs agrees on direction. Spot-check
+    // via discovery logs: the sets of *who monitors whom* may be partially
+    // discovered, but never contradictory — verified implicitly because
+    // every acceptance re-checks the hash condition. Here we check the
+    // reports only share the same universe.
+    assert_eq!(a.n, b.n);
+    assert_eq!(a.k, b.k);
+}
+
+#[test]
+fn trace_generation_is_referentially_transparent() {
+    let p = SynthParams::synth(200).duration(avmon::HOUR).seed(31);
+    assert_eq!(synthetic(p), synthetic(p));
+}

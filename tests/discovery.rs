@@ -1,0 +1,90 @@
+//! Cross-crate discovery behaviour: the paper's headline result (monitors
+//! found within about one protocol period) reproduced end-to-end.
+
+use avmon::{Config, MINUTE};
+use avmon_churn::{overnet_like, planetlab_like, stat, synthetic, SynthParams};
+use avmon_sim::{metrics, SimOptions, Simulation};
+
+#[test]
+fn stat_discovery_is_subminute_on_average() {
+    let n = 200;
+    let trace = stat(n, 40 * MINUTE, 0.1, 1);
+    let report = Simulation::new(trace, SimOptions::new(Config::builder(n).build().unwrap()))
+        .run();
+    let lat: Vec<f64> = report.discovery_latencies(1).iter().map(|&ms| ms as f64).collect();
+    assert_eq!(lat.len() + report.undiscovered(1), 20);
+    assert!(report.undiscovered(1) <= 1);
+    let avg_min = metrics::mean(&lat) / MINUTE as f64;
+    assert!(avg_min < 2.0, "average discovery {avg_min} min, paper reports < 1");
+}
+
+#[test]
+fn discovery_succeeds_under_synth_churn() {
+    let n = 200;
+    let trace = synthetic(SynthParams::synth(n).duration(40 * MINUTE).seed(2));
+    let report =
+        Simulation::new(trace, SimOptions::new(Config::builder(n).build().unwrap()).seed(2))
+            .run();
+    let found = report.discovery_latencies(1).len();
+    let total = report.discovery.len();
+    assert!(found * 10 >= total * 8, "only {found}/{total} discovered under churn");
+}
+
+#[test]
+fn discovery_succeeds_on_trace_substitutes() {
+    // PL-like: paper reports >98% of first monitors found within ~1 min.
+    let pl = planetlab_like(90 * MINUTE, 3);
+    let config = Config::builder(239).k(8).cvs(16).build().unwrap();
+    let report = Simulation::new(pl, SimOptions::new(config).seed(3)).run();
+    let lat = report.discovery_latencies(1);
+    let frac = lat.len() as f64 / report.discovery.len().max(1) as f64;
+    assert!(frac > 0.9, "PL: only {frac:.2} discovered");
+
+    // OV-like: 97.27% of born nodes discovered within ~1 minute.
+    let ov = overnet_like(3 * 60 * MINUTE, 3);
+    let config = Config::builder(550).k(9).cvs(19).build().unwrap();
+    let report = Simulation::new(ov, SimOptions::new(config).seed(3)).run();
+    let lat = report.discovery_latencies(1);
+    assert!(!lat.is_empty(), "OV: some births must be discovered");
+    let within_2min = lat.iter().filter(|&&ms| ms <= 2 * MINUTE).count();
+    assert!(
+        within_2min * 10 >= lat.len() * 7,
+        "OV: {within_2min}/{} within 2 minutes",
+        lat.len()
+    );
+}
+
+#[test]
+fn larger_views_discover_faster() {
+    let n = 400;
+    let mut avgs = Vec::new();
+    for cvs in [6usize, 12, 24] {
+        let trace = stat(n, 40 * MINUTE, 0.1, 4);
+        let config = Config::builder(n).cvs(cvs).build().unwrap();
+        let report = Simulation::new(trace, SimOptions::new(config).seed(4)).run();
+        let lat: Vec<f64> =
+            report.discovery_latencies(1).iter().map(|&ms| ms as f64).collect();
+        avgs.push(metrics::mean(&lat));
+    }
+    assert!(
+        avgs[0] > avgs[2],
+        "discovery should accelerate with cvs: {avgs:?} (E[D] ≈ N/cvs²)"
+    );
+}
+
+#[test]
+fn pinging_sets_concentrate_around_k() {
+    let n = 300;
+    let trace = stat(n, 90 * MINUTE, 0.0, 5);
+    let config = Config::builder(n).build().unwrap();
+    let k = f64::from(config.k);
+    let mut sim = Simulation::new(trace, SimOptions::new(config).seed(5));
+    let _ = sim.run();
+    let sizes: Vec<f64> =
+        sim.alive().filter_map(|id| sim.node(id).map(|n| n.pinging_set_len() as f64)).collect();
+    let avg = metrics::mean(&sizes);
+    assert!(
+        (avg - k).abs() < k * 0.4,
+        "average |PS| = {avg}, expected ≈ K = {k} after long enough discovery"
+    );
+}

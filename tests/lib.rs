@@ -1,0 +1,2 @@
+//! Integration-test crate for the AVMON workspace; the tests live in the
+//! sibling `*.rs` files declared in `Cargo.toml`.

@@ -1,0 +1,55 @@
+//! Trace round-trips through the full pipeline: generate → serialize →
+//! reload → simulate, with identical results.
+
+use avmon::Config;
+use avmon_churn as churn;
+use avmon_sim::{SimOptions, Simulation};
+
+#[test]
+fn serialized_trace_simulates_identically() {
+    let trace = churn::synthetic(churn::SynthParams::synth(80).duration(30 * avmon::MINUTE));
+    let json = churn::to_json(&trace).unwrap();
+    let reloaded = churn::from_json(&json).unwrap();
+    assert_eq!(trace, reloaded);
+
+    let config = Config::builder(80).build().unwrap();
+    let a = Simulation::new(trace, SimOptions::new(config.clone()).seed(3)).run();
+    let b = Simulation::new(reloaded, SimOptions::new(config).seed(3)).run();
+    assert_eq!(a.totals, b.totals);
+    assert_eq!(a.discovery, b.discovery);
+}
+
+#[test]
+fn text_format_round_trips_through_files() {
+    let trace = churn::overnet_like(avmon::HOUR, 5);
+    let dir = std::env::temp_dir().join("avmon-integration-traces");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ov.trace");
+    std::fs::write(&path, churn::to_text(&trace)).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let reloaded = churn::from_text(&text).unwrap();
+    assert_eq!(trace, reloaded);
+}
+
+#[test]
+fn trace_stats_drive_config_choices() {
+    // The documented workflow: measure a trace, derive N, configure AVMON.
+    let trace = churn::overnet_like(2 * avmon::HOUR, 6);
+    let n = trace.stable_size;
+    let config = Config::builder(n).build().unwrap();
+    assert_eq!(config.system_size, 550);
+    // K = ⌈log2 550⌉ = 10 by default; paper rounds to 9 — both within the
+    // K = O(log N) regime of §4.3.
+    assert!((9..=10).contains(&config.k));
+}
+
+#[test]
+fn ground_truth_availability_matches_event_history() {
+    let trace = churn::planetlab_like(4 * avmon::HOUR, 7);
+    let intervals = trace.up_intervals();
+    for (&node, ups) in intervals.iter().take(10) {
+        let manual: u64 = ups.iter().map(|&(s, e)| e - s).sum();
+        let reported = trace.availability_of(node, 0, trace.horizon);
+        assert!((reported - manual as f64 / trace.horizon as f64).abs() < 1e-12);
+    }
+}
