@@ -8,7 +8,10 @@
 /// Panics if `a` is outside `[0, 1]`.
 #[must_use]
 pub fn prob_some_monitor_up(a: f64, k: u32) -> f64 {
-    assert!((0.0..=1.0).contains(&a), "availability must be in [0,1], got {a}");
+    assert!(
+        (0.0..=1.0).contains(&a),
+        "availability must be in [0,1], got {a}"
+    );
     1.0 - (1.0 - a).powi(k as i32)
 }
 

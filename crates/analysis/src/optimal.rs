@@ -113,9 +113,11 @@ mod tests {
     #[test]
     fn integer_argmin_is_local_minimum() {
         let n = 250_000.0;
-        for objective in
-            [objective_md as fn(usize, f64) -> f64, objective_mdc, objective_dc]
-        {
+        for objective in [
+            objective_md as fn(usize, f64) -> f64,
+            objective_mdc,
+            objective_dc,
+        ] {
             let best = integer_argmin(n, objective);
             let v = objective(best, n);
             assert!(v <= objective(best - 1, n));

@@ -102,7 +102,10 @@ mod tests {
     fn orderings_match_the_paper() {
         let rows = table1(1_000_000);
         let by_name = |name: &str| {
-            rows.iter().find(|r| r.approach.contains(name)).expect("row exists").clone()
+            rows.iter()
+                .find(|r| r.approach.contains(name))
+                .expect("row exists")
+                .clone()
         };
         let broadcast = by_name("Broadcast");
         let log_n = by_name("log N");
@@ -132,7 +135,10 @@ mod tests {
         assert_eq!(mdc.cvs, Some(32));
         // D ≈ √N = 1000 periods.
         assert!((900.0..1100.0).contains(&mdc.discovery_periods));
-        let md = rows.iter().find(|r| r.approach.contains("Optimal-MD ")).unwrap();
+        let md = rows
+            .iter()
+            .find(|r| r.approach.contains("Optimal-MD "))
+            .unwrap();
         assert_eq!(md.cvs, Some(126));
         // D ≈ (2N)^{1/3} = 126 periods.
         assert!((55.0..130.0).contains(&md.discovery_periods));

@@ -30,8 +30,12 @@ fn digest_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("digest_throughput");
     let data = vec![0xa5u8; 64 * 1024];
     group.throughput(Throughput::Bytes(data.len() as u64));
-    group.bench_function("md5_64k", |b| b.iter(|| avmon_hash::md5(std::hint::black_box(&data))));
-    group.bench_function("sha1_64k", |b| b.iter(|| avmon_hash::sha1(std::hint::black_box(&data))));
+    group.bench_function("md5_64k", |b| {
+        b.iter(|| avmon_hash::md5(std::hint::black_box(&data)))
+    });
+    group.bench_function("sha1_64k", |b| {
+        b.iter(|| avmon_hash::sha1(std::hint::black_box(&data)))
+    });
     group.finish();
 }
 
@@ -43,8 +47,12 @@ fn consistency_scan(c: &mut Criterion) {
         let config = Config::builder(1_000_000).cvs(cvs).build().unwrap();
         let selector = HashSelector::from_config(&config);
         let side_a: Vec<NodeId> = (0..cvs as u32 + 2).map(NodeId::from_index).collect();
-        let side_b: Vec<NodeId> = (1000..1000 + cvs as u32 + 2).map(NodeId::from_index).collect();
-        group.throughput(Throughput::Elements((2 * side_a.len() * side_b.len()) as u64));
+        let side_b: Vec<NodeId> = (1000..1000 + cvs as u32 + 2)
+            .map(NodeId::from_index)
+            .collect();
+        group.throughput(Throughput::Elements(
+            (2 * side_a.len() * side_b.len()) as u64,
+        ));
         group.bench_with_input(BenchmarkId::new("fast64", cvs), &cvs, |b, _| {
             b.iter(|| {
                 let mut matches = 0u32;

@@ -1,9 +1,10 @@
 //! Protocol-operation micro-benchmarks: coarse-view shuffles, JOIN
-//! handling, the wire codec, and a full protocol period of one node.
+//! handling, the wire codec, a full protocol period of one node, and the
+//! driver loop itself (poll-drain vs. the old collect-into-`Vec` pattern).
 
 use avmon::codec::{decode, encode};
 use avmon::{
-    CoarseView, Config, HashSelector, JoinKind, Message, Node, NodeId, Nonce, Timer,
+    Action, CoarseView, Config, HashSelector, JoinKind, Message, Node, NodeId, Nonce, Timer,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
@@ -44,43 +45,136 @@ fn codec(c: &mut Criterion) {
     group.finish();
 }
 
+/// Builds a warmed-up node with a full view for period benchmarks.
+fn period_node(n: usize) -> (Node, Vec<NodeId>) {
+    let config = Config::builder(n).build().unwrap();
+    let cvs = config.cvs;
+    let selector = Arc::new(HashSelector::from_config(&config));
+    let mut node = Node::new(NodeId::from_index(0), config, selector, 7);
+    node.start(0, JoinKind::Fresh, None);
+    while node.poll_transmit().is_some() {}
+    while node.poll_timer().is_some() {}
+    let seeds: Vec<NodeId> = (1..=cvs as u32).map(NodeId::from_index).collect();
+    node.seed_view(&seeds);
+    let peer_view: Vec<NodeId> = (10_000..10_000 + cvs as u32)
+        .map(NodeId::from_index)
+        .collect();
+    (node, peer_view)
+}
+
 fn node_period(c: &mut Criterion) {
     // One full protocol period + fetched-view processing: the per-node
     // per-minute work of Fig. 2 (send ping + fetch, scan 2·(cvs+2)² pairs,
-    // shuffle).
+    // shuffle), drained through the poll interface.
     let mut group = c.benchmark_group("node_protocol_period");
     for n in [2000usize, 1_000_000] {
-        let config = Config::builder(n).build().unwrap();
-        let cvs = config.cvs;
-        let selector = Arc::new(HashSelector::from_config(&config));
-        group.bench_with_input(BenchmarkId::new("period_plus_scan", n), &n, |b, _| {
-            let mut node = Node::new(NodeId::from_index(0), config.clone(), selector.clone(), 7);
-            let _ = node.start(0, JoinKind::Fresh, None);
-            let seeds: Vec<NodeId> = (1..=cvs as u32).map(NodeId::from_index).collect();
-            node.seed_view(&seeds);
-            let peer_view: Vec<NodeId> =
-                (10_000..10_000 + cvs as u32).map(NodeId::from_index).collect();
+        group.bench_with_input(BenchmarkId::new("period_plus_scan", n), &n, |b, &n| {
+            let (mut node, peer_view) = period_node(n);
             let mut now = 60_000u64;
             b.iter(|| {
-                let actions = node.handle_timer(now, Timer::Protocol);
-                // Answer the fetch so the pair scan runs.
-                let fetch = actions.iter().find_map(|a| match a {
-                    avmon::Action::Send { to, msg: Message::ViewFetch { nonce } } => {
-                        Some((*to, *nonce))
+                node.handle_timer(now, Timer::Protocol);
+                // Answer the fetch so the pair scan runs; drain everything.
+                let mut fetch = None;
+                while let Some(t) = node.poll_transmit() {
+                    if let Message::ViewFetch { nonce } = t.msg {
+                        fetch = t.unicast_to().map(|to| (to, nonce));
                     }
-                    _ => None,
-                });
+                }
+                while node.poll_timer().is_some() {}
                 if let Some((peer, nonce)) = fetch {
-                    let _ = node.handle_message(
+                    node.handle_message(
                         now + 50,
                         peer,
-                        Message::ViewFetchReply { nonce, view: peer_view.clone() },
+                        Message::ViewFetchReply {
+                            nonce,
+                            view: peer_view.clone(),
+                        },
                     );
+                    while node.poll_transmit().is_some() {}
+                    while node.poll_timer().is_some() {}
+                    while node.poll_event().is_some() {}
                 }
                 now += 60_000;
             })
         });
     }
+    group.finish();
+}
+
+/// Collects a node's queued outputs into a freshly allocated `Vec<Action>`
+/// — the pre-redesign pattern every `handle_*` call forced on drivers.
+use avmon::driver::collect_actions as collect_vec;
+
+/// The driver-loop benchmark: identical protocol work per iteration, two
+/// ways of draining the node's outputs.
+///
+/// * `poll_drain` — the redesigned hot path: consume each output in place
+///   straight off the node's reusable queues.
+/// * `vec_collect` — the pre-redesign pattern: allocate a fresh
+///   `Vec<Action>` per input and materialize every effect into it before
+///   dispatch (what `handle_*` returning `Vec<Action>` forced on every
+///   driver).
+///
+/// The workload is monitor-ping servicing — the request/response input a
+/// node handles `Θ(K)` times per period from every one of its monitors,
+/// with negligible protocol compute — so the measured delta is exactly the
+/// per-input allocation + move cost the sans-io poll redesign removes from
+/// every driver (sim engine, threaded runtime, UDP).
+fn driver_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("driver_loop");
+    let n = 2000usize;
+    let peer = NodeId::from_index(4242);
+
+    group.bench_function("ping_service/poll_drain", |b| {
+        let (mut node, _) = period_node(n);
+        let mut nonce = 0u64;
+        let mut sink = 0u64;
+        b.iter(|| {
+            nonce += 1;
+            node.handle_message(
+                nonce,
+                peer,
+                Message::MonitorPing {
+                    nonce: Nonce(nonce),
+                },
+            );
+            while let Some(t) = node.poll_transmit() {
+                sink = sink.wrapping_add(avmon::codec::encoded_len(&t.msg) as u64);
+            }
+            while let Some((_, at)) = node.poll_timer() {
+                sink = sink.wrapping_add(at);
+            }
+            while node.poll_event().is_some() {}
+            std::hint::black_box(sink)
+        })
+    });
+
+    group.bench_function("ping_service/vec_collect", |b| {
+        let (mut node, _) = period_node(n);
+        let mut nonce = 0u64;
+        let mut sink = 0u64;
+        b.iter(|| {
+            nonce += 1;
+            node.handle_message(
+                nonce,
+                peer,
+                Message::MonitorPing {
+                    nonce: Nonce(nonce),
+                },
+            );
+            for a in &collect_vec(&mut node) {
+                match a {
+                    Action::Send { msg, .. } => {
+                        sink = sink.wrapping_add(avmon::codec::encoded_len(msg) as u64);
+                    }
+                    Action::SetTimer { at, .. } => sink = sink.wrapping_add(*at),
+                    _ => {}
+                }
+            }
+            std::hint::black_box(sink)
+        })
+    });
+
     group.finish();
 }
 
@@ -98,8 +192,16 @@ fn join_handling(c: &mut Criterion) {
             node.handle_message(
                 0,
                 NodeId::from_index(1),
-                Message::Join { origin: NodeId::from_index(i), weight: cvs as u32, hops: 0 },
-            )
+                Message::Join {
+                    origin: NodeId::from_index(i),
+                    weight: cvs as u32,
+                    hops: 0,
+                },
+            );
+            // Drain in place, as a driver would.
+            while node.poll_transmit().is_some() {}
+            while node.poll_timer().is_some() {}
+            while node.poll_event().is_some() {}
         })
     });
 }
@@ -107,6 +209,6 @@ fn join_handling(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = view_ops, codec, node_period, join_handling
+    targets = view_ops, codec, node_period, driver_loop, join_handling
 }
 criterion_main!(benches);

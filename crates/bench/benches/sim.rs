@@ -39,7 +39,13 @@ fn trace_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace_generation");
     group.sample_size(10);
     group.bench_function("synth_bd_2000_4h", |b| {
-        b.iter(|| synthetic(SynthParams::synth_bd(2000).duration(4 * 60 * MINUTE).seed(3)))
+        b.iter(|| {
+            synthetic(
+                SynthParams::synth_bd(2000)
+                    .duration(4 * 60 * MINUTE)
+                    .seed(3),
+            )
+        })
     });
     group.bench_function("overnet_like_48h", |b| {
         b.iter(|| overnet_like(48 * 60 * MINUTE, 3))

@@ -22,7 +22,13 @@ pub fn fig17(ctx: &ExpContext) -> Vec<ResultTable> {
     let mut summary = ResultTable::new(
         "fig17-summary",
         "aggregate estimation error, forgetful vs non-forgetful",
-        &["variant", "mean_ratio", "mean_abs_rel_error", "max_abs_rel_error", "nodes"],
+        &[
+            "variant",
+            "mean_ratio",
+            "mean_abs_rel_error",
+            "max_abs_rel_error",
+            "nodes",
+        ],
     );
     let duration = ctx.duration(8.0);
     let n = if ctx.quick { 400 } else { 2000 };
@@ -42,7 +48,11 @@ pub fn fig17(ctx: &ExpContext) -> Vec<ResultTable> {
     for (variant, report) in reports {
         let mut ratios = Vec::new();
         let mut errors = Vec::new();
-        for m in report.availability.iter().filter(|m| m.control && m.actual > 0.05) {
+        for m in report
+            .availability
+            .iter()
+            .filter(|m| m.control && m.actual > 0.05)
+        {
             let ratio = m.estimated / m.actual;
             ratios.push(ratio);
             errors.push((ratio - 1.0).abs());
@@ -91,7 +101,12 @@ pub fn fig18(ctx: &ExpContext) -> Vec<ResultTable> {
             }
         });
         let useless = report.useless_pings_per_minute();
-        vec![variant.into(), n.to_string(), f3(mean(&useless)), f3(stddev(&useless))]
+        vec![
+            variant.into(),
+            n.to_string(),
+            f3(mean(&useless)),
+            f3(stddev(&useless)),
+        ]
     });
     for row in rows {
         table.push(row);
@@ -107,7 +122,12 @@ pub fn fig20(ctx: &ExpContext) -> Vec<ResultTable> {
     let mut table = ResultTable::new(
         "fig20",
         "fraction of nodes with >0.2 availability error vs misreporting fraction",
-        &["model", "misreporting_fraction", "affected_fraction", "measured_nodes"],
+        &[
+            "model",
+            "misreporting_fraction",
+            "affected_fraction",
+            "measured_nodes",
+        ],
     );
     let duration = ctx.duration(4.0);
     let models: Vec<Model> = if ctx.quick {
@@ -133,10 +153,15 @@ pub fn fig20(ctx: &ExpContext) -> Vec<ResultTable> {
             opts = opts.behavior(id, Behavior::OverreportAll);
         }
         let report = Simulation::new(trace, opts).run();
-        let measured: Vec<&avmon_sim::AvailabilityMeasure> =
-            report.availability.iter().filter(|m| m.monitors > 0).collect();
-        let affected =
-            measured.iter().filter(|m| (m.estimated - m.actual).abs() > 0.2).count();
+        let measured: Vec<&avmon_sim::AvailabilityMeasure> = report
+            .availability
+            .iter()
+            .filter(|m| m.monitors > 0)
+            .collect();
+        let affected = measured
+            .iter()
+            .filter(|m| (m.estimated - m.actual).abs() > 0.2)
+            .count();
         let frac_affected = if measured.is_empty() {
             0.0
         } else {
@@ -165,7 +190,11 @@ fn pick_attackers(trace: &Trace, fraction: f64, seed: u64) -> Vec<NodeId> {
     }
     let stride = (ids.len() / want).max(1);
     let offset = (seed as usize) % stride.max(1);
-    ids.into_iter().skip(offset).step_by(stride).take(want).collect()
+    ids.into_iter()
+        .skip(offset)
+        .step_by(stride)
+        .take(want)
+        .collect()
 }
 
 #[cfg(test)]

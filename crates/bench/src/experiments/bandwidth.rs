@@ -24,7 +24,10 @@ pub fn fig19(ctx: &ExpContext) -> Vec<ResultTable> {
 
     let mut runs: Vec<(&str, avmon_sim::SimReport)> = vec![
         ("STAT", run_model(Model::Stat, n, duration, ctx, |b| b)),
-        ("STAT-PR2", run_model(Model::Stat, n, duration, ctx, |b| b.pr2(true))),
+        (
+            "STAT-PR2",
+            run_model(Model::Stat, n, duration, ctx, |b| b.pr2(true)),
+        ),
         ("OV", run_model(Model::Ov, 0, duration, ctx, |b| b)),
     ];
     for (variant, report) in &mut runs {

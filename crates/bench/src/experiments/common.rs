@@ -94,14 +94,15 @@ impl Model {
         match self {
             Model::Stat => stat(n, duration, 0.1, seed),
             Model::Synth => synthetic(
-                SynthParams { control_fraction: 0.1, ..SynthParams::synth(n) }
-                    .duration(duration)
-                    .seed(seed),
+                SynthParams {
+                    control_fraction: 0.1,
+                    ..SynthParams::synth(n)
+                }
+                .duration(duration)
+                .seed(seed),
             ),
             Model::SynthBd => synthetic(SynthParams::synth_bd(n).duration(duration).seed(seed)),
-            Model::SynthBd2 => {
-                synthetic(SynthParams::synth_bd2(n).duration(duration).seed(seed))
-            }
+            Model::SynthBd2 => synthetic(SynthParams::synth_bd2(n).duration(duration).seed(seed)),
             Model::Pl => planetlab_like(duration, seed),
             Model::Ov => overnet_like(duration, seed),
         }
@@ -132,7 +133,9 @@ pub fn run_model(
     tweak: impl FnOnce(ConfigBuilder) -> ConfigBuilder,
 ) -> SimReport {
     let trace = model.trace(n, duration, ctx.seed);
-    let config = tweak(model.config_builder(n)).build().expect("experiment config");
+    let config = tweak(model.config_builder(n))
+        .build()
+        .expect("experiment config");
     let opts = SimOptions::new(config).seed(ctx.seed).hasher(ctx.hasher);
     Simulation::new(trace, opts).run()
 }
@@ -170,7 +173,10 @@ where
             .into_iter()
             .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
             .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
 }
 
@@ -203,7 +209,10 @@ mod tests {
     #[test]
     fn sweep_trims_under_quick() {
         let mut ctx = ExpContext::default();
-        assert_eq!(ctx.sweep(&[100, 500, 1000, 2000]), vec![100, 500, 1000, 2000]);
+        assert_eq!(
+            ctx.sweep(&[100, 500, 1000, 2000]),
+            vec![100, 500, 1000, 2000]
+        );
         ctx.quick = true;
         assert_eq!(ctx.sweep(&[100, 500, 1000, 2000]), vec![100, 2000]);
     }

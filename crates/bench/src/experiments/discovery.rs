@@ -7,11 +7,19 @@ use crate::experiments::common::{min, run_model, sec, ExpContext, Model};
 use crate::output::{f3, ResultTable};
 
 fn latencies_min(report: &avmon_sim::SimReport, l: usize) -> Vec<f64> {
-    report.discovery_latencies(l).iter().map(|&ms| min(ms)).collect()
+    report
+        .discovery_latencies(l)
+        .iter()
+        .map(|&ms| min(ms))
+        .collect()
 }
 
 fn latencies_sec(report: &avmon_sim::SimReport, l: usize) -> Vec<f64> {
-    report.discovery_latencies(l).iter().map(|&ms| sec(ms)).collect()
+    report
+        .discovery_latencies(l)
+        .iter()
+        .map(|&ms| sec(ms))
+        .collect()
 }
 
 /// Fig. 3: average discovery time of the first monitor for the control
@@ -22,7 +30,13 @@ pub fn fig3(ctx: &ExpContext) -> Vec<ResultTable> {
     let mut table = ResultTable::new(
         "fig3",
         "average discovery time of first monitor (minutes) vs N",
-        &["model", "n", "avg_discovery_min", "discovered", "undiscovered"],
+        &[
+            "model",
+            "n",
+            "avg_discovery_min",
+            "discovered",
+            "undiscovered",
+        ],
     );
     let mut jobs = Vec::new();
     for model in [Model::Stat, Model::Synth, Model::SynthBd] {
@@ -56,7 +70,10 @@ pub fn fig3(ctx: &ExpContext) -> Vec<ResultTable> {
 pub fn fig4_5(ctx: &ExpContext, model: Model, id: &str) -> Vec<ResultTable> {
     let mut table = ResultTable::new(
         id,
-        format!("CDF of first-monitor discovery time (seconds), {}", model.label()),
+        format!(
+            "CDF of first-monitor discovery time (seconds), {}",
+            model.label()
+        ),
         &["model", "n", "seconds", "fraction_discovered"],
     );
     let duration = ctx.duration(if model == Model::SynthBd { 6.0 } else { 2.0 });

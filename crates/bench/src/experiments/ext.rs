@@ -18,7 +18,12 @@ pub fn ext_dht(ctx: &ExpContext) -> Vec<ResultTable> {
     let mut table = ResultTable::new(
         "ext-dht",
         "PS(x) membership changes per churn event: DHT ring vs AVMON hash",
-        &["selector", "churn_events", "ps_changes", "changes_per_event"],
+        &[
+            "selector",
+            "churn_events",
+            "ps_changes",
+            "changes_per_event",
+        ],
     );
     let n = 500;
     let duration = ctx.duration(2.0);
@@ -93,7 +98,12 @@ pub fn ext_ed(ctx: &ExpContext) -> Vec<ResultTable> {
     let mut table = ResultTable::new(
         "ext-ed",
         "measured first-monitor discovery vs analytic bound, STAT N=1000",
-        &["cvs", "analytic_ed_periods", "analytic_first_of_k_periods", "measured_first_periods"],
+        &[
+            "cvs",
+            "analytic_ed_periods",
+            "analytic_first_of_k_periods",
+            "measured_first_periods",
+        ],
     );
     let n = 1000;
     let duration = ctx.duration(3.0);
@@ -136,8 +146,7 @@ pub fn ext_join(ctx: &ExpContext) -> Vec<ResultTable> {
         // Collect JOIN absorption events for the control group.
         let control: std::collections::HashSet<NodeId> =
             trace.control_group.iter().copied().collect();
-        let mut absorbed: std::collections::HashMap<NodeId, u32> =
-            std::collections::HashMap::new();
+        let mut absorbed: std::collections::HashMap<NodeId, u32> = std::collections::HashMap::new();
         for (_, event) in sim.take_app_events() {
             if let avmon::AppEvent::JoinAbsorbed { origin } = event {
                 if control.contains(&origin) {
@@ -169,7 +178,13 @@ pub fn ext_collusion(ctx: &ExpContext) -> Vec<ResultTable> {
     let mut table = ResultTable::new(
         "ext-collusion",
         "probability that a colluder pollutes PS(x) vs C colluders",
-        &["n", "k", "colluders", "empirical_pollution", "analytic_pollution"],
+        &[
+            "n",
+            "k",
+            "colluders",
+            "empirical_pollution",
+            "analytic_pollution",
+        ],
     );
     let n = 2000usize;
     let config = Config::builder(n).build().expect("config");
@@ -225,7 +240,10 @@ pub fn ext_ps_size(ctx: &ExpContext) -> Vec<ResultTable> {
         let ids: Vec<NodeId> = (0..n as u32).map(NodeId::from_index).collect();
         let mut sizes = Vec::with_capacity(n);
         for &x in &ids {
-            let count = ids.iter().filter(|&&m| m != x && selector.is_monitor(m, x)).count();
+            let count = ids
+                .iter()
+                .filter(|&&m| m != x && selector.is_monitor(m, x))
+                .count();
             sizes.push(count as f64);
         }
         let minv = sizes.iter().cloned().fold(f64::MAX, f64::min);
@@ -253,13 +271,17 @@ pub fn ext_broadcast(ctx: &ExpContext) -> Vec<ResultTable> {
     );
     let duration = ctx.duration(1.0);
     for n in ctx.sweep(&[100, 300, 600]) {
-        for (variant, mode) in
-            [("broadcast", DiscoveryMode::Broadcast), ("avmon", DiscoveryMode::CoarseView)]
-        {
+        for (variant, mode) in [
+            ("broadcast", DiscoveryMode::Broadcast),
+            ("avmon", DiscoveryMode::CoarseView),
+        ] {
             let report = run_model(Model::Synth, n, duration, ctx, |b| b.discovery(mode));
             let bw = report.bandwidth_bps();
-            let lat: Vec<f64> =
-                report.discovery_latencies(1).iter().map(|&ms| ms as f64 / 1000.0).collect();
+            let lat: Vec<f64> = report
+                .discovery_latencies(1)
+                .iter()
+                .map(|&ms| ms as f64 / 1000.0)
+                .collect();
             table.push(vec![
                 variant.into(),
                 n.to_string(),

@@ -15,9 +15,31 @@ use crate::output::ResultTable;
 
 /// All experiment identifiers, in run order.
 pub const ALL_IDS: &[&str] = &[
-    "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "ext-dht", "ext-ed",
-    "ext-join", "ext-collusion", "ext-ps-size", "ext-broadcast",
+    "table1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "ext-dht",
+    "ext-ed",
+    "ext-join",
+    "ext-collusion",
+    "ext-ps-size",
+    "ext-broadcast",
 ];
 
 /// Runs one experiment by id.
@@ -63,7 +85,10 @@ mod tests {
 
     #[test]
     fn registry_covers_every_id() {
-        let ctx = ExpContext { quick: true, ..ExpContext::default() };
+        let ctx = ExpContext {
+            quick: true,
+            ..ExpContext::default()
+        };
         // Don't run them here (slow); just verify id dispatch exists by
         // checking the error path only triggers for unknown ids.
         assert!(run("fig99", &ctx).is_err());

@@ -14,7 +14,14 @@ pub fn fig7(ctx: &ExpContext) -> Vec<ResultTable> {
     let mut table = ResultTable::new(
         "fig7",
         "average computations per second per node vs N",
-        &["model", "n", "cvs", "avg_comps_per_sec", "stddev", "two_cvs_sq_per_min"],
+        &[
+            "model",
+            "n",
+            "cvs",
+            "avg_comps_per_sec",
+            "stddev",
+            "two_cvs_sq_per_min",
+        ],
     );
     let duration = ctx.duration(2.0);
     let mut jobs = Vec::new();
@@ -58,12 +65,7 @@ pub fn fig8(ctx: &ExpContext) -> Vec<ResultTable> {
             let hi = comps.iter().cloned().fold(1.0f64, f64::max).ceil();
             let grid: Vec<f64> = (0..=25).map(|i| f64::from(i) * hi / 25.0).collect();
             for (x, frac) in grid.iter().zip(cdf(&comps, &grid)) {
-                table.push(vec![
-                    model.label().into(),
-                    n.to_string(),
-                    f3(*x),
-                    f3(frac),
-                ]);
+                table.push(vec![model.label().into(), n.to_string(), f3(*x), f3(frac)]);
             }
         }
     }
@@ -76,7 +78,13 @@ pub fn fig9(ctx: &ExpContext) -> Vec<ResultTable> {
     let mut table = ResultTable::new(
         "fig9",
         "average memory entries (|PS|+|TS|+|CV|) per node vs N",
-        &["model", "n", "avg_entries", "stddev", "expected_cvs_plus_2k"],
+        &[
+            "model",
+            "n",
+            "avg_entries",
+            "stddev",
+            "expected_cvs_plus_2k",
+        ],
     );
     let duration = ctx.duration(2.0);
     let mut jobs = Vec::new();
@@ -117,12 +125,7 @@ pub fn fig10(ctx: &ExpContext) -> Vec<ResultTable> {
             let mem = report.memory_entries();
             let grid: Vec<f64> = (0..=18).map(|i| f64::from(i) * 5.0).collect(); // 0..90
             for (x, frac) in grid.iter().zip(cdf(&mem, &grid)) {
-                table.push(vec![
-                    model.label().into(),
-                    n.to_string(),
-                    f3(*x),
-                    f3(frac),
-                ]);
+                table.push(vec![model.label().into(), n.to_string(), f3(*x), f3(frac)]);
             }
         }
     }
@@ -193,7 +196,12 @@ pub fn fig16(ctx: &ExpContext) -> Vec<ResultTable> {
     let rows = crate::experiments::common::par_map(jobs, |(model, n)| {
         let report = run_model(model, n, duration, ctx, |b| b);
         let mem = report.memory_entries();
-        vec![model.label().into(), n.to_string(), f3(mean(&mem)), f3(stddev(&mem))]
+        vec![
+            model.label().into(),
+            n.to_string(),
+            f3(mean(&mem)),
+            f3(stddev(&mem)),
+        ]
     });
     for row in rows {
         table.push(row);

@@ -15,7 +15,14 @@ pub fn table1(ctx: &ExpContext) -> Vec<ResultTable> {
     let mut analytic = ResultTable::new(
         "table1",
         "analytic variant comparison (memory/bandwidth M, discovery D, computation C)",
-        &["n", "approach", "cvs", "m_entries", "d_periods", "c_per_round"],
+        &[
+            "n",
+            "approach",
+            "cvs",
+            "m_entries",
+            "d_periods",
+            "c_per_round",
+        ],
     );
     for n in [2000usize, 1_000_000] {
         for row in avmon_analysis::table1(n) {
@@ -39,7 +46,13 @@ pub fn table1(ctx: &ExpContext) -> Vec<ResultTable> {
     let mut empirical = ResultTable::new(
         "table1-empirical",
         "measured variant comparison at N=500 (STAT)",
-        &["variant", "cvs", "avg_discovery_min", "avg_bw_bps", "avg_comps_per_sec"],
+        &[
+            "variant",
+            "cvs",
+            "avg_discovery_min",
+            "avg_bw_bps",
+            "avg_comps_per_sec",
+        ],
     );
     let n = 500;
     let duration = ctx.duration(2.0);
@@ -55,7 +68,11 @@ pub fn table1(ctx: &ExpContext) -> Vec<ResultTable> {
             Some(p) => b.cvs_policy(p),
             None => b.discovery(DiscoveryMode::Broadcast),
         });
-        let lat: Vec<f64> = report.discovery_latencies(1).iter().map(|&ms| min(ms)).collect();
+        let lat: Vec<f64> = report
+            .discovery_latencies(1)
+            .iter()
+            .map(|&ms| min(ms))
+            .collect();
         empirical.push(vec![
             name.into(),
             report.cvs.to_string(),

@@ -20,11 +20,7 @@ pub struct ResultTable {
 impl ResultTable {
     /// Creates an empty table.
     #[must_use]
-    pub fn new(
-        id: impl Into<String>,
-        caption: impl Into<String>,
-        columns: &[&str],
-    ) -> Self {
+    pub fn new(id: impl Into<String>, caption: impl Into<String>, columns: &[&str]) -> Self {
         ResultTable {
             id: id.into(),
             caption: caption.into(),
@@ -39,7 +35,12 @@ impl ResultTable {
     ///
     /// Panics if the row arity differs from the header.
     pub fn push(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.columns.len(), "row arity mismatch in {}", self.id);
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity mismatch in {}",
+            self.id
+        );
         self.rows.push(row);
     }
 
@@ -99,7 +100,11 @@ impl ResultTable {
             .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
             .collect();
         let _ = writeln!(out, "{}", header.join("  "));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             let cells: Vec<String> = row
                 .iter()
@@ -171,7 +176,9 @@ mod tests {
         let dir = std::env::temp_dir().join("avmon-results-test");
         let path = sample().write_csv(&dir).unwrap();
         assert!(path.exists());
-        assert!(std::fs::read_to_string(path).unwrap().starts_with("n,value"));
+        assert!(std::fs::read_to_string(path)
+            .unwrap()
+            .starts_with("n,value"));
     }
 
     #[test]

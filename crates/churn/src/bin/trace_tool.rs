@@ -10,9 +10,7 @@
 use std::process::ExitCode;
 
 use avmon::HOUR;
-use avmon_churn::{
-    overnet_like, planetlab_like, stat, synthetic, SynthParams, Trace,
-};
+use avmon_churn::{overnet_like, planetlab_like, stat, synthetic, SynthParams, Trace};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,7 +30,9 @@ fn main() -> ExitCode {
 }
 
 fn parse_flag(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn cmd_gen(args: &[String]) -> ExitCode {
@@ -40,9 +40,15 @@ fn cmd_gen(args: &[String]) -> ExitCode {
         eprintln!("gen: missing model");
         return ExitCode::FAILURE;
     };
-    let n: usize = parse_flag(args, "--n").and_then(|v| v.parse().ok()).unwrap_or(500);
-    let hours: f64 = parse_flag(args, "--hours").and_then(|v| v.parse().ok()).unwrap_or(4.0);
-    let seed: u64 = parse_flag(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let n: usize = parse_flag(args, "--n")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500);
+    let hours: f64 = parse_flag(args, "--hours")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4.0);
+    let seed: u64 = parse_flag(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     let Some(out) = parse_flag(args, "--out") else {
         eprintln!("gen: missing --out FILE");
         return ExitCode::FAILURE;
@@ -64,7 +70,12 @@ fn cmd_gen(args: &[String]) -> ExitCode {
         eprintln!("gen: {e}");
         return ExitCode::FAILURE;
     }
-    println!("wrote {} ({} events, {} identities)", out, trace.events.len(), trace.identities().len());
+    println!(
+        "wrote {} ({} events, {} identities)",
+        out,
+        trace.events.len(),
+        trace.identities().len()
+    );
     ExitCode::SUCCESS
 }
 

@@ -112,7 +112,12 @@ impl Trace {
         }
         let mut state: BTreeMap<NodeId, S> = BTreeMap::new();
         for e in &self.events {
-            assert!(e.at < self.horizon, "event at {} beyond horizon {}", e.at, self.horizon);
+            assert!(
+                e.at < self.horizon,
+                "event at {} beyond horizon {}",
+                e.at,
+                self.horizon
+            );
             let s = state.entry(e.node).or_insert(S::Unborn);
             *s = match (*s, e.kind) {
                 (S::Unborn, ChurnEventKind::Birth) => S::Up,
@@ -276,7 +281,11 @@ mod tests {
     }
 
     fn ev(at: TimeMs, i: u32, kind: ChurnEventKind) -> ChurnEvent {
-        ChurnEvent { at, node: id(i), kind }
+        ChurnEvent {
+            at,
+            node: id(i),
+            kind,
+        }
     }
 
     #[test]
@@ -337,14 +346,24 @@ mod tests {
             HOUR,
             0,
             vec![],
-            vec![ev(0, 1, ChurnEventKind::Birth), ev(1, 1, ChurnEventKind::Birth)],
+            vec![
+                ev(0, 1, ChurnEventKind::Birth),
+                ev(1, 1, ChurnEventKind::Birth),
+            ],
         );
     }
 
     #[test]
     #[should_panic(expected = "inconsistent trace")]
     fn join_without_birth_rejected() {
-        let _ = Trace::new("bad", 1, HOUR, 0, vec![], vec![ev(0, 1, ChurnEventKind::Join)]);
+        let _ = Trace::new(
+            "bad",
+            1,
+            HOUR,
+            0,
+            vec![],
+            vec![ev(0, 1, ChurnEventKind::Join)],
+        );
     }
 
     #[test]
@@ -367,8 +386,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "beyond horizon")]
     fn event_beyond_horizon_rejected() {
-        let _ =
-            Trace::new("bad", 1, HOUR, 0, vec![], vec![ev(2 * HOUR, 1, ChurnEventKind::Birth)]);
+        let _ = Trace::new(
+            "bad",
+            1,
+            HOUR,
+            0,
+            vec![],
+            vec![ev(2 * HOUR, 1, ChurnEventKind::Birth)],
+        );
     }
 
     #[test]
@@ -379,7 +404,10 @@ mod tests {
             HOUR,
             0,
             vec![],
-            vec![ev(30, 2, ChurnEventKind::Birth), ev(10, 1, ChurnEventKind::Birth)],
+            vec![
+                ev(30, 2, ChurnEventKind::Birth),
+                ev(10, 1, ChurnEventKind::Birth),
+            ],
         );
         assert!(t.events.windows(2).all(|w| w[0].at <= w[1].at));
     }

@@ -112,7 +112,11 @@ pub fn to_text(trace: &Trace) -> String {
         trace.name, trace.stable_size, trace.horizon, trace.measure_from
     );
     if !trace.control_group.is_empty() {
-        let ids: Vec<String> = trace.control_group.iter().map(ToString::to_string).collect();
+        let ids: Vec<String> = trace
+            .control_group
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         let _ = writeln!(out, "#control {}", ids.join(" "));
     }
     for e in &trace.events {
@@ -145,10 +149,15 @@ pub fn from_text(text: &str) -> Result<Trace, TraceIoError> {
         return Err(syntax(1, format!("bad header: {header:?}")));
     }
     let name = parts[1].to_string();
-    let stable_size: usize =
-        parts[2].parse().map_err(|e| syntax(1, format!("stable size: {e}")))?;
-    let horizon = parts[3].parse().map_err(|e| syntax(1, format!("horizon: {e}")))?;
-    let measure_from = parts[4].parse().map_err(|e| syntax(1, format!("measure_from: {e}")))?;
+    let stable_size: usize = parts[2]
+        .parse()
+        .map_err(|e| syntax(1, format!("stable size: {e}")))?;
+    let horizon = parts[3]
+        .parse()
+        .map_err(|e| syntax(1, format!("horizon: {e}")))?;
+    let measure_from = parts[4]
+        .parse()
+        .map_err(|e| syntax(1, format!("measure_from: {e}")))?;
 
     let mut control = Vec::new();
     let mut events = Vec::new();
@@ -172,9 +181,14 @@ pub fn from_text(text: &str) -> Result<Trace, TraceIoError> {
         }
         let mut tok = line.split_whitespace();
         let (Some(t), Some(kind), Some(node)) = (tok.next(), tok.next(), tok.next()) else {
-            return Err(syntax(line_no, format!("expected '<time> <kind> <node>': {line:?}")));
+            return Err(syntax(
+                line_no,
+                format!("expected '<time> <kind> <node>': {line:?}"),
+            ));
         };
-        let at = t.parse().map_err(|e| syntax(line_no, format!("time: {e}")))?;
+        let at = t
+            .parse()
+            .map_err(|e| syntax(line_no, format!("time: {e}")))?;
         let kind = match kind {
             "birth" => ChurnEventKind::Birth,
             "join" => ChurnEventKind::Join,
@@ -182,11 +196,19 @@ pub fn from_text(text: &str) -> Result<Trace, TraceIoError> {
             "death" => ChurnEventKind::Death,
             other => return Err(syntax(line_no, format!("unknown kind {other:?}"))),
         };
-        let node =
-            node.parse::<NodeId>().map_err(|e| syntax(line_no, format!("node id: {e}")))?;
+        let node = node
+            .parse::<NodeId>()
+            .map_err(|e| syntax(line_no, format!("node id: {e}")))?;
         events.push(ChurnEvent { at, node, kind });
     }
-    Ok(Trace::new(name, stable_size, horizon, measure_from, control, events))
+    Ok(Trace::new(
+        name,
+        stable_size,
+        horizon,
+        measure_from,
+        control,
+        events,
+    ))
 }
 
 #[cfg(test)]
@@ -222,15 +244,24 @@ mod tests {
 
     #[test]
     fn text_rejects_garbage() {
-        assert!(matches!(from_text(""), Err(TraceIoError::Syntax { line: 1, .. })));
+        assert!(matches!(
+            from_text(""),
+            Err(TraceIoError::Syntax { line: 1, .. })
+        ));
         assert!(matches!(
             from_text("#avmon-trace x 1"),
             Err(TraceIoError::Syntax { line: 1, .. })
         ));
         let bad_kind = "#avmon-trace t 1 1000 0\n10 explode 10.0.0.1:4000\n";
-        assert!(matches!(from_text(bad_kind), Err(TraceIoError::Syntax { line: 2, .. })));
+        assert!(matches!(
+            from_text(bad_kind),
+            Err(TraceIoError::Syntax { line: 2, .. })
+        ));
         let bad_id = "#avmon-trace t 1 1000 0\n10 birth nonsense\n";
-        assert!(matches!(from_text(bad_id), Err(TraceIoError::Syntax { line: 2, .. })));
+        assert!(matches!(
+            from_text(bad_id),
+            Err(TraceIoError::Syntax { line: 2, .. })
+        ));
     }
 
     #[test]

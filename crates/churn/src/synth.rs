@@ -53,13 +53,21 @@ impl SynthParams {
     /// The paper's SYNTH-BD setting.
     #[must_use]
     pub fn synth_bd(n: usize) -> Self {
-        SynthParams { birth_death_per_day: 0.2, control_fraction: 0.0, ..Self::synth(n) }
+        SynthParams {
+            birth_death_per_day: 0.2,
+            control_fraction: 0.0,
+            ..Self::synth(n)
+        }
     }
 
     /// The high-churn SYNTH-BD2 setting (twice the birth/death rate, §5.3).
     #[must_use]
     pub fn synth_bd2(n: usize) -> Self {
-        SynthParams { birth_death_per_day: 0.4, control_fraction: 0.0, ..Self::synth(n) }
+        SynthParams {
+            birth_death_per_day: 0.4,
+            control_fraction: 0.0,
+            ..Self::synth(n)
+        }
     }
 
     /// Overrides the measured duration.
@@ -105,7 +113,14 @@ pub fn stat(n: usize, duration: DurMs, control_fraction: f64, seed: u64) -> Trac
 /// `birth_death_per_day·N` per day.
 #[must_use]
 pub fn synthetic(params: SynthParams) -> Trace {
-    let SynthParams { n, churn_per_hour, birth_death_per_day, warmup, duration, .. } = params;
+    let SynthParams {
+        n,
+        churn_per_hour,
+        birth_death_per_day,
+        warmup,
+        duration,
+        ..
+    } = params;
     assert!(n > 0, "system size must be positive");
     let horizon = warmup + duration;
     let mut rng = SmallRng::seed_from_u64(params.seed ^ 0xa5a5_5a5a);
@@ -123,7 +138,11 @@ pub fn synthetic(params: SynthParams) -> Trace {
     let mut down: Vec<NodeId> = Vec::new();
     for _ in 0..n {
         let id = fresh_id(&mut next_index);
-        events.push(ChurnEvent { at: 0, node: id, kind: ChurnEventKind::Birth });
+        events.push(ChurnEvent {
+            at: 0,
+            node: id,
+            kind: ChurnEventKind::Birth,
+        });
         alive.push(id);
     }
 
@@ -168,19 +187,31 @@ pub fn synthetic(params: SynthParams) -> Trace {
                 if alive.len() > n / 4 {
                     let i = rng.gen_range(0..alive.len());
                     let node = alive.swap_remove(i);
-                    events.push(ChurnEvent { at, node, kind: ChurnEventKind::Leave });
+                    events.push(ChurnEvent {
+                        at,
+                        node,
+                        kind: ChurnEventKind::Leave,
+                    });
                     down.push(node);
                 }
             } else if pick < rate_leave + rate_rejoin {
                 if !down.is_empty() {
                     let i = rng.gen_range(0..down.len());
                     let node = down.swap_remove(i);
-                    events.push(ChurnEvent { at, node, kind: ChurnEventKind::Join });
+                    events.push(ChurnEvent {
+                        at,
+                        node,
+                        kind: ChurnEventKind::Join,
+                    });
                     alive.push(node);
                 }
             } else if pick < rate_leave + rate_rejoin + rate_birth {
                 let node = fresh_id(&mut next_index);
-                events.push(ChurnEvent { at, node, kind: ChurnEventKind::Birth });
+                events.push(ChurnEvent {
+                    at,
+                    node,
+                    kind: ChurnEventKind::Birth,
+                });
                 alive.push(node);
                 if at >= warmup {
                     born_after_warmup.push(node);
@@ -188,7 +219,11 @@ pub fn synthetic(params: SynthParams) -> Trace {
             } else if alive.len() > n / 4 {
                 let i = rng.gen_range(0..alive.len());
                 let node = alive.swap_remove(i);
-                events.push(ChurnEvent { at, node, kind: ChurnEventKind::Death });
+                events.push(ChurnEvent {
+                    at,
+                    node,
+                    kind: ChurnEventKind::Death,
+                });
             }
         }
     }
@@ -209,12 +244,17 @@ pub fn synthetic(params: SynthParams) -> Trace {
         control = born_after_warmup;
     }
 
-    let name = match (churn_per_hour > 0.0, birth_death_per_day) {
-        (false, _) => "STAT".to_string(),
-        (true, bd) if bd == 0.0 => "SYNTH".to_string(),
-        (true, bd) if (bd - 0.2).abs() < 1e-9 => "SYNTH-BD".to_string(),
-        (true, bd) if (bd - 0.4).abs() < 1e-9 => "SYNTH-BD2".to_string(),
-        (true, bd) => format!("SYNTH-BD({bd})"),
+    let bd = birth_death_per_day;
+    let name = if churn_per_hour <= 0.0 {
+        "STAT".to_string()
+    } else if bd == 0.0 {
+        "SYNTH".to_string()
+    } else if (bd - 0.2).abs() < 1e-9 {
+        "SYNTH-BD".to_string()
+    } else if (bd - 0.4).abs() < 1e-9 {
+        "SYNTH-BD2".to_string()
+    } else {
+        format!("SYNTH-BD({bd})")
     };
     Trace::new(name, n, horizon, warmup, control, events)
 }
@@ -232,7 +272,11 @@ fn inject_control(
     for _ in 0..count {
         let node = NodeId::from_index(*next_index);
         *next_index += 1;
-        events.push(ChurnEvent { at: warmup, node, kind: ChurnEventKind::Birth });
+        events.push(ChurnEvent {
+            at: warmup,
+            node,
+            kind: ChurnEventKind::Birth,
+        });
         alive.push(node);
         control.push(node);
     }
@@ -290,7 +334,11 @@ mod tests {
         assert_eq!(t.name, "SYNTH-BD");
         let s = t.stats();
         // 20%/day on N=500 over 13 hours ≈ 54 births; wide statistical band.
-        assert!((30..=90).contains(&s.births.saturating_sub(500)), "births {}", s.births);
+        assert!(
+            (30..=90).contains(&s.births.saturating_sub(500)),
+            "births {}",
+            s.births
+        );
         assert!(s.deaths > 10);
         // Implicit control group: born after warm-up.
         assert!(!t.control_group.is_empty());
@@ -310,7 +358,10 @@ mod tests {
         let bd2 = synthetic(SynthParams::synth_bd2(1000).duration(12 * HOUR)).stats();
         let (b1, b2) = (bd.births - 1000, bd2.births - 1000);
         let ratio = b2 as f64 / b1.max(1) as f64;
-        assert!((1.4..2.8).contains(&ratio), "BD2/BD birth ratio {ratio} should be ≈ 2");
+        assert!(
+            (1.4..2.8).contains(&ratio),
+            "BD2/BD birth ratio {ratio} should be ≈ 2"
+        );
     }
 
     #[test]

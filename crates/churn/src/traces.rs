@@ -54,7 +54,11 @@ pub fn planetlab_like(duration: DurMs, seed: u64) -> Trace {
         let mean_up = rng.gen_range(8.0..24.0) * HOUR as f64;
         let mean_down = mean_up * (1.0 - a) / a;
 
-        events.push(ChurnEvent { at: 0, node, kind: ChurnEventKind::Birth });
+        events.push(ChurnEvent {
+            at: 0,
+            node,
+            kind: ChurnEventKind::Birth,
+        });
         let mut t: f64 = 0.0;
         let mut up = true;
         loop {
@@ -67,7 +71,11 @@ pub fn planetlab_like(duration: DurMs, seed: u64) -> Trace {
             if at >= duration {
                 break;
             }
-            let kind = if up { ChurnEventKind::Leave } else { ChurnEventKind::Join };
+            let kind = if up {
+                ChurnEventKind::Leave
+            } else {
+                ChurnEventKind::Join
+            };
             events.push(ChurnEvent { at, node, kind });
             up = !up;
         }
@@ -115,7 +123,11 @@ pub fn overnet_like(duration: DurMs, seed: u64) -> Trace {
     for _ in 0..n {
         let node = NodeId::from_index(next_index);
         next_index += 1;
-        events.push(ChurnEvent { at: 0, node, kind: ChurnEventKind::Birth });
+        events.push(ChurnEvent {
+            at: 0,
+            node,
+            kind: ChurnEventKind::Birth,
+        });
         alive.push(node);
     }
 
@@ -130,7 +142,11 @@ pub fn overnet_like(duration: DurMs, seed: u64) -> Trace {
         while i < alive.len() {
             if alive.len() > n / 2 && rng.gen_bool(p_leave) {
                 let node = alive.swap_remove(i);
-                events.push(ChurnEvent { at, node, kind: ChurnEventKind::Leave });
+                events.push(ChurnEvent {
+                    at,
+                    node,
+                    kind: ChurnEventKind::Leave,
+                });
                 down.push(node);
             } else {
                 i += 1;
@@ -141,7 +157,11 @@ pub fn overnet_like(duration: DurMs, seed: u64) -> Trace {
         for _ in 0..rejoins {
             let i = rng.gen_range(0..down.len());
             let node = down.swap_remove(i);
-            events.push(ChurnEvent { at, node, kind: ChurnEventKind::Join });
+            events.push(ChurnEvent {
+                at,
+                node,
+                kind: ChurnEventKind::Join,
+            });
             alive.push(node);
         }
         // Births and matching deaths.
@@ -150,13 +170,21 @@ pub fn overnet_like(duration: DurMs, seed: u64) -> Trace {
             birth_accum -= 1.0;
             let node = NodeId::from_index(next_index);
             next_index += 1;
-            events.push(ChurnEvent { at, node, kind: ChurnEventKind::Birth });
+            events.push(ChurnEvent {
+                at,
+                node,
+                kind: ChurnEventKind::Birth,
+            });
             alive.push(node);
             control.push(node);
             if alive.len() > n / 2 {
                 let i = rng.gen_range(0..alive.len());
                 let victim = alive.swap_remove(i);
-                events.push(ChurnEvent { at, node: victim, kind: ChurnEventKind::Death });
+                events.push(ChurnEvent {
+                    at,
+                    node: victim,
+                    kind: ChurnEventKind::Death,
+                });
             }
         }
     }
@@ -213,7 +241,11 @@ mod tests {
             "identities {} should be ≈ 1319",
             s.identities
         );
-        assert!(s.deaths > 400, "deaths {} keep the population stable", s.deaths);
+        assert!(
+            s.deaths > 400,
+            "deaths {} keep the population stable",
+            s.deaths
+        );
     }
 
     #[test]
@@ -235,6 +267,10 @@ mod tests {
         let t = overnet_like(2 * HOUR, 11);
         let s = t.stats();
         // ~16 births/hour.
-        assert!((10..=60).contains(&(s.births - OVERNET_N)), "births {}", s.births);
+        assert!(
+            (10..=60).contains(&(s.births - OVERNET_N)),
+            "births {}",
+            s.births
+        );
     }
 }

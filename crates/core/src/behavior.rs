@@ -78,7 +78,9 @@ mod tests {
     #[test]
     fn colluder_misreports_friends_only() {
         let friend = NodeId::from_index(5);
-        let b = Behavior::Colluding { friends: BTreeSet::from([friend]) };
+        let b = Behavior::Colluding {
+            friends: BTreeSet::from([friend]),
+        };
         assert!(b.misreports(friend));
         assert!(!b.misreports(NodeId::from_index(6)));
     }
@@ -86,7 +88,9 @@ mod tests {
     #[test]
     fn selfish_advertiser_lies_about_monitors_not_availability() {
         let fakes = vec![NodeId::from_index(7)];
-        let b = Behavior::SelfishAdvertiser { fake_monitors: fakes.clone() };
+        let b = Behavior::SelfishAdvertiser {
+            fake_monitors: fakes.clone(),
+        };
         assert_eq!(b.fake_report(), Some(fakes.as_slice()));
         assert!(!b.misreports(NodeId::from_index(7)));
     }

@@ -62,7 +62,11 @@ pub fn encode(msg: &Message) -> Bytes {
 /// Encodes `msg`, appending to `buf`.
 pub fn encode_into(msg: &Message, buf: &mut BytesMut) {
     match msg {
-        Message::Join { origin, weight, hops } => {
+        Message::Join {
+            origin,
+            weight,
+            hops,
+        } => {
             buf.put_u8(TAG_JOIN);
             buf.put_slice(&origin.to_bytes());
             buf.put_u32(*weight);
@@ -122,7 +126,12 @@ pub fn encode_into(msg: &Message, buf: &mut BytesMut) {
             buf.put_u64(nonce.0);
             buf.put_slice(&target.to_bytes());
         }
-        Message::HistoryReply { nonce, target, availability, samples } => {
+        Message::HistoryReply {
+            nonce,
+            target,
+            availability,
+            samples,
+        } => {
             buf.put_u8(TAG_HISTORY_REPLY);
             buf.put_u64(nonce.0);
             buf.put_slice(&target.to_bytes());
@@ -209,28 +218,48 @@ pub fn decode_from(buf: &mut &[u8]) -> Result<Message, CodecError> {
             weight: take_u32(buf)?,
             hops: take_u32(buf)?,
         },
-        TAG_INIT_VIEW_REQUEST => Message::InitViewRequest { nonce: take_nonce(buf)? },
-        TAG_INIT_VIEW_REPLY => {
-            Message::InitViewReply { nonce: take_nonce(buf)?, view: take_view(buf)? }
-        }
-        TAG_VIEW_PING => Message::ViewPing { nonce: take_nonce(buf)? },
-        TAG_VIEW_PONG => Message::ViewPong { nonce: take_nonce(buf)? },
-        TAG_VIEW_FETCH => Message::ViewFetch { nonce: take_nonce(buf)? },
-        TAG_VIEW_FETCH_REPLY => {
-            Message::ViewFetchReply { nonce: take_nonce(buf)?, view: take_view(buf)? }
-        }
-        TAG_NOTIFY => Message::Notify { monitor: take_id(buf)?, target: take_id(buf)? },
-        TAG_MONITOR_PING => Message::MonitorPing { nonce: take_nonce(buf)? },
-        TAG_MONITOR_PONG => Message::MonitorPong { nonce: take_nonce(buf)? },
-        TAG_REPORT_REQUEST => {
-            Message::ReportRequest { nonce: take_nonce(buf)?, count: take_u8(buf)? }
-        }
-        TAG_REPORT_REPLY => {
-            Message::ReportReply { nonce: take_nonce(buf)?, monitors: take_view(buf)? }
-        }
-        TAG_HISTORY_REQUEST => {
-            Message::HistoryRequest { nonce: take_nonce(buf)?, target: take_id(buf)? }
-        }
+        TAG_INIT_VIEW_REQUEST => Message::InitViewRequest {
+            nonce: take_nonce(buf)?,
+        },
+        TAG_INIT_VIEW_REPLY => Message::InitViewReply {
+            nonce: take_nonce(buf)?,
+            view: take_view(buf)?,
+        },
+        TAG_VIEW_PING => Message::ViewPing {
+            nonce: take_nonce(buf)?,
+        },
+        TAG_VIEW_PONG => Message::ViewPong {
+            nonce: take_nonce(buf)?,
+        },
+        TAG_VIEW_FETCH => Message::ViewFetch {
+            nonce: take_nonce(buf)?,
+        },
+        TAG_VIEW_FETCH_REPLY => Message::ViewFetchReply {
+            nonce: take_nonce(buf)?,
+            view: take_view(buf)?,
+        },
+        TAG_NOTIFY => Message::Notify {
+            monitor: take_id(buf)?,
+            target: take_id(buf)?,
+        },
+        TAG_MONITOR_PING => Message::MonitorPing {
+            nonce: take_nonce(buf)?,
+        },
+        TAG_MONITOR_PONG => Message::MonitorPong {
+            nonce: take_nonce(buf)?,
+        },
+        TAG_REPORT_REQUEST => Message::ReportRequest {
+            nonce: take_nonce(buf)?,
+            count: take_u8(buf)?,
+        },
+        TAG_REPORT_REPLY => Message::ReportReply {
+            nonce: take_nonce(buf)?,
+            monitors: take_view(buf)?,
+        },
+        TAG_HISTORY_REQUEST => Message::HistoryRequest {
+            nonce: take_nonce(buf)?,
+            target: take_id(buf)?,
+        },
         TAG_HISTORY_REPLY => {
             let nonce = take_nonce(buf)?;
             let target = take_id(buf)?;
@@ -239,10 +268,17 @@ pub fn decode_from(buf: &mut &[u8]) -> Result<Message, CodecError> {
                 _ => Some(take_f64(buf)?),
             };
             let samples = take_u64(buf)?;
-            Message::HistoryReply { nonce, target, availability, samples }
+            Message::HistoryReply {
+                nonce,
+                target,
+                availability,
+                samples,
+            }
         }
         TAG_ADD_ME_REQUEST => Message::AddMeRequest,
-        TAG_PRESENCE => Message::Presence { origin: take_id(buf)? },
+        TAG_PRESENCE => Message::Presence {
+            origin: take_id(buf)?,
+        },
         other => return Err(CodecError::UnknownTag(other)),
     };
     Ok(msg)
@@ -250,7 +286,9 @@ pub fn decode_from(buf: &mut &[u8]) -> Result<Message, CodecError> {
 
 fn need(buf: &[u8], n: usize) -> Result<(), CodecError> {
     if buf.len() < n {
-        Err(CodecError::Truncated { needed: n - buf.len() })
+        Err(CodecError::Truncated {
+            needed: n - buf.len(),
+        })
     } else {
         Ok(())
     }
@@ -295,7 +333,10 @@ fn take_id(buf: &mut &[u8]) -> Result<NodeId, CodecError> {
 fn take_view(buf: &mut &[u8]) -> Result<Vec<NodeId>, CodecError> {
     let len = usize::from(take_u16(buf)?);
     if len > MAX_VIEW_ENTRIES {
-        return Err(CodecError::LengthOutOfRange { declared: len, max: MAX_VIEW_ENTRIES });
+        return Err(CodecError::LengthOutOfRange {
+            declared: len,
+            max: MAX_VIEW_ENTRIES,
+        });
     }
     let mut view = Vec::with_capacity(len);
     for _ in 0..len {
@@ -312,22 +353,59 @@ mod tests {
         let a = NodeId::from_index(17);
         let b = NodeId::from_index(39);
         vec![
-            Message::Join { origin: a, weight: 27, hops: 3 },
+            Message::Join {
+                origin: a,
+                weight: 27,
+                hops: 3,
+            },
             Message::InitViewRequest { nonce: Nonce(7) },
-            Message::InitViewReply { nonce: Nonce(7), view: vec![a, b] },
-            Message::ViewPing { nonce: Nonce(u64::MAX) },
+            Message::InitViewReply {
+                nonce: Nonce(7),
+                view: vec![a, b],
+            },
+            Message::ViewPing {
+                nonce: Nonce(u64::MAX),
+            },
             Message::ViewPong { nonce: Nonce(0) },
             Message::ViewFetch { nonce: Nonce(1) },
-            Message::ViewFetchReply { nonce: Nonce(1), view: vec![] },
-            Message::ViewFetchReply { nonce: Nonce(2), view: (0..27).map(NodeId::from_index).collect() },
-            Message::Notify { monitor: a, target: b },
+            Message::ViewFetchReply {
+                nonce: Nonce(1),
+                view: vec![],
+            },
+            Message::ViewFetchReply {
+                nonce: Nonce(2),
+                view: (0..27).map(NodeId::from_index).collect(),
+            },
+            Message::Notify {
+                monitor: a,
+                target: b,
+            },
             Message::MonitorPing { nonce: Nonce(5) },
             Message::MonitorPong { nonce: Nonce(5) },
-            Message::ReportRequest { nonce: Nonce(9), count: 4 },
-            Message::ReportReply { nonce: Nonce(9), monitors: vec![b] },
-            Message::HistoryRequest { nonce: Nonce(11), target: a },
-            Message::HistoryReply { nonce: Nonce(11), target: a, availability: Some(0.75), samples: 42 },
-            Message::HistoryReply { nonce: Nonce(12), target: b, availability: None, samples: 0 },
+            Message::ReportRequest {
+                nonce: Nonce(9),
+                count: 4,
+            },
+            Message::ReportReply {
+                nonce: Nonce(9),
+                monitors: vec![b],
+            },
+            Message::HistoryRequest {
+                nonce: Nonce(11),
+                target: a,
+            },
+            Message::HistoryReply {
+                nonce: Nonce(11),
+                target: a,
+                availability: Some(0.75),
+                samples: 42,
+            },
+            Message::HistoryReply {
+                nonce: Nonce(12),
+                target: b,
+                availability: None,
+                samples: 0,
+            },
             Message::AddMeRequest,
             Message::Presence { origin: b },
         ]
@@ -353,7 +431,10 @@ mod tests {
         // 11 bytes header + 6 per entry: cvs=32 → 203 bytes ≈ the paper's
         // 192B estimate at 6B/entry.
         let view: Vec<NodeId> = (0..32).map(NodeId::from_index).collect();
-        let msg = Message::ViewFetchReply { nonce: Nonce(0), view };
+        let msg = Message::ViewFetchReply {
+            nonce: Nonce(0),
+            view,
+        };
         assert_eq!(encoded_len(&msg), 1 + 8 + 2 + 6 * 32);
     }
 
@@ -404,7 +485,10 @@ mod tests {
         let bytes = buf.freeze();
         let mut slice: &[u8] = &bytes;
         assert_eq!(decode_from(&mut slice).unwrap(), Message::AddMeRequest);
-        assert_eq!(decode_from(&mut slice).unwrap(), Message::ViewPing { nonce: Nonce(3) });
+        assert_eq!(
+            decode_from(&mut slice).unwrap(),
+            Message::ViewPing { nonce: Nonce(3) }
+        );
         assert!(slice.is_empty());
     }
 }

@@ -70,7 +70,10 @@ pub struct ForgetfulConfig {
 impl Default for ForgetfulConfig {
     /// The paper's experimental defaults: `τ = 2 min`, `c = 1`.
     fn default() -> Self {
-        ForgetfulConfig { tau: 2 * MINUTE, c: 1.0 }
+        ForgetfulConfig {
+            tau: 2 * MINUTE,
+            c: 1.0,
+        }
     }
 }
 
@@ -142,7 +145,9 @@ impl Config {
 
     fn validate(self) -> Result<Self, Error> {
         if self.system_size == 0 {
-            return Err(Error::InvalidConfig("system size N must be positive".into()));
+            return Err(Error::InvalidConfig(
+                "system size N must be positive".into(),
+            ));
         }
         if self.k == 0 {
             return Err(Error::InvalidConfig("K must be positive".into()));
@@ -310,7 +315,13 @@ mod tests {
         assert_eq!(c.cvs, 27);
         assert_eq!(c.protocol_period, MINUTE);
         assert_eq!(c.monitoring_period, MINUTE);
-        assert_eq!(c.forgetful, Some(ForgetfulConfig { tau: 2 * MINUTE, c: 1.0 }));
+        assert_eq!(
+            c.forgetful,
+            Some(ForgetfulConfig {
+                tau: 2 * MINUTE,
+                c: 1.0
+            })
+        );
         assert!(!c.pr2);
 
         // PL setting: N=239 → K=8, cvs=16.
@@ -348,7 +359,10 @@ mod tests {
         assert!(Config::builder(100).protocol_period(0).build().is_err());
         assert!(Config::builder(100).ping_timeout(MINUTE).build().is_err());
         assert!(Config::builder(100)
-            .forgetful(Some(ForgetfulConfig { tau: MINUTE, c: 0.0 }))
+            .forgetful(Some(ForgetfulConfig {
+                tau: MINUTE,
+                c: 0.0
+            }))
             .build()
             .is_err());
     }

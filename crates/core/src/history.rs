@@ -73,14 +73,25 @@ impl HistoryStore {
     /// Panics if `alpha` is outside `(0, 1]`.
     #[must_use]
     pub fn aged(alpha: f64) -> Self {
-        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1], got {alpha}");
-        HistoryStore::Aged(AgedHistory { alpha, estimate: None, samples: 0 })
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0,1], got {alpha}"
+        );
+        HistoryStore::Aged(AgedHistory {
+            alpha,
+            estimate: None,
+            samples: 0,
+        })
     }
 
     /// A sliding-window store keeping observations newer than `window`.
     #[must_use]
     pub fn recent(window: DurMs) -> Self {
-        HistoryStore::Recent(RecentHistory { window, samples: VecDeque::new(), total: 0 })
+        HistoryStore::Recent(RecentHistory {
+            window,
+            samples: VecDeque::new(),
+            total: 0,
+        })
     }
 
     /// A session-duration store.
@@ -255,7 +266,6 @@ impl SessionHistory {
     const MAX_SEGMENTS: usize = 64;
 
     /// Completed session segments as `(start, end, was_up)`.
-    #[must_use]
     pub fn segments(&self) -> impl Iterator<Item = (TimeMs, TimeMs, bool)> + '_ {
         self.segments.iter().copied()
     }

@@ -51,7 +51,10 @@ impl NodeId {
     /// Panics if `index` does not fit the 3-byte host space (≥ 2^24).
     #[must_use]
     pub fn from_index(index: u32) -> Self {
-        assert!(index < (1 << 24), "index {index} exceeds 10.0.0.0/8 host space");
+        assert!(
+            index < (1 << 24),
+            "index {index} exceeds 10.0.0.0/8 host space"
+        );
         let [_, b, c, d] = index.to_be_bytes();
         NodeId::new([10, b, c, d], 4000)
     }
@@ -127,7 +130,11 @@ pub struct ParseNodeIdError {
 
 impl fmt::Display for ParseNodeIdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid node id syntax: {:?} (expected a.b.c.d:port)", self.input)
+        write!(
+            f,
+            "invalid node id syntax: {:?} (expected a.b.c.d:port)",
+            self.input
+        )
     }
 }
 
@@ -139,7 +146,9 @@ impl std::str::FromStr for NodeId {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         s.parse::<SocketAddrV4>()
             .map(NodeId::from)
-            .map_err(|_| ParseNodeIdError { input: s.to_owned() })
+            .map_err(|_| ParseNodeIdError {
+                input: s.to_owned(),
+            })
     }
 }
 

@@ -24,38 +24,63 @@
 //!
 //! ## Architecture
 //!
-//! The protocol is a **sans-io state machine**: [`Node`] consumes inputs
-//! stamped with a driver-supplied clock and returns [`Action`]s. The same
-//! state machine is driven by:
+//! The protocol is a **poll-based sans-io state machine**: [`Node`]
+//! consumes inputs stamped with a driver-supplied clock ([`Node::start`],
+//! [`Node::handle_message`], [`Node::handle_timer`]), queues the resulting
+//! effects internally, and drivers drain them through three poll methods:
+//!
+//! * [`Node::poll_transmit`] → [`Transmit`] — datagrams to put on the wire,
+//! * [`Node::poll_timer`] → `(Timer, at)` — timers to arm,
+//! * [`Node::poll_event`] → [`AppEvent`] — events for the application.
+//!
+//! The queues are reused across inputs, so the hot path allocates nothing
+//! per message — this is what makes the §4 overhead analysis (`O(cvs)`
+//! memory, `O(cvs²)` hash checks per period) hold in the implementation,
+//! not just on paper. The [`driver`] module provides the shared harness
+//! (drain loop, deterministic timer queue, snapshots, control commands);
+//! the same state machine is driven by:
 //!
 //! * `avmon-sim` — the trace-driven discrete-event simulator used to
 //!   reproduce the paper's evaluation,
 //! * `avmon-runtime` — thread-per-node clusters over in-memory channels or
-//!   real UDP sockets.
+//!   real UDP sockets,
+//! * anything else: see the "Driver authoring" section of [`driver`].
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use avmon::{Config, HashSelector, JoinKind, Node, NodeId};
+//! use avmon::{Config, HashSelector, JoinKind, Node, NodeId, Transmit};
 //! use std::sync::Arc;
 //!
 //! // Consistent system parameters shared by every node.
 //! let config = Config::builder(1_000).build()?;
 //! let selector = Arc::new(HashSelector::from_config(&config));
 //!
-//! // A node is pure state: drivers feed it time, messages and timers.
+//! // A node is pure state: drivers feed it time, messages and timers…
 //! let mut node = Node::new(NodeId::new([10, 0, 0, 1], 4000), config, selector, 7);
-//! let actions = node.start(0, JoinKind::Fresh, Some(NodeId::new([10, 0, 0, 2], 4000)));
-//! assert!(!actions.is_empty());
+//! node.start(0, JoinKind::Fresh, Some(NodeId::new([10, 0, 0, 2], 4000)));
+//!
+//! // …and drain the queued effects through the poll interface.
+//! let mut wire: Vec<Transmit> = Vec::new();
+//! while let Some(transmit) = node.poll_transmit() {
+//!     wire.push(transmit); // a real driver encodes + sends these
+//! }
+//! let mut timers = avmon::TimerQueue::new();
+//! while let Some((timer, at)) = node.poll_timer() {
+//!     timers.arm(timer, at); // deterministic FIFO-on-tie ordering
+//! }
+//! assert!(!wire.is_empty(), "JOIN + init-view request queued");
 //! # Ok::<(), avmon::Error>(())
 //! ```
 //!
 //! See the workspace `examples/` directory for complete scenarios
-//! (simulated overlays, replica selection, multicast, a real UDP cluster).
+//! (simulated overlays, replica selection, multicast, a real UDP cluster,
+//! and a from-scratch sans-io driver).
 
 pub mod behavior;
 pub mod codec;
 pub mod config;
+pub mod driver;
 pub mod error;
 pub mod history;
 pub mod id;
@@ -69,11 +94,14 @@ pub mod view;
 
 pub use behavior::Behavior;
 pub use config::{Config, ConfigBuilder, CvsPolicy, DiscoveryMode, ForgetfulConfig};
+pub use driver::{Command, DriverEnv, NodeSnapshot, TimerQueue};
 pub use error::{CodecError, Error};
 pub use history::{AvailabilityStore, HistoryStore};
 pub use id::{NodeId, ParseNodeIdError};
 pub use message::{Message, MessageKind, Nonce};
-pub use node::{Action, Actions, AppEvent, JoinKind, Node, PersistentState, TargetRecord, Timer};
+pub use node::{
+    Action, AppEvent, Destination, JoinKind, Node, PersistentState, TargetRecord, Timer, Transmit,
+};
 pub use query::{AvailabilityQuery, QueryOutcome};
 pub use selector::{
     verify_report, CentralSelector, DhtRingSelector, HashSelector, MonitorSelector,
@@ -88,3 +116,7 @@ pub use view::CoarseView;
 pub use avmon_hash::{
     Fast64PairHasher, HashPoint, HasherKind, Md5PairHasher, PairHasher, Sha1PairHasher, Threshold,
 };
+
+// Re-export the byte-buffer types the wire codec speaks, so drivers can
+// use the zero-copy `codec::encode_into` path without a separate dep.
+pub use bytes;

@@ -198,19 +198,41 @@ mod tests {
     #[test]
     fn kind_covers_all_variants() {
         let msgs = vec![
-            Message::Join { origin: NodeId::from_index(1), weight: 3, hops: 0 },
+            Message::Join {
+                origin: NodeId::from_index(1),
+                weight: 3,
+                hops: 0,
+            },
             Message::InitViewRequest { nonce: Nonce(1) },
-            Message::InitViewReply { nonce: Nonce(1), view: vec![] },
+            Message::InitViewReply {
+                nonce: Nonce(1),
+                view: vec![],
+            },
             Message::ViewPing { nonce: Nonce(2) },
             Message::ViewPong { nonce: Nonce(2) },
             Message::ViewFetch { nonce: Nonce(3) },
-            Message::ViewFetchReply { nonce: Nonce(3), view: vec![NodeId::from_index(9)] },
-            Message::Notify { monitor: NodeId::from_index(1), target: NodeId::from_index(2) },
+            Message::ViewFetchReply {
+                nonce: Nonce(3),
+                view: vec![NodeId::from_index(9)],
+            },
+            Message::Notify {
+                monitor: NodeId::from_index(1),
+                target: NodeId::from_index(2),
+            },
             Message::MonitorPing { nonce: Nonce(4) },
             Message::MonitorPong { nonce: Nonce(4) },
-            Message::ReportRequest { nonce: Nonce(5), count: 3 },
-            Message::ReportReply { nonce: Nonce(5), monitors: vec![] },
-            Message::HistoryRequest { nonce: Nonce(6), target: NodeId::from_index(7) },
+            Message::ReportRequest {
+                nonce: Nonce(5),
+                count: 3,
+            },
+            Message::ReportReply {
+                nonce: Nonce(5),
+                monitors: vec![],
+            },
+            Message::HistoryRequest {
+                nonce: Nonce(6),
+                target: NodeId::from_index(7),
+            },
             Message::HistoryReply {
                 nonce: Nonce(6),
                 target: NodeId::from_index(7),
@@ -218,10 +240,16 @@ mod tests {
                 samples: 10,
             },
             Message::AddMeRequest,
-            Message::Presence { origin: NodeId::from_index(8) },
+            Message::Presence {
+                origin: NodeId::from_index(8),
+            },
         ];
         let kinds: std::collections::HashSet<_> = msgs.iter().map(Message::kind).collect();
-        assert_eq!(kinds.len(), msgs.len(), "each variant maps to a distinct kind");
+        assert_eq!(
+            kinds.len(),
+            msgs.len(),
+            "each variant maps to a distinct kind"
+        );
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Coarse-view maintenance and monitor discovery (Figs. 1 and 2).
+//!
+//! All effects are queued on the node's internal output queues and drained
+//! by the driver through the poll interface.
 
-use super::{Action, Actions, AppEvent, Node, Pending, Timer};
+use super::{AppEvent, Node, Pending, Timer};
 use crate::message::Message;
 use crate::time::TimeMs;
 use crate::NodeId;
@@ -9,7 +12,7 @@ impl Node {
     /// One protocol period of the coarse-membership protocol (Fig. 2):
     /// liveness-ping one random view entry, fetch the view of another, and
     /// (if enabled) run the PR2 re-advertisement check.
-    pub(super) fn protocol_period(&mut self, now: TimeMs, actions: &mut Actions) {
+    pub(super) fn protocol_period(&mut self, now: TimeMs) {
         // 0. Loss recovery (not in the paper, whose network is reliable):
         //    an empty view means this node is invisible and blind — its
         //    original JOIN or view inheritance was lost. Retry through the
@@ -17,17 +20,18 @@ impl Node {
         if self.view.is_empty() {
             if let Some(contact) = self.contact {
                 self.send(
-                    actions,
                     contact,
-                    Message::Join { origin: self.id, weight: self.config.cvs as u32, hops: 0 },
+                    Message::Join {
+                        origin: self.id,
+                        weight: self.config.cvs as u32,
+                        hops: 0,
+                    },
                 );
                 let nonce = self.fresh_nonce();
-                self.pending.insert(nonce, Pending::InitView { peer: contact });
-                self.send(actions, contact, Message::InitViewRequest { nonce });
-                actions.push(Action::SetTimer {
-                    timer: Timer::Expire(nonce),
-                    at: now + self.config.ping_timeout,
-                });
+                self.pending
+                    .insert(nonce, Pending::InitView { peer: contact });
+                self.send(contact, Message::InitViewRequest { nonce });
+                self.arm_timer(Timer::Expire(nonce), now + self.config.ping_timeout);
             }
             return;
         }
@@ -37,22 +41,16 @@ impl Node {
         if let Some(z) = self.view.pick_random(&mut self.rng) {
             let nonce = self.fresh_nonce();
             self.pending.insert(nonce, Pending::ViewPing { peer: z });
-            self.send(actions, z, Message::ViewPing { nonce });
-            actions.push(Action::SetTimer {
-                timer: Timer::Expire(nonce),
-                at: now + self.config.ping_timeout,
-            });
+            self.send(z, Message::ViewPing { nonce });
+            self.arm_timer(Timer::Expire(nonce), now + self.config.ping_timeout);
         }
 
         // 2. Fetch the coarse view of another random entry.
         if let Some(w) = self.view.pick_random(&mut self.rng) {
             let nonce = self.fresh_nonce();
             self.pending.insert(nonce, Pending::ViewFetch { peer: w });
-            self.send(actions, w, Message::ViewFetch { nonce });
-            actions.push(Action::SetTimer {
-                timer: Timer::Expire(nonce),
-                at: now + self.config.ping_timeout,
-            });
+            self.send(w, Message::ViewFetch { nonce });
+            self.arm_timer(Timer::Expire(nonce), now + self.config.ping_timeout);
         }
 
         // 3. PR2 (§5.4): if no monitoring ping has arrived for two protocol
@@ -68,21 +66,14 @@ impl Node {
                 self.pr2_last_fired = Some(now);
                 let peers: Vec<NodeId> = self.view.iter().collect();
                 for peer in peers {
-                    self.send(actions, peer, Message::AddMeRequest);
+                    self.send(peer, Message::AddMeRequest);
                 }
             }
         }
     }
 
     /// Fig. 1: processing of a `JOIN(origin, c)` message.
-    pub(super) fn handle_join(
-        &mut self,
-        _now: TimeMs,
-        origin: NodeId,
-        weight: u32,
-        hops: u32,
-        actions: &mut Actions,
-    ) {
+    pub(super) fn handle_join(&mut self, _now: TimeMs, origin: NodeId, weight: u32, hops: u32) {
         if weight == 0 || hops >= self.config.join_hop_limit {
             return;
         }
@@ -90,7 +81,7 @@ impl Node {
         if origin != self.id && !self.view.contains(origin) {
             self.view.insert_or_replace(origin, &mut self.rng);
             c -= 1;
-            actions.push(Action::App(AppEvent::JoinAbsorbed { origin }));
+            self.emit(AppEvent::JoinAbsorbed { origin });
         }
         if c == 0 {
             return;
@@ -104,7 +95,14 @@ impl Node {
             }
             if let Some(next) = self.view.pick_random_excluding(&mut self.rng, origin) {
                 self.stats.joins_forwarded += 1;
-                self.send(actions, next, Message::Join { origin, weight: half, hops: hops + 1 });
+                self.send(
+                    next,
+                    Message::Join {
+                        origin,
+                        weight: half,
+                        hops: hops + 1,
+                    },
+                );
             }
         }
     }
@@ -112,13 +110,7 @@ impl Node {
     /// Fig. 2 core: on receiving `CV(w)`, cross-check the consistency
     /// condition over `({CV(x)∪{x,w}} × {CV(w)∪{x,w}})` in both orders,
     /// `NOTIFY` both endpoints of each match, then shuffle the view.
-    pub(super) fn process_fetched_view(
-        &mut self,
-        now: TimeMs,
-        w: NodeId,
-        fetched: &[NodeId],
-        actions: &mut Actions,
-    ) {
+    pub(super) fn process_fetched_view(&mut self, now: TimeMs, w: NodeId, fetched: &[NodeId]) {
         // A = CV(x) ∪ {x, w}
         let mut side_a: Vec<NodeId> = self.view.iter().collect();
         if !side_a.contains(&self.id) {
@@ -141,16 +133,14 @@ impl Node {
             side_b.push(w);
         }
 
-        for i in 0..side_a.len() {
-            let u = side_a[i];
-            for j in 0..side_b.len() {
-                let v = side_b[j];
+        for &u in &side_a {
+            for &v in &side_b {
                 if u == v {
                     continue;
                 }
                 for (monitor, target) in [(u, v), (v, u)] {
                     if self.check(monitor, target) && self.mark_notified(monitor, target) {
-                        self.notify_pair(now, monitor, target, actions);
+                        self.notify_pair(now, monitor, target);
                     }
                 }
             }
@@ -172,26 +162,20 @@ impl Node {
 
     /// Sends `NOTIFY(monitor, target)` to both endpoints, handling the case
     /// where one endpoint is this node itself.
-    fn notify_pair(&mut self, now: TimeMs, monitor: NodeId, target: NodeId, actions: &mut Actions) {
+    fn notify_pair(&mut self, now: TimeMs, monitor: NodeId, target: NodeId) {
         for endpoint in [monitor, target] {
             if endpoint == self.id {
-                self.handle_notify(now, monitor, target, actions);
+                self.handle_notify(now, monitor, target);
             } else {
                 self.stats.notifies_sent += 1;
-                self.send(actions, endpoint, Message::Notify { monitor, target });
+                self.send(endpoint, Message::Notify { monitor, target });
             }
         }
     }
 
     /// §3.3: `NOTIFY(monitor, target)` reception — re-verify the condition
     /// and update `PS` / `TS`.
-    pub(super) fn handle_notify(
-        &mut self,
-        now: TimeMs,
-        monitor: NodeId,
-        target: NodeId,
-        actions: &mut Actions,
-    ) {
+    pub(super) fn handle_notify(&mut self, now: TimeMs, monitor: NodeId, target: NodeId) {
         if monitor == target {
             return;
         }
@@ -199,7 +183,7 @@ impl Node {
             // Someone claims `monitor` should monitor me: verify, then admit.
             if self.check(monitor, target) {
                 self.ps.insert(monitor);
-                actions.push(Action::App(AppEvent::MonitorDiscovered { monitor }));
+                self.emit(AppEvent::MonitorDiscovered { monitor });
             }
         }
         if monitor == self.id && target != self.id && !self.targets.contains_key(&target) {
@@ -209,31 +193,45 @@ impl Node {
                     target,
                     super::TargetRecord::new(now, self.history_template.clone()),
                 );
-                actions.push(Action::App(AppEvent::TargetDiscovered { target }));
+                self.emit(AppEvent::TargetDiscovered { target });
             }
         }
     }
 
     /// Broadcast-baseline presence handling (Table 1): the receiver checks
     /// both directions of the condition against the joiner directly.
-    pub(super) fn handle_presence(&mut self, now: TimeMs, origin: NodeId, actions: &mut Actions) {
+    pub(super) fn handle_presence(&mut self, now: TimeMs, origin: NodeId) {
         if origin == self.id {
             return;
         }
         // Do I monitor the joiner?
         if !self.targets.contains_key(&origin) && self.check(self.id, origin) {
-            self.targets
-                .insert(origin, super::TargetRecord::new(now, self.history_template.clone()));
-            actions.push(Action::App(AppEvent::TargetDiscovered { target: origin }));
+            self.targets.insert(
+                origin,
+                super::TargetRecord::new(now, self.history_template.clone()),
+            );
+            self.emit(AppEvent::TargetDiscovered { target: origin });
             self.stats.notifies_sent += 1;
-            self.send(actions, origin, Message::Notify { monitor: self.id, target: origin });
+            self.send(
+                origin,
+                Message::Notify {
+                    monitor: self.id,
+                    target: origin,
+                },
+            );
         }
         // Does the joiner monitor me?
         if !self.ps.contains(&origin) && self.check(origin, self.id) {
             self.ps.insert(origin);
-            actions.push(Action::App(AppEvent::MonitorDiscovered { monitor: origin }));
+            self.emit(AppEvent::MonitorDiscovered { monitor: origin });
             self.stats.notifies_sent += 1;
-            self.send(actions, origin, Message::Notify { monitor: origin, target: self.id });
+            self.send(
+                origin,
+                Message::Notify {
+                    monitor: origin,
+                    target: self.id,
+                },
+            );
         }
     }
 }

@@ -4,8 +4,18 @@
 //! A driver (the discrete-event simulator, the threaded runtime, or the UDP
 //! runtime) feeds it three kinds of inputs — [`Node::start`],
 //! [`Node::handle_message`], [`Node::handle_timer`] — each stamped with the
-//! current time, and executes the [`Action`]s it returns: sending messages,
-//! arming timers, and surfacing [`AppEvent`]s to the application.
+//! current time. Inputs push their effects into small internal queues that
+//! the driver then drains through the **poll interface**:
+//!
+//! * [`Node::poll_transmit`] — outgoing datagrams ([`Transmit`]),
+//! * [`Node::poll_timer`] — timers to arm ([`Timer`] at an absolute time),
+//! * [`Node::poll_event`] — application-visible [`AppEvent`]s.
+//!
+//! The queues are reused across inputs, so the steady-state hot path
+//! performs no allocation per input — the property the paper's §4
+//! scalability analysis (`O(cvs)` memory, `O(cvs²)` hash checks per
+//! period) depends on. The [`crate::driver`] module builds the shared
+//! harness (timer queue, drain loop, snapshots) on top of this interface.
 //!
 //! One `Node` value implements every sub-protocol of the paper: the JOIN
 //! spanning tree (Fig. 1), coarse-view maintenance and monitor discovery
@@ -18,7 +28,7 @@ mod monitoring;
 #[cfg(test)]
 mod tests;
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -49,7 +59,11 @@ pub enum JoinKind {
 }
 
 /// Timers a node asks its driver to arm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` follows `(variant, nonce)` so driver timer queues can order
+/// same-deadline timers deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
 pub enum Timer {
     /// The coarse-membership protocol period tick (Fig. 2).
     Protocol,
@@ -59,8 +73,43 @@ pub enum Timer {
     Expire(Nonce),
 }
 
-/// Effects requested by the state machine; the driver must execute them.
+/// Where an outgoing message is headed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Destination {
+    /// A single peer.
+    Node(NodeId),
+    /// Every node in the system (Broadcast baseline only; never produced
+    /// in [`DiscoveryMode::CoarseView`]).
+    AllNodes,
+}
+
+/// One outgoing datagram, drained via [`Node::poll_transmit`].
 #[derive(Debug, Clone, PartialEq)]
+pub struct Transmit {
+    /// Destination.
+    pub to: Destination,
+    /// The message to deliver.
+    pub msg: Message,
+}
+
+impl Transmit {
+    /// The unicast destination, if this is not a broadcast.
+    #[must_use]
+    pub fn unicast_to(&self) -> Option<NodeId> {
+        match self.to {
+            Destination::Node(id) => Some(id),
+            Destination::AllNodes => None,
+        }
+    }
+}
+
+/// A node effect, as a single enum.
+///
+/// The poll interface ([`Node::poll_transmit`] / [`Node::poll_timer`] /
+/// [`Node::poll_event`]) is the hot path; `Action` remains as the unified
+/// vocabulary for tests, logs and tools that want one stream of effects.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum Action {
     /// Transmit `msg` to `to`.
     Send {
@@ -69,8 +118,7 @@ pub enum Action {
         /// The message.
         msg: Message,
     },
-    /// Deliver `msg` to every node in the system (Broadcast baseline only;
-    /// never emitted in [`DiscoveryMode::CoarseView`]).
+    /// Deliver `msg` to every node in the system (Broadcast baseline only).
     Broadcast {
         /// The message.
         msg: Message,
@@ -88,6 +136,7 @@ pub enum Action {
 
 /// Application-visible protocol events.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum AppEvent {
     /// This node learned of a (verified) member of its own pinging set.
     MonitorDiscovered {
@@ -135,9 +184,6 @@ pub enum AppEvent {
         peer: NodeId,
     },
 }
-
-/// The list of effects returned by each input.
-pub type Actions = Vec<Action>;
 
 /// Outstanding request state, keyed by nonce.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -212,15 +258,24 @@ pub struct PersistentState {
 ///
 /// # Example
 ///
+/// Inputs queue effects; the driver drains them with the poll methods:
+///
 /// ```
-/// use avmon::{Config, HashSelector, JoinKind, Node, NodeId};
+/// use avmon::{Config, Destination, HashSelector, JoinKind, Node, NodeId};
 /// use std::sync::Arc;
 ///
 /// let config = Config::builder(100).build()?;
 /// let selector = Arc::new(HashSelector::from_config(&config));
 /// let mut node = Node::new(NodeId::from_index(1), config, selector, 42);
-/// let actions = node.start(0, JoinKind::Fresh, Some(NodeId::from_index(2)));
-/// assert!(!actions.is_empty()); // JOIN + init-view + timers
+///
+/// node.start(0, JoinKind::Fresh, Some(NodeId::from_index(2)));
+///
+/// // JOIN + init-view request head for the contact …
+/// while let Some(transmit) = node.poll_transmit() {
+///     assert_eq!(transmit.to, Destination::Node(NodeId::from_index(2)));
+/// }
+/// // … and the periodic timers ask to be armed.
+/// assert!(node.poll_timer().is_some());
 /// # Ok::<(), avmon::Error>(())
 /// ```
 #[derive(Debug)]
@@ -250,6 +305,12 @@ pub struct Node {
     last_monitor_ping_rx: Option<TimeMs>,
     pr2_last_fired: Option<TimeMs>,
     stats: NodeStats,
+    /// Output queues drained by the poll interface. Reused across inputs:
+    /// `pop_front` never shrinks capacity, so the steady state allocates
+    /// nothing per input.
+    outbox: VecDeque<Transmit>,
+    timerbox: VecDeque<(Timer, TimeMs)>,
+    eventbox: VecDeque<AppEvent>,
 }
 
 impl Node {
@@ -276,6 +337,9 @@ impl Node {
             last_monitor_ping_rx: None,
             pr2_last_fired: None,
             stats: NodeStats::default(),
+            outbox: VecDeque::new(),
+            timerbox: VecDeque::new(),
+            eventbox: VecDeque::new(),
         }
     }
 
@@ -346,7 +410,9 @@ impl Node {
     /// pings answered), if monitored here.
     #[must_use]
     pub fn availability_estimate(&self, target: NodeId) -> Option<f64> {
-        self.targets.get(&target).and_then(TargetRecord::availability_estimate)
+        self.targets
+            .get(&target)
+            .and_then(TargetRecord::availability_estimate)
     }
 
     /// Total memory entries `|CV| + |PS| + |TS|` (the metric of Figs. 9-10).
@@ -361,12 +427,46 @@ impl Node {
         &self.stats
     }
 
+    // ------------------------------------------------------ poll interface
+
+    /// The next outgoing datagram, in FIFO order; `None` when drained.
+    #[must_use = "the driver must execute drained transmits"]
+    pub fn poll_transmit(&mut self) -> Option<Transmit> {
+        self.outbox.pop_front()
+    }
+
+    /// The next timer to arm `(timer, fire_at)`, in FIFO order; `None`
+    /// when drained.
+    #[must_use = "the driver must arm drained timers"]
+    pub fn poll_timer(&mut self) -> Option<(Timer, TimeMs)> {
+        self.timerbox.pop_front()
+    }
+
+    /// The next application event, in FIFO order; `None` when drained.
+    #[must_use = "the driver should surface drained events"]
+    pub fn poll_event(&mut self) -> Option<AppEvent> {
+        self.eventbox.pop_front()
+    }
+
+    /// Whether any output (transmit, timer, or event) is waiting to be
+    /// drained.
+    #[must_use]
+    pub fn has_pending_output(&self) -> bool {
+        !self.outbox.is_empty() || !self.timerbox.is_empty() || !self.eventbox.is_empty()
+    }
+
+    // ------------------------------------------------------------- inputs
+
     /// Extracts the durable state to be written to persistent storage.
     #[must_use]
     pub fn snapshot_persistent(&self) -> PersistentState {
         PersistentState {
             ps: self.ps.iter().copied().collect(),
-            targets: self.targets.iter().map(|(&id, rec)| (id, rec.clone())).collect(),
+            targets: self
+                .targets
+                .iter()
+                .map(|(&id, rec)| (id, rec.clone()))
+                .collect(),
         }
     }
 
@@ -399,11 +499,11 @@ impl Node {
     /// Enters the system (Fig. 1). `contact` is any node currently believed
     /// alive; `None` for the very first bootstrap node.
     ///
-    /// Emits the JOIN message (weight per `kind`), the init-view request,
-    /// and arms the periodic timers with a random phase (protocol periods
-    /// are "executed asynchronously across nodes", §3.2).
-    pub fn start(&mut self, now: TimeMs, kind: JoinKind, contact: Option<NodeId>) -> Actions {
-        let mut actions = Actions::new();
+    /// Queues the JOIN message (weight per `kind`), the init-view request,
+    /// and the periodic timers with a random phase (protocol periods are
+    /// "executed asynchronously across nodes", §3.2). Drain with the poll
+    /// methods.
+    pub fn start(&mut self, now: TimeMs, kind: JoinKind, contact: Option<NodeId>) {
         self.started_at = now;
         self.last_monitor_ping_rx = None;
         self.pr2_last_fired = None;
@@ -415,7 +515,10 @@ impl Node {
                 self.stats.messages_sent += self.config.system_size as u64;
                 self.stats.bytes_sent +=
                     codec::encoded_len(&msg) as u64 * self.config.system_size as u64;
-                actions.push(Action::Broadcast { msg });
+                self.outbox.push_back(Transmit {
+                    to: Destination::AllNodes,
+                    msg,
+                });
             }
             DiscoveryMode::CoarseView => {
                 self.contact = contact.filter(|&c| c != self.id);
@@ -429,41 +532,45 @@ impl Node {
                     };
                     if weight > 0 {
                         self.send(
-                            &mut actions,
                             contact,
-                            Message::Join { origin: self.id, weight, hops: 0 },
+                            Message::Join {
+                                origin: self.id,
+                                weight,
+                                hops: 0,
+                            },
                         );
                     }
                     let nonce = self.fresh_nonce();
-                    self.pending.insert(nonce, Pending::InitView { peer: contact });
-                    self.send(&mut actions, contact, Message::InitViewRequest { nonce });
-                    actions.push(Action::SetTimer {
-                        timer: Timer::Expire(nonce),
-                        at: now + self.config.ping_timeout,
-                    });
+                    self.pending
+                        .insert(nonce, Pending::InitView { peer: contact });
+                    self.send(contact, Message::InitViewRequest { nonce });
+                    self.arm_timer(Timer::Expire(nonce), now + self.config.ping_timeout);
                 }
                 // Random phase so periods are asynchronous across nodes.
                 let phase = self.rng.gen_range(0..self.config.protocol_period);
-                actions.push(Action::SetTimer { timer: Timer::Protocol, at: now + phase });
+                self.arm_timer(Timer::Protocol, now + phase);
             }
         }
         let mphase = self.rng.gen_range(0..self.config.monitoring_period);
-        actions.push(Action::SetTimer { timer: Timer::Monitoring, at: now + mphase });
-        actions
+        self.arm_timer(Timer::Monitoring, now + mphase);
     }
 
-    /// Processes an incoming message.
-    pub fn handle_message(&mut self, now: TimeMs, from: NodeId, msg: Message) -> Actions {
+    /// Processes an incoming message; drain the effects with the poll
+    /// methods.
+    pub fn handle_message(&mut self, now: TimeMs, from: NodeId, msg: Message) {
         self.stats.messages_received += 1;
         self.stats.bytes_received += codec::encoded_len(&msg) as u64;
-        let mut actions = Actions::new();
         match msg {
-            Message::Join { origin, weight, hops } => {
-                self.handle_join(now, origin, weight, hops, &mut actions);
+            Message::Join {
+                origin,
+                weight,
+                hops,
+            } => {
+                self.handle_join(now, origin, weight, hops);
             }
             Message::InitViewRequest { nonce } => {
                 let view = self.view.as_slice().to_vec();
-                self.send(&mut actions, from, Message::InitViewReply { nonce, view });
+                self.send(from, Message::InitViewReply { nonce, view });
             }
             Message::InitViewReply { nonce, view } => {
                 if let Some(Pending::InitView { peer }) = self.pending.remove(&nonce) {
@@ -474,12 +581,12 @@ impl Node {
                                 adopted += 1;
                             }
                         }
-                        actions.push(Action::App(AppEvent::ViewInherited { from, adopted }));
+                        self.emit(AppEvent::ViewInherited { from, adopted });
                     }
                 }
             }
             Message::ViewPing { nonce } => {
-                self.send(&mut actions, from, Message::ViewPong { nonce });
+                self.send(from, Message::ViewPong { nonce });
             }
             Message::ViewPong { nonce } => {
                 if let Some(Pending::ViewPing { peer }) = self.pending.get(&nonce) {
@@ -490,23 +597,23 @@ impl Node {
             }
             Message::ViewFetch { nonce } => {
                 let view = self.view.as_slice().to_vec();
-                self.send(&mut actions, from, Message::ViewFetchReply { nonce, view });
+                self.send(from, Message::ViewFetchReply { nonce, view });
             }
             Message::ViewFetchReply { nonce, view } => {
                 if let Some(Pending::ViewFetch { peer }) = self.pending.get(&nonce).cloned() {
                     if peer == from {
                         self.pending.remove(&nonce);
-                        self.process_fetched_view(now, from, &view, &mut actions);
+                        self.process_fetched_view(now, from, &view);
                     }
                 }
             }
             Message::Notify { monitor, target } => {
-                self.handle_notify(now, monitor, target, &mut actions);
+                self.handle_notify(now, monitor, target);
             }
             Message::MonitorPing { nonce } => {
                 self.last_monitor_ping_rx = Some(now);
                 self.stats.monitor_pings_received += 1;
-                self.send(&mut actions, from, Message::MonitorPong { nonce });
+                self.send(from, Message::MonitorPong { nonce });
             }
             Message::MonitorPong { nonce } => {
                 if let Some(Pending::MonitorPing { peer }) = self.pending.get(&nonce) {
@@ -517,7 +624,7 @@ impl Node {
                 }
             }
             Message::ReportRequest { nonce, count } => {
-                self.serve_report(from, nonce, count, &mut actions);
+                self.serve_report(from, nonce, count);
             }
             Message::ReportReply { nonce, monitors } => {
                 if let Some(Pending::Report { target }) = self.pending.remove(&nonce) {
@@ -525,24 +632,34 @@ impl Node {
                         self.stats.hash_checks += monitors.len() as u64;
                         let verification =
                             crate::selector::verify_report(&*self.selector, target, &monitors);
-                        actions.push(Action::App(AppEvent::ReportOutcome { target, verification }));
+                        self.emit(AppEvent::ReportOutcome {
+                            target,
+                            verification,
+                        });
                     }
                 }
             }
             Message::HistoryRequest { nonce, target } => {
-                self.serve_history(now, from, nonce, target, &mut actions);
+                self.serve_history(now, from, nonce, target);
             }
-            Message::HistoryReply { nonce, target, availability, samples } => {
-                if let Some(Pending::History { monitor, target: expected }) =
-                    self.pending.remove(&nonce)
+            Message::HistoryReply {
+                nonce,
+                target,
+                availability,
+                samples,
+            } => {
+                if let Some(Pending::History {
+                    monitor,
+                    target: expected,
+                }) = self.pending.remove(&nonce)
                 {
                     if monitor == from && target == expected {
-                        actions.push(Action::App(AppEvent::HistoryOutcome {
+                        self.emit(AppEvent::HistoryOutcome {
                             monitor,
                             target,
                             availability,
                             samples,
-                        }));
+                        });
                     }
                 }
             }
@@ -550,68 +667,50 @@ impl Node {
                 self.view.insert_or_replace(from, &mut self.rng);
             }
             Message::Presence { origin } => {
-                self.handle_presence(now, origin, &mut actions);
+                self.handle_presence(now, origin);
             }
         }
-        actions
     }
 
-    /// Processes a fired timer.
-    pub fn handle_timer(&mut self, now: TimeMs, timer: Timer) -> Actions {
-        let mut actions = Actions::new();
+    /// Processes a fired timer; drain the effects with the poll methods.
+    pub fn handle_timer(&mut self, now: TimeMs, timer: Timer) {
         match timer {
             Timer::Protocol => {
-                self.protocol_period(now, &mut actions);
-                actions.push(Action::SetTimer {
-                    timer: Timer::Protocol,
-                    at: now + self.config.protocol_period,
-                });
+                self.protocol_period(now);
+                self.arm_timer(Timer::Protocol, now + self.config.protocol_period);
             }
             Timer::Monitoring => {
-                self.monitoring_period(now, &mut actions);
-                actions.push(Action::SetTimer {
-                    timer: Timer::Monitoring,
-                    at: now + self.config.monitoring_period,
-                });
+                self.monitoring_period(now);
+                self.arm_timer(Timer::Monitoring, now + self.config.monitoring_period);
             }
             Timer::Expire(nonce) => {
                 if let Some(pending) = self.pending.remove(&nonce) {
-                    self.handle_expiry(now, pending, &mut actions);
+                    self.handle_expiry(now, pending);
                 }
             }
         }
-        actions
     }
 
     /// Issues a monitor-report request to `target` (the "l out of K" client
     /// side, §3.3). The reply surfaces as [`AppEvent::ReportOutcome`].
-    pub fn request_report(&mut self, now: TimeMs, target: NodeId, count: u8) -> Actions {
-        let mut actions = Actions::new();
+    pub fn request_report(&mut self, now: TimeMs, target: NodeId, count: u8) {
         let nonce = self.fresh_nonce();
         self.pending.insert(nonce, Pending::Report { target });
-        self.send(&mut actions, target, Message::ReportRequest { nonce, count });
-        actions.push(Action::SetTimer {
-            timer: Timer::Expire(nonce),
-            at: now + self.config.ping_timeout,
-        });
-        actions
+        self.send(target, Message::ReportRequest { nonce, count });
+        self.arm_timer(Timer::Expire(nonce), now + self.config.ping_timeout);
     }
 
     /// Asks `monitor` for its measured availability of `target`. The reply
     /// surfaces as [`AppEvent::HistoryOutcome`].
-    pub fn request_history(&mut self, now: TimeMs, monitor: NodeId, target: NodeId) -> Actions {
-        let mut actions = Actions::new();
+    pub fn request_history(&mut self, now: TimeMs, monitor: NodeId, target: NodeId) {
         let nonce = self.fresh_nonce();
-        self.pending.insert(nonce, Pending::History { monitor, target });
-        self.send(&mut actions, monitor, Message::HistoryRequest { nonce, target });
-        actions.push(Action::SetTimer {
-            timer: Timer::Expire(nonce),
-            at: now + self.config.ping_timeout,
-        });
-        actions
+        self.pending
+            .insert(nonce, Pending::History { monitor, target });
+        self.send(monitor, Message::HistoryRequest { nonce, target });
+        self.arm_timer(Timer::Expire(nonce), now + self.config.ping_timeout);
     }
 
-    fn handle_expiry(&mut self, now: TimeMs, pending: Pending, actions: &mut Actions) {
+    fn handle_expiry(&mut self, now: TimeMs, pending: Pending) {
         match pending {
             Pending::ViewPing { peer } | Pending::ViewFetch { peer } => {
                 // Fig. 2: "an unresponsive node is removed from the CV". A
@@ -628,10 +727,10 @@ impl Node {
                 self.record_miss(now, peer);
             }
             Pending::Report { target } => {
-                actions.push(Action::App(AppEvent::RequestTimedOut { peer: target }));
+                self.emit(AppEvent::RequestTimedOut { peer: target });
             }
             Pending::History { monitor, .. } => {
-                actions.push(Action::App(AppEvent::RequestTimedOut { peer: monitor }));
+                self.emit(AppEvent::RequestTimedOut { peer: monitor });
             }
         }
     }
@@ -642,12 +741,25 @@ impl Node {
         self.selector.is_monitor(monitor, target)
     }
 
-    /// Emits `msg` to `to`, maintaining send-side accounting.
-    fn send(&mut self, actions: &mut Actions, to: NodeId, msg: Message) {
+    /// Queues `msg` to `to`, maintaining send-side accounting.
+    pub(super) fn send(&mut self, to: NodeId, msg: Message) {
         debug_assert_ne!(to, self.id, "nodes never message themselves");
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += codec::encoded_len(&msg) as u64;
-        actions.push(Action::Send { to, msg });
+        self.outbox.push_back(Transmit {
+            to: Destination::Node(to),
+            msg,
+        });
+    }
+
+    /// Queues a timer request.
+    fn arm_timer(&mut self, timer: Timer, at: TimeMs) {
+        self.timerbox.push_back((timer, at));
+    }
+
+    /// Queues an application event.
+    fn emit(&mut self, event: AppEvent) {
+        self.eventbox.push_back(event);
     }
 
     fn fresh_nonce(&mut self) -> Nonce {

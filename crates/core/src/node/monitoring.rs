@@ -1,9 +1,12 @@
 //! Availability monitoring: periodic pings to the target set, forgetful
 //! pinging (§3.3), and the report/history services.
+//!
+//! All effects are queued on the node's internal output queues and drained
+//! by the driver through the poll interface.
 
 use rand::Rng;
 
-use super::{Action, Actions, Node, Pending, Timer};
+use super::{Node, Pending, Timer};
 use crate::history::AvailabilityStore;
 use crate::message::{Message, Nonce};
 use crate::time::TimeMs;
@@ -12,7 +15,7 @@ use crate::NodeId;
 impl Node {
     /// One monitoring period (§3.3): ping every target in `TS(x)`, subject
     /// to the forgetful-pinging schedule for unresponsive targets.
-    pub(super) fn monitoring_period(&mut self, now: TimeMs, actions: &mut Actions) {
+    pub(super) fn monitoring_period(&mut self, now: TimeMs) {
         // Decide which targets to ping. (Collected first: the send path
         // needs `&mut self`.)
         let mut to_ping: Vec<NodeId> = Vec::with_capacity(self.targets.len());
@@ -40,16 +43,14 @@ impl Node {
 
         for target in to_ping {
             let nonce = self.fresh_nonce();
-            self.pending.insert(nonce, Pending::MonitorPing { peer: target });
-            self.send(actions, target, Message::MonitorPing { nonce });
+            self.pending
+                .insert(nonce, Pending::MonitorPing { peer: target });
+            self.send(target, Message::MonitorPing { nonce });
             self.stats.monitor_pings_sent += 1;
             if let Some(rec) = self.targets.get_mut(&target) {
                 rec.pings_sent += 1;
             }
-            actions.push(Action::SetTimer {
-                timer: Timer::Expire(nonce),
-                at: now + self.config.ping_timeout,
-            });
+            self.arm_timer(Timer::Expire(nonce), now + self.config.ping_timeout);
         }
     }
 
@@ -85,13 +86,7 @@ impl Node {
     /// §3.3 report service: "it is the burden of node x to report to node y
     /// the requisite number of its monitoring nodes". A selfish advertiser
     /// substitutes its fake list — which verification then rejects.
-    pub(super) fn serve_report(
-        &mut self,
-        from: NodeId,
-        nonce: Nonce,
-        count: u8,
-        actions: &mut Actions,
-    ) {
+    pub(super) fn serve_report(&mut self, from: NodeId, nonce: Nonce, count: u8) {
         let monitors: Vec<NodeId> = match self.behavior.fake_report() {
             Some(fakes) => fakes.iter().copied().take(usize::from(count)).collect(),
             None => {
@@ -106,7 +101,7 @@ impl Node {
                 candidates
             }
         };
-        self.send(actions, from, Message::ReportReply { nonce, monitors });
+        self.send(from, Message::ReportReply { nonce, monitors });
     }
 
     /// Availability-history service: answers with the measured estimate, or
@@ -117,7 +112,6 @@ impl Node {
         from: NodeId,
         nonce: Nonce,
         target: NodeId,
-        actions: &mut Actions,
     ) {
         let (availability, samples) = if self.behavior.misreports(target) {
             let samples = self.targets.get(&target).map_or(0, |r| r.pings_sent);
@@ -137,9 +131,13 @@ impl Node {
             }
         };
         self.send(
-            actions,
             from,
-            Message::HistoryReply { nonce, target, availability, samples },
+            Message::HistoryReply {
+                nonce,
+                target,
+                availability,
+                samples,
+            },
         );
     }
 }

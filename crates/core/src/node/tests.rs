@@ -1,4 +1,5 @@
-//! Unit tests driving a single [`Node`] with hand-crafted inputs.
+//! Unit tests driving a single [`Node`] with hand-crafted inputs through
+//! the poll interface.
 
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -17,7 +18,9 @@ struct TestSelector {
 
 impl TestSelector {
     fn with_pairs(pairs: &[(NodeId, NodeId)]) -> SharedSelector {
-        Arc::new(TestSelector { pairs: pairs.iter().copied().collect() })
+        Arc::new(TestSelector {
+            pairs: pairs.iter().copied().collect(),
+        })
     }
 
     fn none() -> SharedSelector {
@@ -34,6 +37,12 @@ impl MonitorSelector for TestSelector {
         "test"
     }
 }
+
+type Actions = Vec<Action>;
+
+/// Drains every queued output of `n` into the unified [`Action`] stream
+/// (transmits, then timers, then events — each FIFO).
+use crate::driver::collect_actions as drain;
 
 fn id(i: u32) -> NodeId {
     NodeId::from_index(i)
@@ -77,13 +86,87 @@ fn events(actions: &Actions) -> Vec<AppEvent> {
         .collect()
 }
 
+// ------------------------------------------------------------ poll order
+
+#[test]
+fn poll_queues_drain_fifo_and_then_return_none() {
+    let mut n = mk_node(1, config(100), TestSelector::none());
+    n.seed_view(&[id(2), id(3), id(4)]);
+    n.handle_timer(MINUTE, Timer::Protocol);
+    assert!(n.has_pending_output());
+
+    // Transmits drain in the order they were queued (ping before fetch),
+    // then the queue stays empty.
+    let mut msgs = Vec::new();
+    while let Some(t) = n.poll_transmit() {
+        msgs.push(t.msg);
+    }
+    assert!(matches!(msgs[0], Message::ViewPing { .. }));
+    assert!(matches!(msgs[1], Message::ViewFetch { .. }));
+    assert_eq!(msgs.len(), 2);
+    assert!(
+        n.poll_transmit().is_none(),
+        "drained transmit queue yields None"
+    );
+
+    // Timers likewise: the two expiries precede the period re-arm because
+    // they were queued first.
+    let mut tms = Vec::new();
+    while let Some(t) = n.poll_timer() {
+        tms.push(t);
+    }
+    assert_eq!(tms.len(), 3);
+    assert!(matches!(tms[0].0, Timer::Expire(_)));
+    assert!(matches!(tms[1].0, Timer::Expire(_)));
+    assert_eq!(
+        tms[2],
+        (Timer::Protocol, MINUTE + n.config().protocol_period)
+    );
+    assert!(n.poll_timer().is_none());
+
+    assert!(n.poll_event().is_none());
+    assert!(!n.has_pending_output());
+}
+
+#[test]
+fn poll_output_accumulates_across_inputs_in_order() {
+    // Two inputs without an intervening drain: outputs concatenate FIFO.
+    let selector = TestSelector::with_pairs(&[(id(2), id(1)), (id(3), id(1))]);
+    let mut n = mk_node(1, config(100), selector);
+    n.handle_message(
+        0,
+        id(9),
+        Message::Notify {
+            monitor: id(2),
+            target: id(1),
+        },
+    );
+    n.handle_message(
+        0,
+        id(9),
+        Message::Notify {
+            monitor: id(3),
+            target: id(1),
+        },
+    );
+    assert_eq!(
+        [n.poll_event().unwrap(), n.poll_event().unwrap()],
+        [
+            AppEvent::MonitorDiscovered { monitor: id(2) },
+            AppEvent::MonitorDiscovered { monitor: id(3) },
+        ],
+    );
+    assert!(n.poll_event().is_none());
+}
+
 // ---------------------------------------------------------------- joining
 
 #[test]
 fn fresh_join_sends_weight_cvs_and_inherits_view() {
     let cfg = config(100); // cvs = 4·100^{1/4} = 13
     let mut n = mk_node(1, cfg.clone(), TestSelector::none());
-    let actions = n.start(0, JoinKind::Fresh, Some(id(2)));
+    n.start(0, JoinKind::Fresh, Some(id(2)));
+    let actions = drain(&mut n);
     let sent = sends(&actions);
     assert!(sent.iter().any(|(to, m)| {
         *to == id(2)
@@ -105,30 +188,45 @@ fn rejoin_weight_is_min_cvs_downperiods() {
     let period = cfg.protocol_period;
     // Down for 3 protocol periods -> weight 3 (< cvs).
     let mut n = mk_node(1, cfg.clone(), TestSelector::none());
-    let actions = n.start(0, JoinKind::Rejoin { down_duration: 3 * period }, Some(id(2)));
-    assert!(sends(&actions)
+    n.start(
+        0,
+        JoinKind::Rejoin {
+            down_duration: 3 * period,
+        },
+        Some(id(2)),
+    );
+    assert!(sends(&drain(&mut n))
         .iter()
         .any(|(_, m)| matches!(m, Message::Join { weight: 3, .. })));
     // Down for ages -> weight capped at cvs.
     let mut n2 = mk_node(3, cfg.clone(), TestSelector::none());
-    let actions2 = n2.start(0, JoinKind::Rejoin { down_duration: 10_000 * period }, Some(id(2)));
+    n2.start(
+        0,
+        JoinKind::Rejoin {
+            down_duration: 10_000 * period,
+        },
+        Some(id(2)),
+    );
     let want = cfg.cvs as u32;
-    assert!(sends(&actions2)
+    assert!(sends(&drain(&mut n2))
         .iter()
         .any(|(_, m)| matches!(m, Message::Join { weight, .. } if *weight == want)));
     // Down for less than one period -> no JOIN at all (weight 0), but the
     // init-view request still goes out.
     let mut n3 = mk_node(4, cfg, TestSelector::none());
-    let actions3 = n3.start(0, JoinKind::Rejoin { down_duration: 10 }, Some(id(2)));
-    let sent3 = sends(&actions3);
+    n3.start(0, JoinKind::Rejoin { down_duration: 10 }, Some(id(2)));
+    let sent3 = sends(&drain(&mut n3));
     assert!(!sent3.iter().any(|(_, m)| matches!(m, Message::Join { .. })));
-    assert!(sent3.iter().any(|(_, m)| matches!(m, Message::InitViewRequest { .. })));
+    assert!(sent3
+        .iter()
+        .any(|(_, m)| matches!(m, Message::InitViewRequest { .. })));
 }
 
 #[test]
 fn bootstrap_node_without_contact_sends_nothing() {
     let mut n = mk_node(1, config(100), TestSelector::none());
-    let actions = n.start(0, JoinKind::Fresh, None);
+    n.start(0, JoinKind::Fresh, None);
+    let actions = drain(&mut n);
     assert!(sends(&actions).is_empty());
     assert_eq!(timers(&actions).len(), 2); // protocol + monitoring
 }
@@ -139,13 +237,26 @@ fn join_absorption_decrements_and_splits() {
     let mut n = mk_node(1, cfg, TestSelector::none());
     n.seed_view(&[id(10), id(11), id(12)]);
     // JOIN(x=5, c=7): absorb (c→6), forward 3 and 3.
-    let actions = n.handle_message(0, id(10), Message::Join { origin: id(5), weight: 7, hops: 0 });
+    n.handle_message(
+        0,
+        id(10),
+        Message::Join {
+            origin: id(5),
+            weight: 7,
+            hops: 0,
+        },
+    );
+    let actions = drain(&mut n);
     assert!(n.view().contains(id(5)));
     assert!(events(&actions).contains(&AppEvent::JoinAbsorbed { origin: id(5) }));
     let forwards: Vec<u32> = sends(&actions)
         .iter()
         .filter_map(|(_, m)| match m {
-            Message::Join { weight, hops: 1, origin } if *origin == id(5) => Some(*weight),
+            Message::Join {
+                weight,
+                hops: 1,
+                origin,
+            } if *origin == id(5) => Some(*weight),
             _ => None,
         })
         .collect();
@@ -163,24 +274,47 @@ fn join_absorption_decrements_and_splits() {
 fn join_already_known_forwards_full_weight() {
     let mut n = mk_node(1, config(100), TestSelector::none());
     n.seed_view(&[id(5), id(10)]);
-    let actions = n.handle_message(0, id(10), Message::Join { origin: id(5), weight: 4, hops: 0 });
-    let forwards: Vec<u32> = sends(&actions)
+    n.handle_message(
+        0,
+        id(10),
+        Message::Join {
+            origin: id(5),
+            weight: 4,
+            hops: 0,
+        },
+    );
+    let forwards: Vec<u32> = sends(&drain(&mut n))
         .iter()
         .filter_map(|(_, m)| match m {
             Message::Join { weight, .. } => Some(*weight),
             _ => None,
         })
         .collect();
-    assert_eq!(forwards.iter().sum::<u32>(), 4, "no decrement when already present");
+    assert_eq!(
+        forwards.iter().sum::<u32>(),
+        4,
+        "no decrement when already present"
+    );
 }
 
 #[test]
 fn join_weight_one_absorbed_without_forwarding() {
     let mut n = mk_node(1, config(100), TestSelector::none());
     n.seed_view(&[id(10)]);
-    let actions = n.handle_message(0, id(10), Message::Join { origin: id(5), weight: 1, hops: 0 });
+    n.handle_message(
+        0,
+        id(10),
+        Message::Join {
+            origin: id(5),
+            weight: 1,
+            hops: 0,
+        },
+    );
+    let actions = drain(&mut n);
     assert!(n.view().contains(id(5)));
-    assert!(sends(&actions).iter().all(|(_, m)| !matches!(m, Message::Join { .. })));
+    assert!(sends(&actions)
+        .iter()
+        .all(|(_, m)| !matches!(m, Message::Join { .. })));
 }
 
 #[test]
@@ -189,10 +323,20 @@ fn join_respects_hop_limit() {
     let limit = cfg.join_hop_limit;
     let mut n = mk_node(1, cfg, TestSelector::none());
     n.seed_view(&[id(10)]);
-    let actions =
-        n.handle_message(0, id(10), Message::Join { origin: id(5), weight: 5, hops: limit });
-    assert!(sends(&actions).is_empty());
-    assert!(!n.view().contains(id(5)), "hop-limited JOINs are dropped entirely");
+    n.handle_message(
+        0,
+        id(10),
+        Message::Join {
+            origin: id(5),
+            weight: 5,
+            hops: limit,
+        },
+    );
+    assert!(sends(&drain(&mut n)).is_empty());
+    assert!(
+        !n.view().contains(id(5)),
+        "hop-limited JOINs are dropped entirely"
+    );
 }
 
 #[test]
@@ -200,7 +344,16 @@ fn join_for_self_is_not_absorbed() {
     let mut n = mk_node(1, config(100), TestSelector::none());
     n.seed_view(&[id(10), id(11)]);
     let before = n.view().len();
-    let actions = n.handle_message(0, id(10), Message::Join { origin: id(1), weight: 3, hops: 0 });
+    n.handle_message(
+        0,
+        id(10),
+        Message::Join {
+            origin: id(1),
+            weight: 3,
+            hops: 0,
+        },
+    );
+    let actions = drain(&mut n);
     assert_eq!(n.view().len(), before);
     assert!(!n.view().contains(id(1)));
     // Full weight forwarded (no decrement).
@@ -217,16 +370,20 @@ fn join_for_self_is_not_absorbed() {
 #[test]
 fn init_view_reply_is_adopted() {
     let mut n = mk_node(1, config(100), TestSelector::none());
-    let actions = n.start(0, JoinKind::Fresh, Some(id(2)));
-    let nonce = sends(&actions)
+    n.start(0, JoinKind::Fresh, Some(id(2)));
+    let nonce = sends(&drain(&mut n))
         .iter()
         .find_map(|(_, m)| match m {
             Message::InitViewRequest { nonce } => Some(*nonce),
             _ => None,
         })
         .unwrap();
-    let reply = Message::InitViewReply { nonce, view: vec![id(3), id(4), id(1)] };
-    let actions2 = n.handle_message(10, id(2), reply);
+    let reply = Message::InitViewReply {
+        nonce,
+        view: vec![id(3), id(4), id(1)],
+    };
+    n.handle_message(10, id(2), reply);
+    let actions2 = drain(&mut n);
     assert!(n.view().contains(id(3)));
     assert!(n.view().contains(id(4)));
     assert!(!n.view().contains(id(1)), "own id filtered");
@@ -241,10 +398,21 @@ fn init_view_reply_is_adopted() {
 fn protocol_period_pings_and_fetches() {
     let mut n = mk_node(1, config(100), TestSelector::none());
     n.seed_view(&[id(2), id(3), id(4)]);
-    let actions = n.handle_timer(MINUTE, Timer::Protocol);
+    n.handle_timer(MINUTE, Timer::Protocol);
+    let actions = drain(&mut n);
     let sent = sends(&actions);
-    assert_eq!(sent.iter().filter(|(_, m)| matches!(m, Message::ViewPing { .. })).count(), 1);
-    assert_eq!(sent.iter().filter(|(_, m)| matches!(m, Message::ViewFetch { .. })).count(), 1);
+    assert_eq!(
+        sent.iter()
+            .filter(|(_, m)| matches!(m, Message::ViewPing { .. }))
+            .count(),
+        1
+    );
+    assert_eq!(
+        sent.iter()
+            .filter(|(_, m)| matches!(m, Message::ViewFetch { .. }))
+            .count(),
+        1
+    );
     // Re-arms itself.
     assert!(timers(&actions)
         .iter()
@@ -254,11 +422,12 @@ fn protocol_period_pings_and_fetches() {
 #[test]
 fn empty_view_retries_join_through_contact() {
     let mut n = mk_node(1, config(100), TestSelector::none());
-    let _ = n.start(0, JoinKind::Fresh, Some(id(2)));
+    n.start(0, JoinKind::Fresh, Some(id(2)));
+    let _ = drain(&mut n);
     // Suppose the JOIN and the view reply were both lost: the view is
     // still empty at the first protocol period, so the node retries.
-    let a = n.handle_timer(MINUTE, Timer::Protocol);
-    let sent = sends(&a);
+    n.handle_timer(MINUTE, Timer::Protocol);
+    let sent = sends(&drain(&mut n));
     assert!(sent
         .iter()
         .any(|(to, m)| *to == id(2) && matches!(m, Message::Join { hops: 0, .. })));
@@ -267,28 +436,32 @@ fn empty_view_retries_join_through_contact() {
         .any(|(to, m)| *to == id(2) && matches!(m, Message::InitViewRequest { .. })));
     // Once the view is populated, retries stop.
     n.seed_view(&[id(3)]);
-    let a2 = n.handle_timer(2 * MINUTE, Timer::Protocol);
-    assert!(!sends(&a2).iter().any(|(_, m)| matches!(m, Message::Join { .. })));
+    n.handle_timer(2 * MINUTE, Timer::Protocol);
+    assert!(!sends(&drain(&mut n))
+        .iter()
+        .any(|(_, m)| matches!(m, Message::Join { .. })));
     // A bootstrap node (no contact) with an empty view stays quiet.
     let mut boot = mk_node(9, config(100), TestSelector::none());
-    let _ = boot.start(0, JoinKind::Fresh, None);
-    let a3 = boot.handle_timer(MINUTE, Timer::Protocol);
-    assert!(sends(&a3).is_empty());
+    boot.start(0, JoinKind::Fresh, None);
+    let _ = drain(&mut boot);
+    boot.handle_timer(MINUTE, Timer::Protocol);
+    assert!(sends(&drain(&mut boot)).is_empty());
 }
 
 #[test]
 fn unresponsive_view_entry_is_removed_on_timeout() {
     let mut n = mk_node(1, config(100), TestSelector::none());
     n.seed_view(&[id(2)]);
-    let actions = n.handle_timer(MINUTE, Timer::Protocol);
-    let expire_timers: Vec<(Timer, TimeMs)> = timers(&actions)
+    n.handle_timer(MINUTE, Timer::Protocol);
+    let expire_timers: Vec<(Timer, TimeMs)> = timers(&drain(&mut n))
         .into_iter()
         .filter(|(t, _)| matches!(t, Timer::Expire(_)))
         .collect();
     assert!(!expire_timers.is_empty());
     for (t, at) in expire_timers {
-        let _ = n.handle_timer(at, t);
+        n.handle_timer(at, t);
     }
+    let _ = drain(&mut n);
     assert!(!n.view().contains(id(2)));
     assert!(n.stats().view_evictions >= 1);
 }
@@ -297,30 +470,36 @@ fn unresponsive_view_entry_is_removed_on_timeout() {
 fn pong_prevents_removal() {
     let mut n = mk_node(1, config(100), TestSelector::none());
     n.seed_view(&[id(2)]);
-    let actions = n.handle_timer(MINUTE, Timer::Protocol);
+    n.handle_timer(MINUTE, Timer::Protocol);
+    let actions = drain(&mut n);
     // Answer both the ping and the fetch.
     for (to, m) in sends(&actions) {
         assert_eq!(to, id(2));
         match m {
             Message::ViewPing { nonce } => {
-                let _ = n.handle_message(MINUTE + 1, id(2), Message::ViewPong { nonce });
+                n.handle_message(MINUTE + 1, id(2), Message::ViewPong { nonce });
             }
             Message::ViewFetch { nonce } => {
-                let _ = n.handle_message(
+                n.handle_message(
                     MINUTE + 1,
                     id(2),
-                    Message::ViewFetchReply { nonce, view: vec![] },
+                    Message::ViewFetchReply {
+                        nonce,
+                        view: vec![],
+                    },
                 );
             }
             _ => {}
         }
     }
+    let _ = drain(&mut n);
     // Let the expire timers fire late: nothing should be pending.
     for (t, at) in timers(&actions) {
         if matches!(t, Timer::Expire(_)) {
-            let _ = n.handle_timer(at, t);
+            n.handle_timer(at, t);
         }
     }
+    let _ = drain(&mut n);
     assert!(n.view().contains(id(2)), "responsive entries stay");
     assert_eq!(n.stats().view_evictions, 0);
 }
@@ -332,7 +511,8 @@ fn fetch_reply_discovers_planted_pair_and_notifies_both() {
     let selector = TestSelector::with_pairs(&[(id(3), id(4))]);
     let mut n = mk_node(1, config(100), selector);
     n.seed_view(&[id(2), id(3)]);
-    let p = n.handle_timer(MINUTE, Timer::Protocol);
+    n.handle_timer(MINUTE, Timer::Protocol);
+    let p = drain(&mut n);
     let fetch_nonce = sends(&p)
         .iter()
         .find_map(|(_, m)| match m {
@@ -344,11 +524,15 @@ fn fetch_reply_discovers_planted_pair_and_notifies_both() {
         .iter()
         .find_map(|(to, m)| matches!(m, Message::ViewFetch { .. }).then_some(*to))
         .unwrap();
-    let actions = n.handle_message(
+    n.handle_message(
         MINUTE + 5,
         fetch_peer,
-        Message::ViewFetchReply { nonce: fetch_nonce, view: vec![id(3), id(4)] },
+        Message::ViewFetchReply {
+            nonce: fetch_nonce,
+            view: vec![id(3), id(4)],
+        },
     );
+    let actions = drain(&mut n);
     let notifies: Vec<(NodeId, NodeId, NodeId)> = sends(&actions)
         .iter()
         .filter_map(|(to, m)| match m {
@@ -369,19 +553,23 @@ fn fetch_reply_involving_self_updates_own_sets_directly() {
     let selector = TestSelector::with_pairs(&[(id(1), id(9)), (id(9), id(1))]);
     let mut n = mk_node(1, config(100), selector);
     n.seed_view(&[id(2)]);
-    let p = n.handle_timer(MINUTE, Timer::Protocol);
-    let fetch_nonce = sends(&p)
+    n.handle_timer(MINUTE, Timer::Protocol);
+    let fetch_nonce = sends(&drain(&mut n))
         .iter()
         .find_map(|(_, m)| match m {
             Message::ViewFetch { nonce } => Some(*nonce),
             _ => None,
         })
         .unwrap();
-    let actions = n.handle_message(
+    n.handle_message(
         MINUTE + 5,
         id(2),
-        Message::ViewFetchReply { nonce: fetch_nonce, view: vec![id(9)] },
+        Message::ViewFetchReply {
+            nonce: fetch_nonce,
+            view: vec![id(9)],
+        },
     );
+    let actions = drain(&mut n);
     // Node 1 adopted 9 as target and as monitor, locally.
     assert!(n.target_set().any(|t| t == id(9)));
     assert!(n.pinging_set().any(|m| m == id(9)));
@@ -400,8 +588,8 @@ fn fetch_reply_involving_self_updates_own_sets_directly() {
 fn stale_fetch_reply_from_wrong_peer_is_ignored() {
     let mut n = mk_node(1, config(100), TestSelector::with_pairs(&[(id(3), id(4))]));
     n.seed_view(&[id(2)]);
-    let p = n.handle_timer(MINUTE, Timer::Protocol);
-    let fetch_nonce = sends(&p)
+    n.handle_timer(MINUTE, Timer::Protocol);
+    let fetch_nonce = sends(&drain(&mut n))
         .iter()
         .find_map(|(_, m)| match m {
             Message::ViewFetch { nonce } => Some(*nonce),
@@ -409,12 +597,15 @@ fn stale_fetch_reply_from_wrong_peer_is_ignored() {
         })
         .unwrap();
     // Reply arrives from an unexpected node: ignored.
-    let actions = n.handle_message(
+    n.handle_message(
         MINUTE + 5,
         id(99),
-        Message::ViewFetchReply { nonce: fetch_nonce, view: vec![id(3), id(4)] },
+        Message::ViewFetchReply {
+            nonce: fetch_nonce,
+            view: vec![id(3), id(4)],
+        },
     );
-    assert!(sends(&actions).is_empty());
+    assert!(sends(&drain(&mut n)).is_empty());
 }
 
 #[test]
@@ -424,8 +615,8 @@ fn shuffle_after_fetch_keeps_view_bounded() {
     let mut n = mk_node(1, cfg, TestSelector::none());
     let seeds: Vec<NodeId> = (2..2 + cvs as u32).map(id).collect();
     n.seed_view(&seeds);
-    let p = n.handle_timer(MINUTE, Timer::Protocol);
-    let (peer, nonce) = sends(&p)
+    n.handle_timer(MINUTE, Timer::Protocol);
+    let (peer, nonce) = sends(&drain(&mut n))
         .iter()
         .find_map(|(to, m)| match m {
             Message::ViewFetch { nonce } => Some((*to, *nonce)),
@@ -433,7 +624,15 @@ fn shuffle_after_fetch_keeps_view_bounded() {
         })
         .unwrap();
     let big_view: Vec<NodeId> = (100..100 + cvs as u32 * 2).map(id).collect();
-    let _ = n.handle_message(MINUTE + 1, peer, Message::ViewFetchReply { nonce, view: big_view });
+    n.handle_message(
+        MINUTE + 1,
+        peer,
+        Message::ViewFetchReply {
+            nonce,
+            view: big_view,
+        },
+    );
+    let _ = drain(&mut n);
     assert!(n.view().len() <= cvs);
 }
 
@@ -444,63 +643,115 @@ fn notify_is_verified_before_acceptance() {
     let selector = TestSelector::with_pairs(&[(id(2), id(1))]);
     let mut n = mk_node(1, config(100), selector);
     // Valid claim: 2 monitors 1.
-    let a1 = n.handle_message(0, id(9), Message::Notify { monitor: id(2), target: id(1) });
-    assert!(events(&a1).contains(&AppEvent::MonitorDiscovered { monitor: id(2) }));
+    n.handle_message(
+        0,
+        id(9),
+        Message::Notify {
+            monitor: id(2),
+            target: id(1),
+        },
+    );
+    assert!(events(&drain(&mut n)).contains(&AppEvent::MonitorDiscovered { monitor: id(2) }));
     assert_eq!(n.pinging_set_len(), 1);
     // Bogus claim: 3 does not monitor 1.
-    let a2 = n.handle_message(0, id(9), Message::Notify { monitor: id(3), target: id(1) });
-    assert!(events(&a2).is_empty());
+    n.handle_message(
+        0,
+        id(9),
+        Message::Notify {
+            monitor: id(3),
+            target: id(1),
+        },
+    );
+    assert!(events(&drain(&mut n)).is_empty());
     assert_eq!(n.pinging_set_len(), 1, "unverified NOTIFY rejected");
     // Duplicate claim: no duplicate event.
-    let a3 = n.handle_message(0, id(9), Message::Notify { monitor: id(2), target: id(1) });
-    assert!(events(&a3).is_empty());
+    n.handle_message(
+        0,
+        id(9),
+        Message::Notify {
+            monitor: id(2),
+            target: id(1),
+        },
+    );
+    assert!(events(&drain(&mut n)).is_empty());
 }
 
 #[test]
 fn notify_target_direction_populates_ts() {
     let selector = TestSelector::with_pairs(&[(id(1), id(5))]);
     let mut n = mk_node(1, config(100), selector);
-    let a = n.handle_message(7, id(9), Message::Notify { monitor: id(1), target: id(5) });
-    assert!(events(&a).contains(&AppEvent::TargetDiscovered { target: id(5) }));
+    n.handle_message(
+        7,
+        id(9),
+        Message::Notify {
+            monitor: id(1),
+            target: id(5),
+        },
+    );
+    assert!(events(&drain(&mut n)).contains(&AppEvent::TargetDiscovered { target: id(5) }));
     assert_eq!(n.target_set_len(), 1);
     let rec = n.target_record(id(5)).unwrap();
     assert_eq!(rec.discovered_at, 7);
     // Notify about an unrelated pair: ignored.
-    let a2 = n.handle_message(8, id(9), Message::Notify { monitor: id(7), target: id(8) });
-    assert!(events(&a2).is_empty());
+    n.handle_message(
+        8,
+        id(9),
+        Message::Notify {
+            monitor: id(7),
+            target: id(8),
+        },
+    );
+    assert!(events(&drain(&mut n)).is_empty());
 }
 
 // ------------------------------------------------------------- monitoring
 
 /// Drives `n` through one monitoring period, answering pings per `up`.
 fn run_monitoring_round(n: &mut Node, now: TimeMs, up: bool) {
-    let actions = n.handle_timer(now, Timer::Monitoring);
+    n.handle_timer(now, Timer::Monitoring);
+    let actions = drain(n);
     for (to, m) in sends(&actions) {
         if let Message::MonitorPing { nonce } = m {
             if up {
-                let _ = n.handle_message(now + 10, to, Message::MonitorPong { nonce });
+                n.handle_message(now + 10, to, Message::MonitorPong { nonce });
             }
         }
     }
     // Fire the expiry timers.
     for (t, at) in timers(&actions) {
         if matches!(t, Timer::Expire(_)) {
-            let _ = n.handle_timer(at, t);
+            n.handle_timer(at, t);
         }
     }
+    let _ = drain(n);
 }
 
 fn node_with_target(i: u32, t: u32) -> Node {
+    node_with_target_config(i, t, config(100))
+}
+
+fn node_with_target_config(i: u32, t: u32, cfg: Config) -> Node {
     let selector = TestSelector::with_pairs(&[(id(i), id(t))]);
-    let mut n = mk_node(i, config(100), selector);
-    let _ = n.handle_message(0, id(9), Message::Notify { monitor: id(i), target: id(t) });
+    let mut n = Node::new(id(i), cfg, selector, u64::from(i) + 1);
+    n.handle_message(
+        0,
+        id(9),
+        Message::Notify {
+            monitor: id(i),
+            target: id(t),
+        },
+    );
+    let _ = drain(&mut n);
     assert_eq!(n.target_set_len(), 1);
     n
 }
 
 #[test]
 fn monitoring_estimates_availability_fraction() {
-    let mut n = node_with_target(1, 5);
+    // Forgetful pinging off: every period must ping, so the estimator is
+    // exactly pongs/pings regardless of the RNG stream.
+    let cfg = Config::builder(100).forgetful(None).build().unwrap();
+    let mut n = node_with_target_config(1, 5, cfg);
     // 6 answered rounds, 4 unanswered.
     for round in 0..10u64 {
         run_monitoring_round(&mut n, (round + 1) * MINUTE, round < 6);
@@ -552,7 +803,15 @@ fn non_forgetful_config_pings_every_period() {
     let cfg = Config::builder(100).forgetful(None).build().unwrap();
     let selector = TestSelector::with_pairs(&[(id(1), id(5))]);
     let mut n = Node::new(id(1), cfg, selector, 3);
-    let _ = n.handle_message(0, id(9), Message::Notify { monitor: id(1), target: id(5) });
+    n.handle_message(
+        0,
+        id(9),
+        Message::Notify {
+            monitor: id(1),
+            target: id(5),
+        },
+    );
+    let _ = drain(&mut n);
     for round in 1..50u64 {
         run_monitoring_round(&mut n, round * MINUTE, false);
     }
@@ -584,7 +843,10 @@ fn forgetful_target_revives_on_return() {
     }
     let revived = revived_at.expect("forgetful pinging must eventually re-probe");
     let rec = n.target_record(id(5)).unwrap();
-    assert!(rec.unresponsive_since.is_none(), "streak reset after revival");
+    assert!(
+        rec.unresponsive_since.is_none(),
+        "streak reset after revival"
+    );
     // After revival, every period pings again.
     let before = rec.pings_sent;
     for round in (revived + 1)..(revived + 6) {
@@ -596,8 +858,11 @@ fn forgetful_target_revives_on_return() {
 #[test]
 fn monitor_ping_receipt_is_answered_and_tracked() {
     let mut n = mk_node(1, config(100), TestSelector::none());
-    let a = n.handle_message(5, id(2), Message::MonitorPing { nonce: Nonce(77) });
-    assert_eq!(sends(&a), vec![(id(2), Message::MonitorPong { nonce: Nonce(77) })]);
+    n.handle_message(5, id(2), Message::MonitorPing { nonce: Nonce(77) });
+    assert_eq!(
+        sends(&drain(&mut n)),
+        vec![(id(2), Message::MonitorPong { nonce: Nonce(77) })]
+    );
     assert_eq!(n.stats().monitor_pings_received, 1);
 }
 
@@ -608,10 +873,25 @@ fn honest_report_returns_subset_of_ps() {
     let selector = TestSelector::with_pairs(&[(id(2), id(1)), (id(3), id(1)), (id(4), id(1))]);
     let mut n = mk_node(1, config(100), selector);
     for m in [2, 3, 4] {
-        let _ = n.handle_message(0, id(9), Message::Notify { monitor: id(m), target: id(1) });
+        n.handle_message(
+            0,
+            id(9),
+            Message::Notify {
+                monitor: id(m),
+                target: id(1),
+            },
+        );
     }
-    let a = n.handle_message(1, id(7), Message::ReportRequest { nonce: Nonce(5), count: 2 });
-    let reply = sends(&a);
+    let _ = drain(&mut n);
+    n.handle_message(
+        1,
+        id(7),
+        Message::ReportRequest {
+            nonce: Nonce(5),
+            count: 2,
+        },
+    );
+    let reply = sends(&drain(&mut n));
     let Message::ReportReply { nonce, monitors } = &reply[0].1 else {
         panic!("expected report reply");
     };
@@ -627,20 +907,35 @@ fn selfish_advertiser_is_caught_by_verification() {
     let selector = TestSelector::with_pairs(&[(id(2), id(1))]);
     // Node 1's true monitor is 2, but it advertises its friend 66.
     let mut liar = mk_node(1, config(100), selector.clone());
-    liar.set_behavior(Behavior::SelfishAdvertiser { fake_monitors: vec![id(66)] });
-    let _ = liar.handle_message(0, id(9), Message::Notify { monitor: id(2), target: id(1) });
+    liar.set_behavior(Behavior::SelfishAdvertiser {
+        fake_monitors: vec![id(66)],
+    });
+    liar.handle_message(
+        0,
+        id(9),
+        Message::Notify {
+            monitor: id(2),
+            target: id(1),
+        },
+    );
+    let _ = drain(&mut liar);
 
     let mut verifier = mk_node(7, config(100), selector);
-    let req = verifier.request_report(0, id(1), 2);
-    let (to, Message::ReportRequest { nonce, count }) = sends(&req)[0].clone() else {
+    verifier.request_report(0, id(1), 2);
+    let (to, Message::ReportRequest { nonce, count }) = sends(&drain(&mut verifier))[0].clone()
+    else {
         panic!("expected report request");
     };
     assert_eq!(to, id(1));
-    let reply_actions = liar.handle_message(1, id(7), Message::ReportRequest { nonce, count });
-    let (_, reply) = sends(&reply_actions)[0].clone();
-    let outcome = verifier.handle_message(2, id(1), reply);
-    let evs = events(&outcome);
-    let AppEvent::ReportOutcome { target, verification } = &evs[0] else {
+    liar.handle_message(1, id(7), Message::ReportRequest { nonce, count });
+    let (_, reply) = sends(&drain(&mut liar))[0].clone();
+    verifier.handle_message(2, id(1), reply);
+    let evs = events(&drain(&mut verifier));
+    let AppEvent::ReportOutcome {
+        target,
+        verification,
+    } = &evs[0]
+    else {
         panic!("expected report outcome");
     };
     assert_eq!(*target, id(1));
@@ -654,12 +949,23 @@ fn history_request_served_honestly_and_overreported() {
     for round in 1..=4u64 {
         run_monitoring_round(&mut honest, round * MINUTE, round <= 2); // 50%
     }
-    let a = honest.handle_message(
+    honest.handle_message(
         300_000,
         id(7),
-        Message::HistoryRequest { nonce: Nonce(9), target: id(5) },
+        Message::HistoryRequest {
+            nonce: Nonce(9),
+            target: id(5),
+        },
     );
-    let (_, Message::HistoryReply { availability, samples, .. }) = sends(&a)[0].clone() else {
+    let (
+        _,
+        Message::HistoryReply {
+            availability,
+            samples,
+            ..
+        },
+    ) = sends(&drain(&mut honest))[0].clone()
+    else {
         panic!("expected history reply");
     };
     assert_eq!(availability, Some(0.5));
@@ -667,12 +973,21 @@ fn history_request_served_honestly_and_overreported() {
 
     // The same node, overreporting: claims 1.0.
     honest.set_behavior(Behavior::OverreportAll);
-    let a2 = honest.handle_message(
+    honest.handle_message(
         300_001,
         id(7),
-        Message::HistoryRequest { nonce: Nonce(10), target: id(5) },
+        Message::HistoryRequest {
+            nonce: Nonce(10),
+            target: id(5),
+        },
     );
-    let (_, Message::HistoryReply { availability: over, .. }) = sends(&a2)[0].clone() else {
+    let (
+        _,
+        Message::HistoryReply {
+            availability: over, ..
+        },
+    ) = sends(&drain(&mut honest))[0].clone()
+    else {
         panic!("expected history reply");
     };
     assert_eq!(over, Some(1.0));
@@ -681,8 +996,15 @@ fn history_request_served_honestly_and_overreported() {
 #[test]
 fn history_for_unknown_target_is_none() {
     let mut n = mk_node(1, config(100), TestSelector::none());
-    let a = n.handle_message(0, id(7), Message::HistoryRequest { nonce: Nonce(1), target: id(5) });
-    let (_, Message::HistoryReply { availability, .. }) = sends(&a)[0].clone() else {
+    n.handle_message(
+        0,
+        id(7),
+        Message::HistoryRequest {
+            nonce: Nonce(1),
+            target: id(5),
+        },
+    );
+    let (_, Message::HistoryReply { availability, .. }) = sends(&drain(&mut n))[0].clone() else {
         panic!("expected history reply");
     };
     assert_eq!(availability, None);
@@ -693,15 +1015,15 @@ fn request_history_round_trip() {
     let mut monitor = node_with_target(2, 5);
     run_monitoring_round(&mut monitor, MINUTE, true);
     let mut client = mk_node(1, config(100), TestSelector::none());
-    let req = client.request_history(0, id(2), id(5));
-    let (_, Message::HistoryRequest { nonce, target }) = sends(&req)[0].clone() else {
+    client.request_history(0, id(2), id(5));
+    let (_, Message::HistoryRequest { nonce, target }) = sends(&drain(&mut client))[0].clone()
+    else {
         panic!("expected history request");
     };
-    let reply_actions =
-        monitor.handle_message(1, id(1), Message::HistoryRequest { nonce, target });
-    let (_, reply) = sends(&reply_actions)[0].clone();
-    let outcome = client.handle_message(2, id(2), reply);
-    assert!(events(&outcome).iter().any(|e| matches!(
+    monitor.handle_message(1, id(1), Message::HistoryRequest { nonce, target });
+    let (_, reply) = sends(&drain(&mut monitor))[0].clone();
+    client.handle_message(2, id(2), reply);
+    assert!(events(&drain(&mut client)).iter().any(|e| matches!(
         e,
         AppEvent::HistoryOutcome { monitor, target, availability: Some(a), .. }
             if *monitor == id(2) && *target == id(5) && (*a - 1.0).abs() < 1e-9
@@ -711,13 +1033,13 @@ fn request_history_round_trip() {
 #[test]
 fn report_timeout_surfaces_event() {
     let mut n = mk_node(1, config(100), TestSelector::none());
-    let req = n.request_report(0, id(2), 1);
-    let (timer, at) = timers(&req)
+    n.request_report(0, id(2), 1);
+    let (timer, at) = timers(&drain(&mut n))
         .into_iter()
         .find(|(t, _)| matches!(t, Timer::Expire(_)))
         .unwrap();
-    let a = n.handle_timer(at, timer);
-    assert!(events(&a).contains(&AppEvent::RequestTimedOut { peer: id(2) }));
+    n.handle_timer(at, timer);
+    assert!(events(&drain(&mut n)).contains(&AppEvent::RequestTimedOut { peer: id(2) }));
 }
 
 // ---------------------------------------------------------------- PR2
@@ -726,44 +1048,62 @@ fn report_timeout_surfaces_event() {
 fn pr2_fires_after_two_quiet_periods() {
     let cfg = Config::builder(100).pr2(true).build().unwrap();
     let mut n = Node::new(id(1), cfg, TestSelector::none(), 3);
-    let _ = n.start(0, JoinKind::Fresh, None);
+    n.start(0, JoinKind::Fresh, None);
+    let _ = drain(&mut n);
     n.seed_view(&[id(2), id(3)]);
     // First period (1 min from start): quiet but < 2 periods — no PR2.
-    let a1 = n.handle_timer(MINUTE, Timer::Protocol);
-    assert!(!sends(&a1).iter().any(|(_, m)| matches!(m, Message::AddMeRequest)));
+    n.handle_timer(MINUTE, Timer::Protocol);
+    assert!(!sends(&drain(&mut n))
+        .iter()
+        .any(|(_, m)| matches!(m, Message::AddMeRequest)));
     // Second period: 2 full periods of silence — PR2 fires to all entries.
-    let a2 = n.handle_timer(2 * MINUTE, Timer::Protocol);
-    let addme: Vec<NodeId> = sends(&a2)
+    n.handle_timer(2 * MINUTE, Timer::Protocol);
+    let addme: Vec<NodeId> = sends(&drain(&mut n))
         .iter()
         .filter_map(|(to, m)| matches!(m, Message::AddMeRequest).then_some(*to))
         .collect();
     assert_eq!(addme.len(), 2, "one AddMe per view entry");
     // Having just fired, it stays quiet the next period…
-    let a3 = n.handle_timer(3 * MINUTE, Timer::Protocol);
-    assert!(!sends(&a3).iter().any(|(_, m)| matches!(m, Message::AddMeRequest)));
+    n.handle_timer(3 * MINUTE, Timer::Protocol);
+    assert!(!sends(&drain(&mut n))
+        .iter()
+        .any(|(_, m)| matches!(m, Message::AddMeRequest)));
     // …and a monitoring ping resets the quiet clock entirely.
-    let _ = n.handle_message(3 * MINUTE + 1, id(5), Message::MonitorPing { nonce: Nonce(1) });
-    let a4 = n.handle_timer(4 * MINUTE, Timer::Protocol);
-    assert!(!sends(&a4).iter().any(|(_, m)| matches!(m, Message::AddMeRequest)));
-    let a5 = n.handle_timer(5 * MINUTE + 2, Timer::Protocol);
-    assert!(sends(&a5).iter().any(|(_, m)| matches!(m, Message::AddMeRequest)));
+    n.handle_message(
+        3 * MINUTE + 1,
+        id(5),
+        Message::MonitorPing { nonce: Nonce(1) },
+    );
+    let _ = drain(&mut n);
+    n.handle_timer(4 * MINUTE, Timer::Protocol);
+    assert!(!sends(&drain(&mut n))
+        .iter()
+        .any(|(_, m)| matches!(m, Message::AddMeRequest)));
+    n.handle_timer(5 * MINUTE + 2, Timer::Protocol);
+    assert!(sends(&drain(&mut n))
+        .iter()
+        .any(|(_, m)| matches!(m, Message::AddMeRequest)));
 }
 
 #[test]
 fn pr2_disabled_by_default() {
     let mut n = mk_node(1, config(100), TestSelector::none());
-    let _ = n.start(0, JoinKind::Fresh, None);
+    n.start(0, JoinKind::Fresh, None);
+    let _ = drain(&mut n);
     n.seed_view(&[id(2)]);
     for p in 1..6 {
-        let a = n.handle_timer(p * MINUTE, Timer::Protocol);
-        assert!(!sends(&a).iter().any(|(_, m)| matches!(m, Message::AddMeRequest)));
+        n.handle_timer(p * MINUTE, Timer::Protocol);
+        assert!(!sends(&drain(&mut n))
+            .iter()
+            .any(|(_, m)| matches!(m, Message::AddMeRequest)));
     }
 }
 
 #[test]
 fn add_me_request_inserts_sender() {
     let mut n = mk_node(1, config(100), TestSelector::none());
-    let _ = n.handle_message(0, id(42), Message::AddMeRequest);
+    n.handle_message(0, id(42), Message::AddMeRequest);
+    let _ = drain(&mut n);
     assert!(n.view().contains(id(42)));
 }
 
@@ -771,29 +1111,35 @@ fn add_me_request_inserts_sender() {
 
 #[test]
 fn broadcast_mode_floods_presence_and_discovers_directly() {
-    let cfg = Config::builder(100).discovery(DiscoveryMode::Broadcast).build().unwrap();
+    let cfg = Config::builder(100)
+        .discovery(DiscoveryMode::Broadcast)
+        .build()
+        .unwrap();
     let selector = TestSelector::with_pairs(&[(id(2), id(1)), (id(1), id(3))]);
     let mut joiner = Node::new(id(1), cfg.clone(), selector.clone(), 1);
-    let actions = joiner.start(0, JoinKind::Fresh, None);
-    assert!(actions
-        .iter()
-        .any(|a| matches!(a, Action::Broadcast { msg: Message::Presence { origin } } if *origin == id(1))));
+    joiner.start(0, JoinKind::Fresh, None);
+    let actions = drain(&mut joiner);
+    assert!(actions.iter().any(
+        |a| matches!(a, Action::Broadcast { msg: Message::Presence { origin } } if *origin == id(1))
+    ));
 
     // Receiver 2 monitors 1: adopts the target and notifies the joiner.
     let mut receiver = Node::new(id(2), cfg.clone(), selector.clone(), 2);
-    let ra = receiver.handle_message(1, id(1), Message::Presence { origin: id(1) });
+    receiver.handle_message(1, id(1), Message::Presence { origin: id(1) });
+    let ra = drain(&mut receiver);
     assert!(receiver.target_set().any(|t| t == id(1)));
     let (to, Message::Notify { monitor, target }) = sends(&ra)[0].clone() else {
         panic!("expected notify to joiner");
     };
     assert_eq!((to, monitor, target), (id(1), id(2), id(1)));
     // The joiner verifies and learns its monitor.
-    let ja = joiner.handle_message(2, id(2), Message::Notify { monitor, target });
-    assert!(events(&ja).contains(&AppEvent::MonitorDiscovered { monitor: id(2) }));
+    joiner.handle_message(2, id(2), Message::Notify { monitor, target });
+    assert!(events(&drain(&mut joiner)).contains(&AppEvent::MonitorDiscovered { monitor: id(2) }));
 
     // Receiver 3 is monitored *by* the joiner.
     let mut receiver3 = Node::new(id(3), cfg, selector, 3);
-    let ra3 = receiver3.handle_message(1, id(1), Message::Presence { origin: id(1) });
+    receiver3.handle_message(1, id(1), Message::Presence { origin: id(1) });
+    let ra3 = drain(&mut receiver3);
     assert!(receiver3.pinging_set().any(|m| m == id(1)));
     assert!(sends(&ra3)
         .iter()
@@ -807,11 +1153,27 @@ fn persistent_state_round_trips() {
     // Selector knows both relations: 1 monitors 5, and 2 monitors 1.
     let selector = TestSelector::with_pairs(&[(id(1), id(5)), (id(2), id(1))]);
     let mut n = mk_node(1, config(100), selector);
-    let _ = n.handle_message(0, id(9), Message::Notify { monitor: id(1), target: id(5) });
+    n.handle_message(
+        0,
+        id(9),
+        Message::Notify {
+            monitor: id(1),
+            target: id(5),
+        },
+    );
+    let _ = drain(&mut n);
     for round in 1..=3u64 {
         run_monitoring_round(&mut n, round * MINUTE, true);
     }
-    let _ = n.handle_message(0, id(9), Message::Notify { monitor: id(2), target: id(1) });
+    n.handle_message(
+        0,
+        id(9),
+        Message::Notify {
+            monitor: id(2),
+            target: id(1),
+        },
+    );
+    let _ = drain(&mut n);
     let snapshot = n.snapshot_persistent();
     assert_eq!(snapshot.ps, vec![id(2)]);
     assert_eq!(snapshot.targets.len(), 1);
@@ -832,8 +1194,23 @@ fn memory_entries_counts_all_three_sets() {
     let selector = TestSelector::with_pairs(&[(id(2), id(1)), (id(1), id(5))]);
     let mut n = mk_node(1, config(100), selector);
     n.seed_view(&[id(3), id(4)]);
-    let _ = n.handle_message(0, id(9), Message::Notify { monitor: id(2), target: id(1) });
-    let _ = n.handle_message(0, id(9), Message::Notify { monitor: id(1), target: id(5) });
+    n.handle_message(
+        0,
+        id(9),
+        Message::Notify {
+            monitor: id(2),
+            target: id(1),
+        },
+    );
+    n.handle_message(
+        0,
+        id(9),
+        Message::Notify {
+            monitor: id(1),
+            target: id(5),
+        },
+    );
+    let _ = drain(&mut n);
     assert_eq!(n.memory_entries(), 2 + 1 + 1);
 }
 
@@ -841,10 +1218,12 @@ fn memory_entries_counts_all_three_sets() {
 fn stats_accounting_counts_messages_and_bytes() {
     let mut n = mk_node(1, config(100), TestSelector::none());
     n.seed_view(&[id(2)]);
-    let a = n.handle_timer(MINUTE, Timer::Protocol);
-    let sent = sends(&a);
+    n.handle_timer(MINUTE, Timer::Protocol);
+    let sent = sends(&drain(&mut n));
     assert_eq!(n.stats().messages_sent, sent.len() as u64);
-    let expected_bytes: u64 =
-        sent.iter().map(|(_, m)| crate::codec::encoded_len(m) as u64).sum();
+    let expected_bytes: u64 = sent
+        .iter()
+        .map(|(_, m)| crate::codec::encoded_len(m) as u64)
+        .sum();
     assert_eq!(n.stats().bytes_sent, expected_bytes);
 }

@@ -12,10 +12,11 @@
 //! 4. aggregates the answers.
 //!
 //! [`AvailabilityQuery`] drives those four steps over any driver: feed it
-//! the [`AppEvent`]s your node produces and execute the [`Actions`] it
-//! returns, until it yields a [`QueryOutcome`].
+//! the [`AppEvent`]s your node produces. Each step queues its follow-up
+//! requests directly on the node — drain them through the node's poll
+//! interface as usual — until the query yields a [`QueryOutcome`].
 
-use crate::node::{Actions, AppEvent, Node};
+use crate::node::{AppEvent, Node};
 use crate::time::TimeMs;
 use crate::NodeId;
 
@@ -68,9 +69,10 @@ impl QueryOutcome {
 ///
 /// # fn demo(node: &mut Node, now: u64, target: NodeId) {
 /// let mut query = AvailabilityQuery::new(target, 3);
-/// let actions = query.start(node, now);
-/// // …driver executes actions; then for each AppEvent `e` the node
-/// // produces: if let Some(outcome) = query.on_event(node, now, &e)… etc.
+/// query.start(node, now);
+/// // …driver drains node.poll_transmit()/poll_timer(); then for each
+/// // AppEvent `e` the node produces:
+/// //     if let Some(outcome) = query.on_event(node, now, &e) { … }
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
@@ -82,7 +84,6 @@ pub struct AvailabilityQuery {
     rejected: Vec<NodeId>,
     answers: Vec<(NodeId, f64, u64)>,
     unresponsive: Vec<NodeId>,
-    follow_up_actions: bool,
 }
 
 impl AvailabilityQuery {
@@ -103,7 +104,6 @@ impl AvailabilityQuery {
             rejected: Vec::new(),
             answers: Vec::new(),
             unresponsive: Vec::new(),
-            follow_up_actions: false,
         }
     }
 
@@ -119,14 +119,15 @@ impl AvailabilityQuery {
         self.phase == Phase::Done
     }
 
-    /// Kicks off the query from `node` (the client). Execute the returned
-    /// actions on your driver.
-    pub fn start(&mut self, node: &mut Node, now: TimeMs) -> Actions {
-        node.request_report(now, self.target, self.l)
+    /// Kicks off the query from `node` (the client): queues the report
+    /// request on the node — drain it through the poll interface.
+    pub fn start(&mut self, node: &mut Node, now: TimeMs) {
+        node.request_report(now, self.target, self.l);
     }
 
-    /// Feeds one application event produced by the client node. Returns
-    /// follow-up actions to execute plus the outcome once complete.
+    /// Feeds one application event produced by the client node. Follow-up
+    /// history requests are queued on `node`; the outcome is returned once
+    /// the query completes.
     ///
     /// Events that do not belong to this query are ignored (several
     /// queries can run concurrently on one node).
@@ -135,34 +136,42 @@ impl AvailabilityQuery {
         node: &mut Node,
         now: TimeMs,
         event: &AppEvent,
-    ) -> (Actions, Option<QueryOutcome>) {
+    ) -> Option<QueryOutcome> {
         match (&mut self.phase, event) {
-            (Phase::AwaitingReport, AppEvent::ReportOutcome { target, verification })
-                if *target == self.target =>
-            {
+            (
+                Phase::AwaitingReport,
+                AppEvent::ReportOutcome {
+                    target,
+                    verification,
+                },
+            ) if *target == self.target => {
                 self.verified = verification.verified.clone();
                 self.rejected = verification.rejected.clone();
                 if self.verified.is_empty() {
                     self.phase = Phase::Done;
-                    return (Actions::new(), Some(self.outcome()));
+                    return Some(self.outcome());
                 }
-                let mut actions = Actions::new();
                 for &monitor in &self.verified {
-                    actions.extend(node.request_history(now, monitor, self.target));
+                    node.request_history(now, monitor, self.target);
                 }
-                self.phase = Phase::AwaitingHistories { outstanding: self.verified.clone() };
-                (actions, None)
+                self.phase = Phase::AwaitingHistories {
+                    outstanding: self.verified.clone(),
+                };
+                None
             }
-            (Phase::AwaitingReport, AppEvent::RequestTimedOut { peer })
-                if *peer == self.target =>
-            {
+            (Phase::AwaitingReport, AppEvent::RequestTimedOut { peer }) if *peer == self.target => {
                 // The target itself is unresponsive: report nothing.
                 self.phase = Phase::Done;
-                (Actions::new(), Some(self.outcome()))
+                Some(self.outcome())
             }
             (
                 Phase::AwaitingHistories { outstanding },
-                AppEvent::HistoryOutcome { monitor, target, availability, samples },
+                AppEvent::HistoryOutcome {
+                    monitor,
+                    target,
+                    availability,
+                    samples,
+                },
             ) if *target == self.target => {
                 if let Some(pos) = outstanding.iter().position(|m| m == monitor) {
                     outstanding.swap_remove(pos);
@@ -171,10 +180,10 @@ impl AvailabilityQuery {
                     }
                     if outstanding.is_empty() {
                         self.phase = Phase::Done;
-                        return (Actions::new(), Some(self.outcome()));
+                        return Some(self.outcome());
                     }
                 }
-                (Actions::new(), None)
+                None
             }
             (Phase::AwaitingHistories { outstanding }, AppEvent::RequestTimedOut { peer }) => {
                 if let Some(pos) = outstanding.iter().position(|m| m == peer) {
@@ -182,12 +191,12 @@ impl AvailabilityQuery {
                     self.unresponsive.push(*peer);
                     if outstanding.is_empty() {
                         self.phase = Phase::Done;
-                        return (Actions::new(), Some(self.outcome()));
+                        return Some(self.outcome());
                     }
                 }
-                (Actions::new(), None)
+                None
             }
-            _ => (Actions::new(), None),
+            _ => None,
         }
     }
 
@@ -214,7 +223,7 @@ mod tests {
     use crate::behavior::Behavior;
     use crate::config::Config;
     use crate::message::Message;
-    use crate::node::{Action, JoinKind, Timer};
+    use crate::node::{Destination, JoinKind, Timer, Transmit};
     use crate::selector::{HashSelector, MonitorSelector};
     use std::sync::Arc;
 
@@ -222,50 +231,53 @@ mod tests {
         NodeId::from_index(i)
     }
 
-    /// A deterministic two-node "network": run the client's actions against
-    /// the server node, collecting app events.
+    /// Discards a node's pending timers and events, returning the expiry
+    /// timers (the tests fire those explicitly).
+    fn drain_timers(node: &mut Node) -> Vec<(Timer, TimeMs)> {
+        let mut timers = Vec::new();
+        while let Some(t) = node.poll_timer() {
+            timers.push(t);
+        }
+        timers
+    }
+
+    /// A deterministic in-process "network": deliver the client's queued
+    /// transmits to the server nodes, route replies back, fire unanswered
+    /// expiry timers, and collect the client's app events.
     fn pump(
         client: &mut Node,
         servers: &mut std::collections::HashMap<NodeId, Node>,
-        actions: Actions,
         now: TimeMs,
     ) -> Vec<AppEvent> {
         let mut events = Vec::new();
-        let mut queue: Vec<Action> = actions;
-        let mut timers = Vec::new();
-        while let Some(action) = queue.pop() {
-            match action {
-                Action::Send { to, msg } => {
-                    if let Some(server) = servers.get_mut(&to) {
-                        for reply in server.handle_message(now, client.id(), msg) {
-                            if let Action::Send { to: back, msg } = reply {
-                                if back == client.id() {
-                                    for a in client.handle_message(now, to, msg.clone()) {
-                                        match a {
-                                            Action::App(e) => events.push(e),
-                                            other => queue.push(other),
-                                        }
-                                    }
-                                }
-                            }
-                        }
+        let mut timers = drain_timers(client);
+        while let Some(Transmit { to, msg }) = client.poll_transmit() {
+            let Destination::Node(to) = to else { continue };
+            if let Some(server) = servers.get_mut(&to) {
+                server.handle_message(now, client.id(), msg);
+                let _ = drain_timers(server);
+                while let Some(reply) = server.poll_transmit() {
+                    if reply.unicast_to() == Some(client.id()) {
+                        client.handle_message(now, to, reply.msg);
+                        timers.extend(drain_timers(client));
                     }
                 }
-                Action::SetTimer { timer, at } => timers.push((timer, at)),
-                Action::App(e) => events.push(e),
-                Action::Broadcast { .. } => {}
             }
+        }
+        while let Some(e) = client.poll_event() {
+            events.push(e);
         }
         // Fire remaining expiry timers (unanswered requests time out).
         for (timer, at) in timers {
             if let Timer::Expire(_) = timer {
-                for a in client.handle_timer(at, timer) {
-                    if let Action::App(e) = a {
-                        events.push(e);
-                    }
+                client.handle_timer(at, timer);
+                while let Some(e) = client.poll_event() {
+                    events.push(e);
                 }
             }
         }
+        while client.poll_transmit().is_some() {}
+        let _ = drain_timers(client);
         events
     }
 
@@ -278,48 +290,62 @@ mod tests {
             .map(id)
             .filter(|&m| selector.is_monitor(m, target))
             .collect();
-        assert!(monitors.len() >= 2, "need at least two monitors for the test");
+        assert!(
+            monitors.len() >= 2,
+            "need at least two monitors for the test"
+        );
+
+        let drain_all = |node: &mut Node| {
+            while node.poll_transmit().is_some() {}
+            while node.poll_timer().is_some() {}
+            while node.poll_event().is_some() {}
+        };
 
         let mut server_target = Node::new(target, config.clone(), selector.clone(), 1);
-        let _ = server_target.start(0, JoinKind::Fresh, None);
+        server_target.start(0, JoinKind::Fresh, None);
+        drain_all(&mut server_target);
         let mut servers = std::collections::HashMap::new();
         for &m in &monitors {
             // Teach the target its monitors, and each monitor its target.
-            let _ = server_target.handle_message(
-                0,
-                id(60),
-                Message::Notify { monitor: m, target },
-            );
+            server_target.handle_message(0, id(60), Message::Notify { monitor: m, target });
+            drain_all(&mut server_target);
             let mut monitor_node = Node::new(m, config.clone(), selector.clone(), 2);
-            let _ = monitor_node.start(0, JoinKind::Fresh, None);
-            let _ =
-                monitor_node.handle_message(0, id(60), Message::Notify { monitor: m, target });
+            monitor_node.start(0, JoinKind::Fresh, None);
+            drain_all(&mut monitor_node);
+            monitor_node.handle_message(0, id(60), Message::Notify { monitor: m, target });
+            drain_all(&mut monitor_node);
             // Give the monitor some history: 3 pings, 2 answered.
             for (round, up) in [(1u64, true), (2, true), (3, false)] {
-                let actions = monitor_node.handle_timer(round * 60_000, Timer::Monitoring);
-                for a in &actions {
-                    if let Action::Send { msg: Message::MonitorPing { nonce }, .. } = a {
-                        if up {
-                            let _ = monitor_node.handle_message(
-                                round * 60_000 + 1,
-                                target,
-                                Message::MonitorPong { nonce: *nonce },
-                            );
-                        }
+                monitor_node.handle_timer(round * 60_000, Timer::Monitoring);
+                let mut pings = Vec::new();
+                while let Some(t) = monitor_node.poll_transmit() {
+                    if let Message::MonitorPing { nonce } = t.msg {
+                        pings.push(nonce);
                     }
                 }
-                for a in actions {
-                    if let Action::SetTimer { timer: t @ Timer::Expire(_), at } = a {
-                        let _ = monitor_node.handle_timer(at, t);
+                if up {
+                    for nonce in pings {
+                        monitor_node.handle_message(
+                            round * 60_000 + 1,
+                            target,
+                            Message::MonitorPong { nonce },
+                        );
                     }
                 }
+                for (timer, at) in drain_timers(&mut monitor_node) {
+                    if let Timer::Expire(_) = timer {
+                        monitor_node.handle_timer(at, timer);
+                    }
+                }
+                drain_all(&mut monitor_node);
             }
             servers.insert(m, monitor_node);
         }
         servers.insert(target, server_target);
 
         let mut client = Node::new(id(0), config, selector, 3);
-        let _ = client.start(0, JoinKind::Fresh, None);
+        client.start(0, JoinKind::Fresh, None);
+        drain_all(&mut client);
         (client, servers, monitors)
     }
 
@@ -328,16 +354,16 @@ mod tests {
         let (mut client, mut servers, _) = build_world();
         let mut query = AvailabilityQuery::new(id(1), 3);
         assert!(!query.is_done());
-        let actions = query.start(&mut client, 10);
+        query.start(&mut client, 10);
         let mut outcome = None;
-        let mut pending = pump(&mut client, &mut servers, actions, 10);
+        let mut pending = pump(&mut client, &mut servers, 10);
         let mut guard = 0;
         while outcome.is_none() && guard < 10 {
             guard += 1;
             let mut next_events = Vec::new();
             for event in pending.drain(..) {
-                let (actions, done) = query.on_event(&mut client, 20, &event);
-                next_events.extend(pump(&mut client, &mut servers, actions, 20));
+                let done = query.on_event(&mut client, 20, &event);
+                next_events.extend(pump(&mut client, &mut servers, 20));
                 if done.is_some() {
                     outcome = done;
                     break;
@@ -371,15 +397,16 @@ mod tests {
         servers
             .get_mut(&id(1))
             .unwrap()
-            .set_behavior(Behavior::SelfishAdvertiser { fake_monitors: vec![fake] });
+            .set_behavior(Behavior::SelfishAdvertiser {
+                fake_monitors: vec![fake],
+            });
         let mut query = AvailabilityQuery::new(id(1), 2);
-        let actions = query.start(&mut client, 10);
-        let events = pump(&mut client, &mut servers, actions, 10);
+        query.start(&mut client, 10);
+        let events = pump(&mut client, &mut servers, 10);
         let mut outcome = None;
         for event in events {
-            let (_, done) = query.on_event(&mut client, 20, &event);
-            if done.is_some() {
-                outcome = done;
+            if let Some(done) = query.on_event(&mut client, 20, &event) {
+                outcome = Some(done);
             }
         }
         let outcome = outcome.expect("query completes immediately: nothing verified");
@@ -393,13 +420,12 @@ mod tests {
         let (mut client, mut servers, _) = build_world();
         servers.remove(&id(1)); // target is gone
         let mut query = AvailabilityQuery::new(id(1), 2);
-        let actions = query.start(&mut client, 10);
-        let events = pump(&mut client, &mut servers, actions, 10);
+        query.start(&mut client, 10);
+        let events = pump(&mut client, &mut servers, 10);
         let mut outcome = None;
         for event in events {
-            let (_, done) = query.on_event(&mut client, 20, &event);
-            if done.is_some() {
-                outcome = done;
+            if let Some(done) = query.on_event(&mut client, 20, &event) {
+                outcome = Some(done);
             }
         }
         let outcome = outcome.expect("timeout completes the query");
@@ -413,16 +439,16 @@ mod tests {
         // Remove one monitor: its history request will time out.
         servers.remove(&monitors[0]);
         let mut query = AvailabilityQuery::new(id(1), monitors.len().min(255) as u8);
-        let actions = query.start(&mut client, 10);
+        query.start(&mut client, 10);
         let mut outcome = None;
-        let mut pending = pump(&mut client, &mut servers, actions, 10);
+        let mut pending = pump(&mut client, &mut servers, 10);
         let mut guard = 0;
         while outcome.is_none() && guard < 10 {
             guard += 1;
             let mut next = Vec::new();
             for event in pending.drain(..) {
-                let (actions, done) = query.on_event(&mut client, 20, &event);
-                next.extend(pump(&mut client, &mut servers, actions, 20));
+                let done = query.on_event(&mut client, 20, &event);
+                next.extend(pump(&mut client, &mut servers, 20));
                 if done.is_some() {
                     outcome = done;
                     break;
@@ -447,13 +473,13 @@ mod tests {
         let selector = Arc::new(HashSelector::from_config(&config));
         let mut client = Node::new(id(0), config, selector, 1);
         let mut query = AvailabilityQuery::new(id(1), 1);
-        let (actions, outcome) = query.on_event(
+        let outcome = query.on_event(
             &mut client,
             5,
             &AppEvent::MonitorDiscovered { monitor: id(9) },
         );
-        assert!(actions.is_empty());
         assert!(outcome.is_none());
+        assert!(!client.has_pending_output(), "no follow-ups queued");
         assert!(!query.is_done());
     }
 }

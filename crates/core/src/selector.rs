@@ -83,7 +83,10 @@ impl<H: PairHasher> HashSelector<H> {
     /// Builds the selector with threshold `k/n` over `hasher`.
     #[must_use]
     pub fn new(hasher: H, k: f64, n: f64) -> Self {
-        HashSelector { hasher, threshold: Threshold::from_ratio(k, n) }
+        HashSelector {
+            hasher,
+            threshold: Threshold::from_ratio(k, n),
+        }
     }
 
     /// The consistency-condition threshold in use.
@@ -152,7 +155,10 @@ impl CentralSelector {
     /// Panics if `monitors` is empty (a monitoring service needs monitors).
     #[must_use]
     pub fn new(monitors: Vec<NodeId>) -> Self {
-        assert!(!monitors.is_empty(), "central selector needs at least one monitor");
+        assert!(
+            !monitors.is_empty(),
+            "central selector needs at least one monitor"
+        );
         CentralSelector { monitors }
     }
 
@@ -194,7 +200,11 @@ impl DhtRingSelector {
     /// Creates an empty ring with replica-set size `k`.
     #[must_use]
     pub fn new(k: usize) -> Self {
-        DhtRingSelector { k, ring: BTreeMap::new(), hasher: Fast64PairHasher::new() }
+        DhtRingSelector {
+            k,
+            ring: BTreeMap::new(),
+            hasher: Fast64PairHasher::new(),
+        }
     }
 
     fn ring_position(&self, id: NodeId) -> u64 {
@@ -289,7 +299,11 @@ pub fn verify_report<S: MonitorSelector + ?Sized>(
             rejected.push(m);
         }
     }
-    ReportVerification { target, verified, rejected }
+    ReportVerification {
+        target,
+        verified,
+        rejected,
+    }
 }
 
 /// Outcome of verifying a monitor report — see [`verify_report`].
@@ -333,7 +347,10 @@ mod tests {
                 .count();
         }
         let avg = total as f64 / 200.0;
-        assert!((avg - 8.0).abs() < 1.0, "average PS size {avg}, expected ~8");
+        assert!(
+            (avg - 8.0).abs() < 1.0,
+            "average PS size {avg}, expected ~8"
+        );
     }
 
     #[test]
@@ -354,7 +371,10 @@ mod tests {
                 }
             }
         }
-        assert!(asymmetric > 1000, "directions must be independent, got {asymmetric}");
+        assert!(
+            asymmetric > 1000,
+            "directions must be independent, got {asymmetric}"
+        );
         // And each individual answer is stable.
         assert_eq!(selector.is_monitor(a, b), selector.is_monitor(a, b));
     }
@@ -439,7 +459,10 @@ mod tests {
                 break;
             }
         }
-        assert!(changed, "expected at least one join to displace a DHT monitor");
+        assert!(
+            changed,
+            "expected at least one join to displace a DHT monitor"
+        );
     }
 
     /// The paper's randomness critique 3(b): ring-adjacent monitors co-occur
@@ -555,7 +578,10 @@ mod tests {
 
     #[test]
     fn selector_names_are_stable() {
-        assert_eq!(HashSelector::from_config(&Config::builder(10).build().unwrap()).name(), "hash");
+        assert_eq!(
+            HashSelector::from_config(&Config::builder(10).build().unwrap()).name(),
+            "hash"
+        );
         assert_eq!(SelfReportSelector::new().name(), "self-report");
         assert_eq!(CentralSelector::new(ids(1)).name(), "central");
         assert_eq!(DhtRingSelector::new(1).name(), "dht-ring");

@@ -45,12 +45,16 @@ impl NodeStats {
         NodeStats {
             messages_sent: self.messages_sent.saturating_sub(earlier.messages_sent),
             bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
-            messages_received: self.messages_received.saturating_sub(earlier.messages_received),
+            messages_received: self
+                .messages_received
+                .saturating_sub(earlier.messages_received),
             bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
             hash_checks: self.hash_checks.saturating_sub(earlier.hash_checks),
             notifies_sent: self.notifies_sent.saturating_sub(earlier.notifies_sent),
             joins_forwarded: self.joins_forwarded.saturating_sub(earlier.joins_forwarded),
-            monitor_pings_sent: self.monitor_pings_sent.saturating_sub(earlier.monitor_pings_sent),
+            monitor_pings_sent: self
+                .monitor_pings_sent
+                .saturating_sub(earlier.monitor_pings_sent),
             monitor_pings_suppressed: self
                 .monitor_pings_suppressed
                 .saturating_sub(earlier.monitor_pings_suppressed),
@@ -87,8 +91,16 @@ mod tests {
 
     #[test]
     fn delta_subtracts_fieldwise() {
-        let earlier = NodeStats { messages_sent: 10, bytes_sent: 100, ..Default::default() };
-        let later = NodeStats { messages_sent: 15, bytes_sent: 160, ..Default::default() };
+        let earlier = NodeStats {
+            messages_sent: 10,
+            bytes_sent: 100,
+            ..Default::default()
+        };
+        let later = NodeStats {
+            messages_sent: 15,
+            bytes_sent: 160,
+            ..Default::default()
+        };
         let d = later.delta(&earlier);
         assert_eq!(d.messages_sent, 5);
         assert_eq!(d.bytes_sent, 60);
@@ -98,8 +110,15 @@ mod tests {
     #[test]
     fn merge_accumulates() {
         let mut total = NodeStats::default();
-        total.merge(&NodeStats { hash_checks: 7, ..Default::default() });
-        total.merge(&NodeStats { hash_checks: 5, notifies_sent: 1, ..Default::default() });
+        total.merge(&NodeStats {
+            hash_checks: 7,
+            ..Default::default()
+        });
+        total.merge(&NodeStats {
+            hash_checks: 5,
+            notifies_sent: 1,
+            ..Default::default()
+        });
         assert_eq!(total.hash_checks, 12);
         assert_eq!(total.notifies_sent, 1);
     }

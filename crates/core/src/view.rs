@@ -41,7 +41,11 @@ impl CoarseView {
     /// Creates an empty view owned by `owner` with capacity `cap`.
     #[must_use]
     pub fn new(owner: NodeId, cap: usize) -> Self {
-        CoarseView { owner, cap, entries: Vec::with_capacity(cap) }
+        CoarseView {
+            owner,
+            cap,
+            entries: Vec::with_capacity(cap),
+        }
     }
 
     /// The maximal number of entries (`cvs`).
@@ -123,7 +127,11 @@ impl CoarseView {
             return None;
         }
         let idx = rng.gen_range(0..eligible);
-        self.entries.iter().filter(|&&e| e != exclude).nth(idx).copied()
+        self.entries
+            .iter()
+            .filter(|&&e| e != exclude)
+            .nth(idx)
+            .copied()
     }
 
     /// The shuffle step of Fig. 2: replaces the view with `cvs` entries
@@ -230,7 +238,7 @@ mod tests {
         for _ in 0..10_000 {
             *counts.entry(v.pick_random(&mut r).unwrap()).or_insert(0u32) += 1;
         }
-        for (_, &c) in &counts {
+        for &c in counts.values() {
             assert!((700..1300).contains(&c), "count {c} outside uniform band");
         }
     }
@@ -296,9 +304,7 @@ mod tests {
         v.shuffle_merge(id(20), &peer_view, &mut r);
         assert_eq!(v.len(), 4);
         for e in v.iter() {
-            let in_union = (1..=4).map(id).any(|x| x == e)
-                || peer_view.contains(&e)
-                || e == id(20);
+            let in_union = (1..=4).map(id).any(|x| x == e) || peer_view.contains(&e) || e == id(20);
             assert!(in_union, "{e} not from the union");
         }
     }

@@ -1,5 +1,5 @@
 //! Edge-case and adversarial-input tests for the node state machine,
-//! exercised through the public API only.
+//! exercised through the public poll-based API only.
 
 use std::sync::Arc;
 
@@ -18,6 +18,9 @@ fn mk(i: u32, n: usize) -> Node {
     Node::new(id(i), config, selector, u64::from(i) + 1)
 }
 
+/// Drains all queued output into the unified [`Action`] stream.
+use avmon::driver::collect_actions as drain;
+
 fn sends(actions: &[Action]) -> Vec<(NodeId, Message)> {
     actions
         .iter()
@@ -32,7 +35,8 @@ fn sends(actions: &[Action]) -> Vec<(NodeId, Message)> {
 fn forged_pong_from_wrong_peer_does_not_cancel_eviction() {
     let mut n = mk(1, 100);
     n.seed_view(&[id(2)]);
-    let actions = n.handle_timer(MINUTE, Timer::Protocol);
+    n.handle_timer(MINUTE, Timer::Protocol);
+    let actions = drain(&mut n);
     let ping_nonce = sends(&actions)
         .iter()
         .find_map(|(_, m)| match m {
@@ -41,31 +45,46 @@ fn forged_pong_from_wrong_peer_does_not_cancel_eviction() {
         })
         .unwrap();
     // A third party forges the pong: the pending entry must survive…
-    let _ = n.handle_message(MINUTE + 1, id(66), Message::ViewPong { nonce: ping_nonce });
+    n.handle_message(MINUTE + 1, id(66), Message::ViewPong { nonce: ping_nonce });
+    let _ = drain(&mut n);
     // …so the expiry still evicts the silent peer.
     for a in &actions {
-        if let Action::SetTimer { timer: t @ Timer::Expire(_), at } = a {
-            let _ = n.handle_timer(*at, *t);
+        if let Action::SetTimer {
+            timer: t @ Timer::Expire(_),
+            at,
+        } = a
+        {
+            n.handle_timer(*at, *t);
         }
     }
-    assert!(!n.view().contains(id(2)), "forged pong must not rescue the entry");
+    let _ = drain(&mut n);
+    assert!(
+        !n.view().contains(id(2)),
+        "forged pong must not rescue the entry"
+    );
 }
 
 #[test]
 fn pong_after_expiry_is_harmless() {
     let mut n = mk(1, 100);
     n.seed_view(&[id(2)]);
-    let actions = n.handle_timer(MINUTE, Timer::Protocol);
+    n.handle_timer(MINUTE, Timer::Protocol);
+    let actions = drain(&mut n);
     for a in &actions {
-        if let Action::SetTimer { timer: t @ Timer::Expire(_), at } = a {
-            let _ = n.handle_timer(*at, *t);
+        if let Action::SetTimer {
+            timer: t @ Timer::Expire(_),
+            at,
+        } = a
+        {
+            n.handle_timer(*at, *t);
         }
     }
+    let _ = drain(&mut n);
     // Late replies to expired nonces are dropped without effect.
     for (_, m) in sends(&actions) {
         if let Message::ViewPing { nonce } = m {
-            let out = n.handle_message(2 * MINUTE, id(2), Message::ViewPong { nonce });
-            assert!(out.is_empty());
+            n.handle_message(2 * MINUTE, id(2), Message::ViewPong { nonce });
+            assert!(drain(&mut n).is_empty());
         }
     }
 }
@@ -74,30 +93,35 @@ fn pong_after_expiry_is_harmless() {
 fn duplicate_expire_timers_do_not_double_evict() {
     let mut n = mk(1, 100);
     n.seed_view(&[id(2), id(3)]);
-    let actions = n.handle_timer(MINUTE, Timer::Protocol);
-    let expires: Vec<(Timer, u64)> = actions
+    n.handle_timer(MINUTE, Timer::Protocol);
+    let expires: Vec<(Timer, u64)> = drain(&mut n)
         .iter()
         .filter_map(|a| match a {
-            Action::SetTimer { timer: t @ Timer::Expire(_), at } => Some((*t, *at)),
+            Action::SetTimer {
+                timer: t @ Timer::Expire(_),
+                at,
+            } => Some((*t, *at)),
             _ => None,
         })
         .collect();
     for (t, at) in &expires {
-        let _ = n.handle_timer(*at, *t);
+        n.handle_timer(*at, *t);
     }
+    let _ = drain(&mut n);
     let evictions = n.stats().view_evictions;
     // Replay the same timers: nothing further happens.
     for (t, at) in &expires {
-        let _ = n.handle_timer(*at + 1, *t);
+        n.handle_timer(*at + 1, *t);
     }
+    let _ = drain(&mut n);
     assert_eq!(n.stats().view_evictions, evictions);
 }
 
 #[test]
 fn expire_for_unknown_nonce_is_ignored() {
     let mut n = mk(1, 100);
-    let out = n.handle_timer(5, Timer::Expire(Nonce(0xdead)));
-    assert!(out.is_empty());
+    n.handle_timer(5, Timer::Expire(Nonce(0xdead)));
+    assert!(drain(&mut n).is_empty());
 }
 
 #[test]
@@ -110,10 +134,31 @@ fn report_request_larger_than_ps_returns_everything_once() {
         .filter(|&m| selector.is_monitor(m, id(1)))
         .collect();
     for &m in &monitors {
-        let _ = n.handle_message(0, id(60), Message::Notify { monitor: m, target: id(1) });
+        n.handle_message(
+            0,
+            id(60),
+            Message::Notify {
+                monitor: m,
+                target: id(1),
+            },
+        );
     }
-    let a = n.handle_message(1, id(7), Message::ReportRequest { nonce: Nonce(1), count: 255 });
-    let (_, Message::ReportReply { monitors: reported, .. }) = sends(&a)[0].clone() else {
+    let _ = drain(&mut n);
+    n.handle_message(
+        1,
+        id(7),
+        Message::ReportRequest {
+            nonce: Nonce(1),
+            count: 255,
+        },
+    );
+    let (
+        _,
+        Message::ReportReply {
+            monitors: reported, ..
+        },
+    ) = sends(&drain(&mut n))[0].clone()
+    else {
         panic!("expected reply");
     };
     assert_eq!(reported.len(), monitors.len(), "capped at |PS|");
@@ -124,8 +169,15 @@ fn report_request_larger_than_ps_returns_everything_once() {
 #[test]
 fn zero_count_report_request_yields_empty_report() {
     let mut n = mk(1, 100);
-    let a = n.handle_message(1, id(7), Message::ReportRequest { nonce: Nonce(2), count: 0 });
-    let (_, Message::ReportReply { monitors, .. }) = sends(&a)[0].clone() else {
+    n.handle_message(
+        1,
+        id(7),
+        Message::ReportRequest {
+            nonce: Nonce(2),
+            count: 0,
+        },
+    );
+    let (_, Message::ReportReply { monitors, .. }) = sends(&drain(&mut n))[0].clone() else {
         panic!("expected reply");
     };
     assert!(monitors.is_empty());
@@ -136,10 +188,21 @@ fn notify_flood_is_idempotent() {
     let config = Config::builder(64).k(20).build().unwrap();
     let selector = Arc::new(HashSelector::from_config(&config));
     let mut n = Node::new(id(1), config, selector.clone(), 9);
-    let monitor = (2..64).map(id).find(|&m| selector.is_monitor(m, id(1))).unwrap();
+    let monitor = (2..64)
+        .map(id)
+        .find(|&m| selector.is_monitor(m, id(1)))
+        .unwrap();
     for _ in 0..100 {
-        let _ = n.handle_message(0, id(60), Message::Notify { monitor, target: id(1) });
+        n.handle_message(
+            0,
+            id(60),
+            Message::Notify {
+                monitor,
+                target: id(1),
+            },
+        );
     }
+    let _ = drain(&mut n);
     assert_eq!(n.pinging_set_len(), 1);
 }
 
@@ -147,23 +210,35 @@ fn notify_flood_is_idempotent() {
 fn join_weight_zero_and_giant_hops_are_dropped() {
     let mut n = mk(1, 100);
     n.seed_view(&[id(2)]);
-    let a = n.handle_message(0, id(2), Message::Join { origin: id(9), weight: 0, hops: 0 });
-    assert!(a.is_empty());
-    assert!(!n.view().contains(id(9)));
-    let b = n.handle_message(
+    n.handle_message(
         0,
         id(2),
-        Message::Join { origin: id(9), weight: 5, hops: u32::MAX },
+        Message::Join {
+            origin: id(9),
+            weight: 0,
+            hops: 0,
+        },
     );
-    assert!(b.is_empty());
+    assert!(drain(&mut n).is_empty());
+    assert!(!n.view().contains(id(9)));
+    n.handle_message(
+        0,
+        id(2),
+        Message::Join {
+            origin: id(9),
+            weight: 5,
+            hops: u32::MAX,
+        },
+    );
+    assert!(drain(&mut n).is_empty());
 }
 
 #[test]
 fn fetch_reply_with_garbage_ids_still_keeps_invariants() {
     let mut n = mk(1, 100);
     n.seed_view(&[id(2)]);
-    let actions = n.handle_timer(MINUTE, Timer::Protocol);
-    let (peer, nonce) = sends(&actions)
+    n.handle_timer(MINUTE, Timer::Protocol);
+    let (peer, nonce) = sends(&drain(&mut n))
         .iter()
         .find_map(|(to, m)| match m {
             Message::ViewFetch { nonce } => Some((*to, *nonce)),
@@ -172,7 +247,8 @@ fn fetch_reply_with_garbage_ids_still_keeps_invariants() {
         .unwrap();
     // Reply includes the node itself, duplicates, and the peer.
     let view = vec![id(1), id(1), peer, id(5), id(5)];
-    let _ = n.handle_message(MINUTE + 1, peer, Message::ViewFetchReply { nonce, view });
+    n.handle_message(MINUTE + 1, peer, Message::ViewFetchReply { nonce, view });
+    let _ = drain(&mut n);
     assert!(!n.view().contains(id(1)), "self never enters the view");
     let entries: Vec<NodeId> = n.view().iter().collect();
     let unique: std::collections::HashSet<_> = entries.iter().collect();
@@ -182,27 +258,39 @@ fn fetch_reply_with_garbage_ids_still_keeps_invariants() {
 #[test]
 fn monitoring_with_empty_target_set_is_a_noop() {
     let mut n = mk(1, 100);
-    let a = n.handle_timer(MINUTE, Timer::Monitoring);
+    n.handle_timer(MINUTE, Timer::Monitoring);
+    let a = drain(&mut n);
     // Only the re-arm timer.
     assert_eq!(sends(&a).len(), 0);
-    assert!(a
-        .iter()
-        .any(|x| matches!(x, Action::SetTimer { timer: Timer::Monitoring, .. })));
+    assert!(a.iter().any(|x| matches!(
+        x,
+        Action::SetTimer {
+            timer: Timer::Monitoring,
+            ..
+        }
+    )));
 }
 
 #[test]
 fn start_is_reentrant_for_rejoin() {
     // A driver may reuse one Node value across a leave/rejoin cycle.
     let mut n = mk(1, 100);
-    let _ = n.start(0, JoinKind::Fresh, Some(id(2)));
+    n.start(0, JoinKind::Fresh, Some(id(2)));
+    let _ = drain(&mut n);
     n.seed_view(&[id(3)]);
-    let again = n.start(10 * MINUTE, JoinKind::Rejoin { down_duration: 3 * MINUTE }, Some(id(4)));
-    assert!(sends(&again)
+    n.start(
+        10 * MINUTE,
+        JoinKind::Rejoin {
+            down_duration: 3 * MINUTE,
+        },
+        Some(id(4)),
+    );
+    assert!(sends(&drain(&mut n))
         .iter()
         .any(|(to, m)| *to == id(4) && matches!(m, Message::Join { weight: 3, .. })));
     // Old pending state was cleared: expiries from before the restart
     // cannot fire into the new incarnation (drivers guarantee timer
     // hygiene, but the node also wipes its own pending map).
-    let out = n.handle_timer(11 * MINUTE, Timer::Expire(Nonce(1)));
-    assert!(out.is_empty());
+    n.handle_timer(11 * MINUTE, Timer::Expire(Nonce(1)));
+    assert!(drain(&mut n).is_empty());
 }

@@ -1,9 +1,7 @@
 //! Property-based tests for the core protocol data structures.
 
 use avmon::codec::{decode, encode, encoded_len};
-use avmon::{
-    CoarseView, Config, CvsPolicy, HashSelector, Message, MonitorSelector, NodeId, Nonce,
-};
+use avmon::{CoarseView, Config, CvsPolicy, HashSelector, Message, MonitorSelector, NodeId, Nonce};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -18,34 +16,53 @@ fn arb_view(max: usize) -> impl Strategy<Value = Vec<NodeId>> {
 
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
-        (arb_node_id(), any::<u32>(), any::<u32>())
-            .prop_map(|(origin, weight, hops)| Message::Join { origin, weight, hops }),
+        (arb_node_id(), any::<u32>(), any::<u32>()).prop_map(|(origin, weight, hops)| {
+            Message::Join {
+                origin,
+                weight,
+                hops,
+            }
+        }),
         any::<u64>().prop_map(|n| Message::InitViewRequest { nonce: Nonce(n) }),
-        (any::<u64>(), arb_view(64))
-            .prop_map(|(n, view)| Message::InitViewReply { nonce: Nonce(n), view }),
+        (any::<u64>(), arb_view(64)).prop_map(|(n, view)| Message::InitViewReply {
+            nonce: Nonce(n),
+            view
+        }),
         any::<u64>().prop_map(|n| Message::ViewPing { nonce: Nonce(n) }),
         any::<u64>().prop_map(|n| Message::ViewPong { nonce: Nonce(n) }),
         any::<u64>().prop_map(|n| Message::ViewFetch { nonce: Nonce(n) }),
-        (any::<u64>(), arb_view(64))
-            .prop_map(|(n, view)| Message::ViewFetchReply { nonce: Nonce(n), view }),
+        (any::<u64>(), arb_view(64)).prop_map(|(n, view)| Message::ViewFetchReply {
+            nonce: Nonce(n),
+            view
+        }),
         (arb_node_id(), arb_node_id())
             .prop_map(|(monitor, target)| Message::Notify { monitor, target }),
         any::<u64>().prop_map(|n| Message::MonitorPing { nonce: Nonce(n) }),
         any::<u64>().prop_map(|n| Message::MonitorPong { nonce: Nonce(n) }),
-        (any::<u64>(), any::<u8>())
-            .prop_map(|(n, count)| Message::ReportRequest { nonce: Nonce(n), count }),
-        (any::<u64>(), arb_view(32))
-            .prop_map(|(n, monitors)| Message::ReportReply { nonce: Nonce(n), monitors }),
-        (any::<u64>(), arb_node_id())
-            .prop_map(|(n, target)| Message::HistoryRequest { nonce: Nonce(n), target }),
-        (any::<u64>(), arb_node_id(), proptest::option::of(0.0f64..=1.0), any::<u64>()).prop_map(
-            |(n, target, availability, samples)| Message::HistoryReply {
+        (any::<u64>(), any::<u8>()).prop_map(|(n, count)| Message::ReportRequest {
+            nonce: Nonce(n),
+            count
+        }),
+        (any::<u64>(), arb_view(32)).prop_map(|(n, monitors)| Message::ReportReply {
+            nonce: Nonce(n),
+            monitors
+        }),
+        (any::<u64>(), arb_node_id()).prop_map(|(n, target)| Message::HistoryRequest {
+            nonce: Nonce(n),
+            target
+        }),
+        (
+            any::<u64>(),
+            arb_node_id(),
+            proptest::option::of(0.0f64..=1.0),
+            any::<u64>()
+        )
+            .prop_map(|(n, target, availability, samples)| Message::HistoryReply {
                 nonce: Nonce(n),
                 target,
                 availability,
                 samples
-            }
-        ),
+            }),
         Just(Message::AddMeRequest),
         arb_node_id().prop_map(|origin| Message::Presence { origin }),
     ]

@@ -195,6 +195,7 @@ mod tests {
             h.point(b"x")
         }
         let md5 = Md5PairHasher::new();
-        assert_eq!(takes_hasher(&md5), md5.point(b"x"));
+        let expected = md5.point(b"x");
+        assert_eq!(takes_hasher(md5), expected);
     }
 }

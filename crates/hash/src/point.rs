@@ -106,7 +106,10 @@ impl Threshold {
     /// make the consistency condition meaningless.
     #[must_use]
     pub fn from_ratio(k: f64, n: f64) -> Self {
-        assert!(k >= 0.0, "threshold numerator must be non-negative, got {k}");
+        assert!(
+            k >= 0.0,
+            "threshold numerator must be non-negative, got {k}"
+        );
         assert!(n > 0.0, "threshold denominator must be positive, got {n}");
         let ratio = k / n;
         if ratio >= 1.0 {
@@ -221,7 +224,9 @@ mod tests {
         let mut accepted = 0u32;
         let trials = 200_000u32;
         for _ in 0..trials {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             if t.accepts(HashPoint::from_bits(x)) {
                 accepted += 1;
             }

@@ -210,7 +210,10 @@ mod tests {
         for _ in 0..1000 {
             h.update(&chunk);
         }
-        assert_eq!(hex(&h.finalize()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+        assert_eq!(
+            hex(&h.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
     }
 
     #[test]

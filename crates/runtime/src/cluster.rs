@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use avmon::{AppEvent, Behavior, Config, HasherKind, HashSelector, JoinKind, Node, NodeId};
+use avmon::{AppEvent, Behavior, Config, HashSelector, HasherKind, JoinKind, Node, NodeId};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
 
@@ -221,7 +221,13 @@ impl Cluster {
             self.ids.clone(),
         );
         let handle = std::thread::spawn(move || driver.run(kind, contact));
-        self.running.insert(id, RunningNode { handle, commands: cmd_tx });
+        self.running.insert(
+            id,
+            RunningNode {
+                handle,
+                commands: cmd_tx,
+            },
+        );
     }
 
     /// Node identities, in spawn order.
@@ -285,7 +291,9 @@ impl Cluster {
             return Err(std::io::Error::other(format!("{id} is already running")));
         }
         let Some(index) = self.ids.iter().position(|&x| x == id) else {
-            return Err(std::io::Error::other(format!("{id} is not a cluster member")));
+            return Err(std::io::Error::other(format!(
+                "{id} is not a cluster member"
+            )));
         };
         let transport = match self.transport_kind {
             ClusterTransport::Memory => AnyTransport::Memory(self.hub.bind(id)),
@@ -296,14 +304,19 @@ impl Cluster {
             .remove(&id)
             .map_or(Duration::ZERO, |t| t.elapsed());
         let restore = self.board.read().get(&id).map(|s| s.persistent.clone());
-        let contact = self.running.keys().next().copied().or_else(|| {
-            self.ids.iter().copied().find(|&other| other != id)
-        });
+        let contact = self
+            .running
+            .keys()
+            .next()
+            .copied()
+            .or_else(|| self.ids.iter().copied().find(|&other| other != id));
         self.spawn_driver(
             id,
             index as u64,
             transport,
-            JoinKind::Rejoin { down_duration: down.as_millis() as u64 },
+            JoinKind::Rejoin {
+                down_duration: down.as_millis() as u64,
+            },
             contact,
             restore,
         );
@@ -316,9 +329,10 @@ impl Cluster {
         let deadline = Instant::now() + timeout;
         loop {
             let board = self.board.read();
-            let done = self.running.keys().all(|id| {
-                board.get(id).is_some_and(|s| s.ps.len() >= min_monitors)
-            });
+            let done = self
+                .running
+                .keys()
+                .all(|id| board.get(id).is_some_and(|s| s.ps.len() >= min_monitors));
             drop(board);
             if done {
                 return true;

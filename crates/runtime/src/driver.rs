@@ -1,59 +1,25 @@
-//! The per-node event loop: maps the sans-io state machine onto wall-clock
-//! time and a [`Transport`].
+//! The per-node event loop: maps the poll-based sans-io state machine onto
+//! wall-clock time and a [`Transport`].
+//!
+//! Built entirely on the shared harness in [`avmon::driver`]: the
+//! [`TimerQueue`] orders pending timers deterministically, [`drain`]
+//! executes the node's queued outputs through this driver's [`DriverEnv`],
+//! [`apply_command`] handles control-plane requests, and
+//! [`NodeSnapshot::capture`] publishes observability state. The only code
+//! that lives here is what is genuinely specific to this backend: encoding
+//! outgoing messages onto the transport and blocking on its receive path.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use avmon::{
-    codec, Action, AppEvent, JoinKind, Node, NodeId, NodeStats, PersistentState, TimeMs, Timer,
-};
+use avmon::driver::{apply_command, drain, DriverEnv, TimerQueue};
+use avmon::{bytes::BytesMut, codec, AppEvent, JoinKind, Node, NodeId, TimeMs, Timer, Transmit};
 use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use parking_lot::RwLock;
 
 use crate::transport::Transport;
 
-/// A point-in-time view of one node, published for observers.
-#[derive(Debug, Clone, Default)]
-pub struct NodeSnapshot {
-    /// The node's pinging set.
-    pub ps: Vec<NodeId>,
-    /// The node's target set.
-    pub ts: Vec<NodeId>,
-    /// Coarse-view occupancy.
-    pub view_len: usize,
-    /// Memory entries `|CV|+|PS|+|TS|`.
-    pub memory_entries: usize,
-    /// Protocol counters.
-    pub stats: NodeStats,
-    /// Per-target availability estimates.
-    pub estimates: Vec<(NodeId, f64)>,
-    /// The durable state (what a real node would write to disk) — used by
-    /// the cluster to restart a killed node with its history intact.
-    pub persistent: PersistentState,
-}
-
-/// Control-plane commands accepted by a running driver.
-#[derive(Debug)]
-pub enum Command {
-    /// Stop the event loop and drop the node.
-    Stop,
-    /// Issue an l-out-of-K report request to `target`.
-    RequestReport {
-        /// The node whose monitors are requested.
-        target: NodeId,
-        /// How many monitors to request.
-        count: u8,
-    },
-    /// Ask `monitor` for its availability history of `target`.
-    RequestHistory {
-        /// The monitor to query.
-        monitor: NodeId,
-        /// The monitored node of interest.
-        target: NodeId,
-    },
-}
+pub use avmon::driver::{Command, NodeSnapshot};
 
 /// Shared registry of node snapshots, updated continuously by drivers.
 pub type SnapshotBoard = Arc<RwLock<std::collections::HashMap<NodeId, NodeSnapshot>>>;
@@ -62,41 +28,48 @@ pub type SnapshotBoard = Arc<RwLock<std::collections::HashMap<NodeId, NodeSnapsh
 /// disconnect). Designed to run on its own thread.
 pub struct NodeDriver<T: Transport> {
     node: Node,
-    transport: T,
+    env: TransportEnv<T>,
     epoch: Instant,
-    timers: BinaryHeap<Reverse<(TimeMs, u64, TimerSlot)>>,
-    timer_seq: u64,
     commands: Receiver<Command>,
-    events: Sender<(NodeId, AppEvent)>,
     board: SnapshotBoard,
+}
+
+/// The runtime's [`DriverEnv`]: transmits encode onto the transport
+/// (broadcasts fan out over the directory), timers land in the shared
+/// [`TimerQueue`], events go to the cluster's channel.
+struct TransportEnv<T: Transport> {
+    transport: T,
+    timers: TimerQueue,
+    events: Sender<(NodeId, AppEvent)>,
     directory: Vec<NodeId>,
+    /// Reused encode buffer: `clear` + `encode_into` keeps the steady
+    /// state allocation-free for messages under the retained capacity.
+    encode_buf: BytesMut,
 }
 
-/// `Timer` lacks `Ord`; wrap its variants in an orderable slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum TimerSlot {
-    Protocol,
-    Monitoring,
-    Expire(u64),
-}
-
-impl From<Timer> for TimerSlot {
-    fn from(t: Timer) -> Self {
-        match t {
-            Timer::Protocol => TimerSlot::Protocol,
-            Timer::Monitoring => TimerSlot::Monitoring,
-            Timer::Expire(nonce) => TimerSlot::Expire(nonce.0),
+impl<T: Transport> DriverEnv for TransportEnv<T> {
+    fn transmit(&mut self, from: NodeId, transmit: Transmit) {
+        self.encode_buf.clear();
+        codec::encode_into(&transmit.msg, &mut self.encode_buf);
+        match transmit.unicast_to() {
+            Some(to) => self.transport.send(to, &self.encode_buf),
+            None => {
+                for i in 0..self.directory.len() {
+                    let to = self.directory[i];
+                    if to != from {
+                        self.transport.send(to, &self.encode_buf);
+                    }
+                }
+            }
         }
     }
-}
 
-impl From<TimerSlot> for Timer {
-    fn from(s: TimerSlot) -> Self {
-        match s {
-            TimerSlot::Protocol => Timer::Protocol,
-            TimerSlot::Monitoring => Timer::Monitoring,
-            TimerSlot::Expire(n) => Timer::Expire(avmon::Nonce(n)),
-        }
+    fn arm_timer(&mut self, _node: NodeId, timer: Timer, at: TimeMs) {
+        self.timers.arm(timer, at);
+    }
+
+    fn handle_event(&mut self, node: NodeId, event: AppEvent) {
+        let _ = self.events.send((node, event));
     }
 }
 
@@ -104,7 +77,7 @@ impl<T: Transport> NodeDriver<T> {
     /// Creates a driver.
     ///
     /// `directory` is the full member list used only to implement
-    /// [`Action::Broadcast`] (the Broadcast baseline); coarse-view
+    /// broadcast transmits (the Broadcast baseline); coarse-view
     /// deployments can pass an empty slice.
     pub fn new(
         node: Node,
@@ -116,14 +89,16 @@ impl<T: Transport> NodeDriver<T> {
     ) -> Self {
         NodeDriver {
             node,
-            transport,
+            env: TransportEnv {
+                transport,
+                timers: TimerQueue::new(),
+                events,
+                directory,
+                encode_buf: BytesMut::with_capacity(2048),
+            },
             epoch: Instant::now(),
-            timers: BinaryHeap::new(),
-            timer_seq: 0,
             commands,
-            events,
             board,
-            directory,
         }
     }
 
@@ -134,52 +109,48 @@ impl<T: Transport> NodeDriver<T> {
     /// Joins the overlay through `contact` and runs until stopped.
     pub fn run(mut self, kind: JoinKind, contact: Option<NodeId>) {
         let now = self.now();
-        let actions = self.node.start(now, kind, contact);
-        self.apply(actions);
+        self.node.start(now, kind, contact);
+        drain(&mut self.node, &mut self.env);
         self.publish();
 
         let mut last_publish = Instant::now();
         loop {
             match self.commands.try_recv() {
                 Ok(Command::Stop) | Err(TryRecvError::Disconnected) => break,
-                Ok(Command::RequestReport { target, count }) => {
+                Ok(command) => {
                     let now = self.now();
-                    let actions = self.node.request_report(now, target, count);
-                    self.apply(actions);
-                }
-                Ok(Command::RequestHistory { monitor, target }) => {
-                    let now = self.now();
-                    let actions = self.node.request_history(now, monitor, target);
-                    self.apply(actions);
+                    if !apply_command(&mut self.node, now, command) {
+                        break;
+                    }
+                    drain(&mut self.node, &mut self.env);
                 }
                 Err(TryRecvError::Empty) => {}
             }
 
             // Fire due timers.
             let now = self.now();
-            while let Some(&Reverse((at, _, slot))) = self.timers.peek() {
-                if at > now {
-                    break;
-                }
-                self.timers.pop();
-                let actions = self.node.handle_timer(self.now(), slot.into());
-                self.apply(actions);
+            while let Some(timer) = self.env.timers.pop_due(now) {
+                self.node.handle_timer(self.now(), timer);
+                drain(&mut self.node, &mut self.env);
             }
 
             // Wait for traffic until the next timer (capped so commands and
             // snapshot publishing stay responsive).
-            let next_timer = self.timers.peek().map_or(50, |&Reverse((at, _, _))| {
-                at.saturating_sub(self.now()).min(50)
-            });
+            let wait = self
+                .env
+                .timers
+                .next_deadline()
+                .map_or(50, |at| at.saturating_sub(self.now()).min(50));
             if let Some((from, bytes)) = self
+                .env
                 .transport
-                .recv_timeout(Duration::from_millis(next_timer.max(1)))
+                .recv_timeout(Duration::from_millis(wait.max(1)))
             {
                 match codec::decode(&bytes) {
                     Ok(msg) => {
                         let now = self.now();
-                        let actions = self.node.handle_message(now, from, msg);
-                        self.apply(actions);
+                        self.node.handle_message(now, from, msg);
+                        drain(&mut self.node, &mut self.env);
                     }
                     Err(_) => { /* garbage datagram: ignore */ }
                 }
@@ -193,47 +164,8 @@ impl<T: Transport> NodeDriver<T> {
         self.publish();
     }
 
-    fn apply(&mut self, actions: Vec<Action>) {
-        for action in actions {
-            match action {
-                Action::Send { to, msg } => {
-                    let bytes = codec::encode(&msg);
-                    self.transport.send(to, &bytes);
-                }
-                Action::Broadcast { msg } => {
-                    let bytes = codec::encode(&msg);
-                    let me = self.node.id();
-                    for &to in &self.directory {
-                        if to != me {
-                            self.transport.send(to, &bytes);
-                        }
-                    }
-                }
-                Action::SetTimer { timer, at } => {
-                    self.timers.push(Reverse((at, self.timer_seq, timer.into())));
-                    self.timer_seq += 1;
-                }
-                Action::App(event) => {
-                    let _ = self.events.send((self.node.id(), event));
-                }
-            }
-        }
-    }
-
     fn publish(&self) {
-        let node = &self.node;
-        let snapshot = NodeSnapshot {
-            ps: node.pinging_set().collect(),
-            ts: node.target_set().collect(),
-            view_len: node.view().len(),
-            memory_entries: node.memory_entries(),
-            stats: *node.stats(),
-            estimates: node
-                .target_set()
-                .filter_map(|t| node.availability_estimate(t).map(|a| (t, a)))
-                .collect(),
-            persistent: node.snapshot_persistent(),
-        };
-        self.board.write().insert(node.id(), snapshot);
+        let snapshot = NodeSnapshot::capture(&self.node);
+        self.board.write().insert(self.node.id(), snapshot);
     }
 }

@@ -34,10 +34,13 @@ pub trait Transport: Send {
     fn recv_timeout(&mut self, timeout: Duration) -> Option<(NodeId, Vec<u8>)>;
 }
 
+/// A hub port: the sending half of one endpoint's datagram queue.
+type Port = Sender<(NodeId, Vec<u8>)>;
+
 /// Shared switchboard for [`MemoryTransport`] endpoints.
 #[derive(Debug)]
 pub struct MemoryHub {
-    ports: RwLock<HashMap<NodeId, Sender<(NodeId, Vec<u8>)>>>,
+    ports: RwLock<HashMap<NodeId, Port>>,
     loss: f64,
     rng: Mutex<SmallRng>,
 }
@@ -57,7 +60,10 @@ impl MemoryHub {
     /// Panics if `loss` is outside `[0, 1)`.
     #[must_use]
     pub fn with_loss(loss: f64, seed: u64) -> Arc<Self> {
-        assert!((0.0..1.0).contains(&loss), "loss must be in [0,1), got {loss}");
+        assert!(
+            (0.0..1.0).contains(&loss),
+            "loss must be in [0,1), got {loss}"
+        );
         Arc::new(MemoryHub {
             ports: RwLock::new(HashMap::new()),
             loss,
@@ -75,7 +81,11 @@ impl MemoryHub {
         let (tx, rx) = unbounded();
         let previous = self.ports.write().insert(id, tx);
         assert!(previous.is_none(), "node {id} already bound on this hub");
-        MemoryTransport { id, hub: Arc::clone(self), rx }
+        MemoryTransport {
+            id,
+            hub: Arc::clone(self),
+            rx,
+        }
     }
 
     /// Unbinds `id` (subsequent sends to it are dropped).
@@ -139,7 +149,11 @@ impl UdpTransport {
     pub fn bind(id: NodeId) -> io::Result<Self> {
         let socket = UdpSocket::bind(SocketAddrV4::from(id))?;
         socket.set_nonblocking(false)?;
-        Ok(UdpTransport { id, socket, buf: vec![0u8; 64 * 1024] })
+        Ok(UdpTransport {
+            id,
+            socket,
+            buf: vec![0u8; 64 * 1024],
+        })
     }
 
     /// Binds to port 0 on `ip` and reports the kernel-chosen identity.
@@ -155,7 +169,11 @@ impl UdpTransport {
                 return Err(io::Error::other(format!("unexpected v6 bind {v6}")));
             }
         };
-        Ok(UdpTransport { id: NodeId::from(addr), socket, buf: vec![0u8; 64 * 1024] })
+        Ok(UdpTransport {
+            id: NodeId::from(addr),
+            socket,
+            buf: vec![0u8; 64 * 1024],
+        })
     }
 }
 
@@ -170,7 +188,9 @@ impl Transport for UdpTransport {
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Option<(NodeId, Vec<u8>)> {
-        self.socket.set_read_timeout(Some(timeout.max(Duration::from_millis(1)))).ok()?;
+        self.socket
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))
+            .ok()?;
         match self.socket.recv_from(&mut self.buf) {
             Ok((len, std::net::SocketAddr::V4(addr))) => {
                 Some((NodeId::from(addr), self.buf[..len].to_vec()))
@@ -237,7 +257,10 @@ mod tests {
         while b.recv_timeout(Duration::from_millis(5)).is_some() {
             received += 1;
         }
-        assert!(received > 50 && received < 150, "received {received} of 200 at 50% loss");
+        assert!(
+            received > 50 && received < 150,
+            "received {received} of 200 at 50% loss"
+        );
     }
 
     #[test]

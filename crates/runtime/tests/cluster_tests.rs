@@ -23,14 +23,20 @@ fn fast_config(n: usize) -> Config {
 #[test]
 fn memory_cluster_discovers_monitors() {
     let n = 24;
-    let cluster = Cluster::builder(fast_config(n), n).seed(42).spawn().unwrap();
+    let cluster = Cluster::builder(fast_config(n), n)
+        .seed(42)
+        .spawn()
+        .unwrap();
     let ok = cluster.wait_for_discovery(1, Duration::from_secs(30));
     let snapshots = cluster.snapshots();
     cluster.shutdown();
     assert!(ok, "every node should discover ≥1 monitor within 30 s");
     // Views converge to the configured size, overlays carry monitors.
     let with_targets = snapshots.values().filter(|s| !s.ts.is_empty()).count();
-    assert!(with_targets > n / 2, "most nodes should be monitoring someone");
+    assert!(
+        with_targets > n / 2,
+        "most nodes should be monitoring someone"
+    );
 }
 
 #[test]
@@ -64,17 +70,30 @@ fn lossy_network_still_converges() {
 #[test]
 fn report_commands_round_trip() {
     let n = 16;
-    let cluster = Cluster::builder(fast_config(n), n).seed(45).spawn().unwrap();
+    let cluster = Cluster::builder(fast_config(n), n)
+        .seed(45)
+        .spawn()
+        .unwrap();
     assert!(cluster.wait_for_discovery(1, Duration::from_secs(30)));
     let ids = cluster.ids().to_vec();
     let _ = cluster.drain_events();
     // Ask node 0 to fetch a verified monitor report for node 1.
-    cluster.command(ids[0], Command::RequestReport { target: ids[1], count: 2 });
+    cluster.command(
+        ids[0],
+        Command::RequestReport {
+            target: ids[1],
+            count: 2,
+        },
+    );
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     let mut outcome = None;
     while std::time::Instant::now() < deadline && outcome.is_none() {
         for (node, event) in cluster.drain_events() {
-            if let avmon::AppEvent::ReportOutcome { target, verification } = event {
+            if let avmon::AppEvent::ReportOutcome {
+                target,
+                verification,
+            } = event
+            {
                 if node == ids[0] && target == ids[1] {
                     outcome = Some(verification);
                 }
@@ -90,14 +109,23 @@ fn report_commands_round_trip() {
 #[test]
 fn monitoring_estimates_appear_over_time() {
     let n = 16;
-    let cluster = Cluster::builder(fast_config(n), n).seed(46).spawn().unwrap();
+    let cluster = Cluster::builder(fast_config(n), n)
+        .seed(46)
+        .spawn()
+        .unwrap();
     assert!(cluster.wait_for_discovery(1, Duration::from_secs(30)));
     // Give the monitoring protocol a few periods to ping.
     std::thread::sleep(Duration::from_millis(1_500));
     let snapshots = cluster.snapshots();
     cluster.shutdown();
-    let with_estimates = snapshots.values().filter(|s| !s.estimates.is_empty()).count();
-    assert!(with_estimates > 0, "monitors should have availability estimates");
+    let with_estimates = snapshots
+        .values()
+        .filter(|s| !s.estimates.is_empty())
+        .count();
+    assert!(
+        with_estimates > 0,
+        "monitors should have availability estimates"
+    );
     for s in snapshots.values() {
         for &(_, est) in &s.estimates {
             assert!((0.0..=1.0).contains(&est));

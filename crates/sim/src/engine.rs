@@ -6,12 +6,17 @@
 //! model and vanish if the destination has departed, timers fire on the
 //! simulated clock, and metrics are sampled once per interval. A run is a
 //! pure function of `(trace, options)` — reruns are bit-identical.
+//!
+//! The engine is a consumer of the shared poll-based driver interface:
+//! after every input it drains the node's output queues directly into its
+//! event calendar ([`Simulation::drain_node`]) — no per-input `Vec` of
+//! actions is ever allocated.
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 
 use avmon::{
-    Action, Actions, AppEvent, Behavior, Config, HasherKind, HashSelector, HistoryStore, JoinKind,
+    AppEvent, Behavior, Config, Destination, HashSelector, HasherKind, HistoryStore, JoinKind,
     Message, Node, NodeId, NodeStats, PersistentState, SharedSelector, TimeMs, Timer,
 };
 use avmon_churn::{ChurnEventKind, Trace};
@@ -91,9 +96,20 @@ impl SimOptions {
 
 #[derive(Debug)]
 enum EventKind {
-    Churn { node: NodeId, kind: ChurnEventKind },
-    Deliver { from: NodeId, to: NodeId, msg: Message },
-    Timer { node: NodeId, incarnation: u64, timer: Timer },
+    Churn {
+        node: NodeId,
+        kind: ChurnEventKind,
+    },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: Message,
+    },
+    Timer {
+        node: NodeId,
+        incarnation: u64,
+        timer: Timer,
+    },
     /// Snapshot counters at the start of the measurement window so the
     /// first sample doesn't absorb the whole warm-up.
     Baseline,
@@ -205,17 +221,28 @@ impl Simulation {
             queue.push(Event {
                 at: e.at,
                 seq,
-                kind: EventKind::Churn { node: e.node, kind: e.kind },
+                kind: EventKind::Churn {
+                    node: e.node,
+                    kind: e.kind,
+                },
             });
             seq += 1;
         }
         // Sampling ticks cover the measurement window; the baseline tick
         // zeroes the counters at its start.
-        queue.push(Event { at: trace.measure_from, seq, kind: EventKind::Baseline });
+        queue.push(Event {
+            at: trace.measure_from,
+            seq,
+            kind: EventKind::Baseline,
+        });
         seq += 1;
         let mut t = trace.measure_from + opts.sample_interval;
         while t <= trace.horizon {
-            queue.push(Event { at: t, seq, kind: EventKind::Sample });
+            queue.push(Event {
+                at: t,
+                seq,
+                kind: EventKind::Sample,
+            });
             seq += 1;
             t += opts.sample_interval;
         }
@@ -293,8 +320,8 @@ impl Simulation {
     pub fn request_report(&mut self, from: NodeId, target: NodeId, count: u8) {
         let now = self.now;
         if let Some(node) = self.nodes.get_mut(&from).and_then(|n| n.proto.as_mut()) {
-            let actions = node.request_report(now, target, count);
-            self.apply_actions(from, actions);
+            node.request_report(now, target, count);
+            self.drain_node(from);
         }
     }
 
@@ -303,8 +330,8 @@ impl Simulation {
     pub fn request_history(&mut self, from: NodeId, monitor: NodeId, target: NodeId) {
         let now = self.now;
         if let Some(node) = self.nodes.get_mut(&from).and_then(|n| n.proto.as_mut()) {
-            let actions = node.request_history(now, monitor, target);
-            self.apply_actions(from, actions);
+            node.request_history(now, monitor, target);
+            self.drain_node(from);
         }
     }
 
@@ -335,15 +362,21 @@ impl Simulation {
         match kind {
             EventKind::Churn { node, kind } => self.on_churn(node, kind),
             EventKind::Deliver { from, to, msg } => self.on_deliver(from, to, msg),
-            EventKind::Timer { node, incarnation, timer } => {
-                let Some(sim_node) = self.nodes.get_mut(&node) else { return };
+            EventKind::Timer {
+                node,
+                incarnation,
+                timer,
+            } => {
+                let Some(sim_node) = self.nodes.get_mut(&node) else {
+                    return;
+                };
                 if sim_node.incarnation != incarnation {
                     return; // stale timer from a previous incarnation
                 }
                 let now = self.now;
                 if let Some(proto) = sim_node.proto.as_mut() {
-                    let actions = proto.handle_timer(now, timer);
-                    self.apply_actions(node, actions);
+                    proto.handle_timer(now, timer);
+                    self.drain_node(node);
                 }
             }
             EventKind::Baseline => {
@@ -381,8 +414,12 @@ impl Simulation {
                         }))
                         ^ mix64(sim_node.incarnation),
                 );
-                let mut proto =
-                    Node::new(id, self.opts.config.clone(), self.selector.clone(), node_seed);
+                let mut proto = Node::new(
+                    id,
+                    self.opts.config.clone(),
+                    self.selector.clone(),
+                    node_seed,
+                );
                 proto.set_behavior(sim_node.behavior.clone());
                 if let Some(template) = &self.opts.history_template {
                     proto.set_history_template(template.clone());
@@ -391,10 +428,7 @@ impl Simulation {
                     proto.restore_persistent(std::mem::take(&mut sim_node.persistent));
                 }
                 sim_node.last_stats = NodeStats::default();
-                if kind == ChurnEventKind::Birth
-                    && self.now == 0
-                    && self.initial_cohort.len() > 1
-                {
+                if kind == ChurnEventKind::Birth && self.now == 0 && self.initial_cohort.len() > 1 {
                     // Bootstrap the initial population with warm views: at
                     // time zero there is no overlay yet to join through.
                     let cvs = self.opts.config.cvs;
@@ -412,15 +446,16 @@ impl Simulation {
                     proto.seed_view(&seeds);
                 }
                 let now = self.now;
-                let actions = proto.start(now, join_kind, contact);
+                proto.start(now, join_kind, contact);
                 sim_node.proto = Some(proto);
                 if self.tracked.contains(&id) {
-                    self.discovery
-                        .entry(id)
-                        .or_insert_with(|| DiscoveryLog { born_at: now, monitor_times: vec![] });
+                    self.discovery.entry(id).or_insert_with(|| DiscoveryLog {
+                        born_at: now,
+                        monitor_times: vec![],
+                    });
                 }
                 self.alive_insert(id);
-                self.apply_actions(id, actions);
+                self.drain_node(id);
             }
             ChurnEventKind::Leave | ChurnEventKind::Death => {
                 let sim_node = self.nodes.get_mut(&id).expect("identity known");
@@ -444,12 +479,14 @@ impl Simulation {
     }
 
     fn on_deliver(&mut self, from: NodeId, to: NodeId, msg: Message) {
-        let Some(sim_node) = self.nodes.get_mut(&to) else { return };
+        let Some(sim_node) = self.nodes.get_mut(&to) else {
+            return;
+        };
         let now = self.now;
         match sim_node.proto.as_mut() {
             Some(proto) => {
-                let actions = proto.handle_message(now, from, msg);
-                self.apply_actions(to, actions);
+                proto.handle_message(now, from, msg);
+                self.drain_node(to);
             }
             None => {
                 // Destination has departed: the message is lost. Monitoring
@@ -467,7 +504,9 @@ impl Simulation {
         }
         for &id in &self.alive {
             let sim_node = self.nodes.get_mut(&id).expect("alive implies known");
-            let Some(proto) = sim_node.proto.as_ref() else { continue };
+            let Some(proto) = sim_node.proto.as_ref() else {
+                continue;
+            };
             let stats = *proto.stats();
             let delta = stats.delta(&sim_node.last_stats);
             sim_node.last_stats = stats;
@@ -482,47 +521,91 @@ impl Simulation {
         }
     }
 
-    fn apply_actions(&mut self, node: NodeId, actions: Actions) {
-        for action in actions {
-            match action {
-                Action::Send { to, msg } => {
-                    let delay = self.opts.latency.sample(&mut self.rng);
-                    self.push(self.now + delay, EventKind::Deliver { from: node, to, msg });
+    /// Drains `node`'s queued outputs straight into the event calendar —
+    /// the simulator's instantiation of the shared drain loop. Split
+    /// borrows keep this allocation-free: transmits become `Deliver`
+    /// events (latency-sampled), timers become incarnation-stamped `Timer`
+    /// events, and app events feed the discovery log / event buffer.
+    fn drain_node(&mut self, id: NodeId) {
+        let Simulation {
+            nodes,
+            alive,
+            queue,
+            now,
+            seq,
+            rng,
+            opts,
+            tracked: _,
+            discovery,
+            app_events,
+            ..
+        } = self;
+        let Some(sim_node) = nodes.get_mut(&id) else {
+            return;
+        };
+        let incarnation = sim_node.incarnation;
+        let Some(proto) = sim_node.proto.as_mut() else {
+            return;
+        };
+        let now = *now;
+
+        while let Some(transmit) = proto.poll_transmit() {
+            match transmit.to {
+                Destination::Node(to) => {
+                    let delay = opts.latency.sample(rng);
+                    queue.push(Event {
+                        at: now + delay,
+                        seq: *seq,
+                        kind: EventKind::Deliver {
+                            from: id,
+                            to,
+                            msg: transmit.msg,
+                        },
+                    });
+                    *seq += 1;
                 }
-                Action::Broadcast { msg } => {
-                    let targets: Vec<NodeId> =
-                        self.alive.iter().copied().filter(|&id| id != node).collect();
-                    for to in targets {
-                        let delay = self.opts.latency.sample(&mut self.rng);
-                        self.push(
-                            self.now + delay,
-                            EventKind::Deliver { from: node, to, msg: msg.clone() },
-                        );
+                Destination::AllNodes => {
+                    for &to in alive.iter() {
+                        if to == id {
+                            continue;
+                        }
+                        let delay = opts.latency.sample(rng);
+                        queue.push(Event {
+                            at: now + delay,
+                            seq: *seq,
+                            kind: EventKind::Deliver {
+                                from: id,
+                                to,
+                                msg: transmit.msg.clone(),
+                            },
+                        });
+                        *seq += 1;
                     }
                 }
-                Action::SetTimer { timer, at } => {
-                    let incarnation = self.nodes[&node].incarnation;
-                    self.push(at.max(self.now), EventKind::Timer { node, incarnation, timer });
+            }
+        }
+        while let Some((timer, at)) = proto.poll_timer() {
+            queue.push(Event {
+                at: at.max(now),
+                seq: *seq,
+                kind: EventKind::Timer {
+                    node: id,
+                    incarnation,
+                    timer,
+                },
+            });
+            *seq += 1;
+        }
+        while let Some(event) = proto.poll_event() {
+            if let AppEvent::MonitorDiscovered { .. } = &event {
+                if let Some(log) = discovery.get_mut(&id) {
+                    log.monitor_times.push(now);
                 }
-                Action::App(event) => self.on_app_event(node, event),
+            }
+            if opts.collect_app_events {
+                app_events.push((id, event));
             }
         }
-    }
-
-    fn on_app_event(&mut self, node: NodeId, event: AppEvent) {
-        if let AppEvent::MonitorDiscovered { .. } = &event {
-            if let Some(log) = self.discovery.get_mut(&node) {
-                log.monitor_times.push(self.now);
-            }
-        }
-        if self.opts.collect_app_events {
-            self.app_events.push((node, event));
-        }
-    }
-
-    fn push(&mut self, at: TimeMs, kind: EventKind) {
-        self.queue.push(Event { at, seq: self.seq, kind });
-        self.seq += 1;
     }
 
     fn pick_contact(&mut self, joiner: NodeId) -> Option<NodeId> {
@@ -604,7 +687,9 @@ impl Simulation {
         let mut availability = Vec::new();
         let control: HashSet<NodeId> = self.trace.control_group.iter().copied().collect();
         for (&id, sim_node) in &self.nodes {
-            let Some(born) = sim_node.born_at else { continue };
+            let Some(born) = sim_node.born_at else {
+                continue;
+            };
             let estimates = self.monitor_estimates(id);
             if estimates.is_empty() {
                 continue;

@@ -47,7 +47,9 @@ impl DiscoveryLog {
     #[must_use]
     pub fn latency(&self, l: usize) -> Option<DurMs> {
         assert!(l >= 1, "monitors are counted from 1");
-        self.monitor_times.get(l - 1).map(|&t| t.saturating_sub(self.born_at))
+        self.monitor_times
+            .get(l - 1)
+            .map(|&t| t.saturating_sub(self.born_at))
     }
 }
 
@@ -97,13 +99,19 @@ impl SimReport {
     /// nodes, in milliseconds.
     #[must_use]
     pub fn discovery_latencies(&self, l: usize) -> Vec<DurMs> {
-        self.discovery.values().filter_map(|log| log.latency(l)).collect()
+        self.discovery
+            .values()
+            .filter_map(|log| log.latency(l))
+            .collect()
     }
 
     /// Control nodes that never discovered their `l`-th monitor.
     #[must_use]
     pub fn undiscovered(&self, l: usize) -> usize {
-        self.discovery.values().filter(|log| log.latency(l).is_none()).count()
+        self.discovery
+            .values()
+            .filter(|log| log.latency(l).is_none())
+            .count()
     }
 
     /// Per-node average hash computations per second.
@@ -216,7 +224,10 @@ mod tests {
 
     #[test]
     fn discovery_log_latencies() {
-        let log = DiscoveryLog { born_at: 100, monitor_times: vec![150, 400] };
+        let log = DiscoveryLog {
+            born_at: 100,
+            monitor_times: vec![150, 400],
+        };
         assert_eq!(log.latency(1), Some(50));
         assert_eq!(log.latency(2), Some(300));
         assert_eq!(log.latency(3), None);

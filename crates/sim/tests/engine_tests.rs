@@ -75,7 +75,10 @@ fn synth_churn_does_not_break_discovery() {
 
 #[test]
 fn broadcast_mode_discovers_in_one_round_trip() {
-    let cfg = Config::builder(100).discovery(DiscoveryMode::Broadcast).build().unwrap();
+    let cfg = Config::builder(100)
+        .discovery(DiscoveryMode::Broadcast)
+        .build()
+        .unwrap();
     let trace = stat(100, 10 * MINUTE, 0.1, 9);
     let report = Simulation::new(trace, SimOptions::new(cfg)).run();
     let latencies = report.discovery_latencies(1);
@@ -152,7 +155,10 @@ fn report_and_history_requests_flow_through_sim() {
     sim.run_until(21 * MINUTE);
     let events = sim.take_app_events();
     let outcome = events.iter().find_map(|(node, e)| match e {
-        avmon::AppEvent::ReportOutcome { target: t, verification } if *node == asker => {
+        avmon::AppEvent::ReportOutcome {
+            target: t,
+            verification,
+        } if *node == asker => {
             assert_eq!(*t, target);
             Some(verification.clone())
         }

@@ -1,0 +1,438 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stub.
+//!
+//! A minimal hand-rolled parser over `proc_macro::TokenStream` (the offline
+//! build has no `syn`/`quote`): it extracts the type's shape — struct with
+//! named fields, tuple struct, unit struct, or enum whose variants are any
+//! of those three — and emits `to_value` / `from_value` implementations
+//! against `::serde::Value`. Generic types are not supported (none of the
+//! workspace's serialized types are generic).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Parsed {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    /// Skips `#[...]` attribute groups (doc comments included).
+    fn skip_attributes(&mut self) {
+        while self.at_punct('#') {
+            self.next(); // '#'
+            if matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+                self.next(); // inner attribute '!'
+            }
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.next();
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skips a `<...>` generics block if present.
+    fn skip_generics(&mut self) {
+        if !self.at_punct('<') {
+            return;
+        }
+        let mut depth = 0i32;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Skips tokens until a top-level (angle-bracket aware) `,`, consuming
+    /// the comma itself. Returns false when the stream ends first.
+    fn skip_until_comma(&mut self) -> bool {
+        let mut angle = 0i32;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut cur = Cursor::new(group);
+    let mut fields = Vec::new();
+    loop {
+        cur.skip_attributes();
+        cur.skip_visibility();
+        let Some(TokenTree::Ident(name)) = cur.next() else {
+            break;
+        };
+        fields.push(name.to_string());
+        // ':' then the type, up to the next top-level comma.
+        assert!(cur.at_punct(':'), "expected ':' after field {name}");
+        cur.next();
+        if !cur.skip_until_comma() {
+            break;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut cur = Cursor::new(group);
+    if cur.peek().is_none() {
+        return 0;
+    }
+    let mut count = 1;
+    while cur.skip_until_comma() {
+        if cur.peek().is_none() {
+            break; // trailing comma
+        }
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(group);
+    let mut variants = Vec::new();
+    loop {
+        cur.skip_attributes();
+        let Some(TokenTree::Ident(name)) = cur.next() else {
+            break;
+        };
+        let shape = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.next();
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                cur.next();
+                Shape::Tuple(count)
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant {
+            name: name.to_string(),
+            shape,
+        });
+        // Discriminant (`= expr`) and/or the separating comma.
+        if !cur.skip_until_comma() {
+            break;
+        }
+    }
+    variants
+}
+
+fn parse(input: TokenStream) -> Parsed {
+    let mut cur = Cursor::new(input);
+    cur.skip_attributes();
+    cur.skip_visibility();
+    let kind = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected struct/enum, found {other:?}"),
+    };
+    let name = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    assert!(
+        !cur.at_punct('<'),
+        "the vendored serde derive does not support generic type {name}"
+    );
+    cur.skip_generics();
+    match kind.as_str() {
+        "struct" => {
+            let shape = match cur.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Shape::Unit,
+            };
+            Parsed::Struct { name, shape }
+        }
+        "enum" => {
+            let group = match cur.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body, found {other:?}"),
+            };
+            Parsed::Enum {
+                name,
+                variants: parse_variants(group),
+            }
+        }
+        other => panic!("cannot derive for {other}"),
+    }
+}
+
+// ------------------------------------------------------------ serialization
+
+fn named_to_value(fields: &[String], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::serde::Value::Str(\"{f}\".to_owned()), \
+                 ::serde::Serialize::to_value(&{access_prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn ser_struct(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => named_to_value(fields, "self."),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Unit => format!("::serde::Value::Str(\"{name}\".to_owned())"),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+fn ser_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            Shape::Unit => arms.push_str(&format!(
+                "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_owned()),\n"
+            )),
+            Shape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vname}({binds}) => ::serde::Value::Map(::std::vec![\
+                       (::serde::Value::Str(\"{vname}\".to_owned()), \
+                        ::serde::Value::Seq(::std::vec![{items}]))]),\n",
+                    binds = binds.join(", "),
+                    items = items.join(", "),
+                ));
+            }
+            Shape::Named(fields) => {
+                let binds = fields.join(", ");
+                let inner = named_to_value(fields, "");
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                       (::serde::Value::Str(\"{vname}\".to_owned()), {inner})]),\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------- deserialization
+
+fn named_from_value(path: &str, fields: &[String], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value({source}.get(\"{f}\")\
+                   .ok_or_else(|| ::serde::DeError(\
+                       ::std::format!(\"missing field {f} of {path}\")))?)?"
+            )
+        })
+        .collect();
+    format!(
+        "::core::result::Result::Ok({path} {{ {} }})",
+        inits.join(", ")
+    )
+}
+
+fn seq_from_value(path: &str, n: usize, source: &str) -> String {
+    let inits: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+        .collect();
+    format!(
+        "match {source} {{\n\
+             ::serde::Value::Seq(items) if items.len() == {n} => \
+                 ::core::result::Result::Ok({path}({inits})),\n\
+             other => ::core::result::Result::Err(\
+                 ::serde::DeError::expected(\"sequence of {n} for {path}\", other)),\n\
+         }}",
+        inits = inits.join(", "),
+    )
+}
+
+fn de_struct(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => named_from_value(name, fields, "value"),
+        Shape::Tuple(n) => seq_from_value(name, *n, "value"),
+        Shape::Unit => format!("::core::result::Result::Ok({name})"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+fn de_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            Shape::Unit => unit_arms.push_str(&format!(
+                "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+            )),
+            Shape::Tuple(n) => {
+                let body = seq_from_value(&format!("{name}::{vname}"), *n, "inner");
+                data_arms.push_str(&format!("\"{vname}\" => {body},\n"));
+            }
+            Shape::Named(fields) => {
+                let body = named_from_value(&format!("{name}::{vname}"), fields, "inner");
+                data_arms.push_str(&format!("\"{vname}\" => {body},\n"));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 match value {{\n\
+                     ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::core::result::Result::Err(::serde::DeError(\
+                             ::std::format!(\"unknown unit variant {{other}} of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let (key, inner) = &entries[0];\n\
+                         let ::serde::Value::Str(tag) = key else {{\n\
+                             return ::core::result::Result::Err(\
+                                 ::serde::DeError::expected(\"variant tag\", key));\n\
+                         }};\n\
+                         match tag.as_str() {{\n\
+                             {data_arms}\n\
+                             other => ::core::result::Result::Err(::serde::DeError(\
+                                 ::std::format!(\"unknown variant {{other}} of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::core::result::Result::Err(\
+                         ::serde::DeError::expected(\"{name} enum value\", other)),\n\
+                 }}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse(input) {
+        Parsed::Struct { name, shape } => ser_struct(&name, &shape),
+        Parsed::Enum { name, variants } => ser_enum(&name, &variants),
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse(input) {
+        Parsed::Struct { name, shape } => de_struct(&name, &shape),
+        Parsed::Enum { name, variants } => de_enum(&name, &variants),
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}

@@ -60,14 +60,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let report = sim.report();
-    let latencies: Vec<f64> =
-        report.discovery_latencies(1).iter().map(|&ms| ms as f64 / 1000.0).collect();
+    let latencies: Vec<f64> = report
+        .discovery_latencies(1)
+        .iter()
+        .map(|&ms| ms as f64 / 1000.0)
+        .collect();
     println!("\nfinal report:");
     avmon_examples::print_kv(&[
         ("born nodes tracked", report.discovery.len().to_string()),
         ("discovered ≥1 monitor", latencies.len().to_string()),
-        ("avg discovery (s)", format!("{:.1}", metrics::mean(&latencies))),
-        ("avg bandwidth (B/s)", format!("{:.2}", metrics::mean(&report.bandwidth_bps()))),
+        (
+            "avg discovery (s)",
+            format!("{:.1}", metrics::mean(&latencies)),
+        ),
+        (
+            "avg bandwidth (B/s)",
+            format!("{:.2}", metrics::mean(&report.bandwidth_bps())),
+        ),
         (
             "avg useless pings/min",
             format!("{:.3}", metrics::mean(&report.useless_pings_per_minute())),

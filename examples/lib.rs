@@ -38,7 +38,11 @@ pub fn verified_availability(
         if node != asker {
             continue;
         }
-        if let AppEvent::ReportOutcome { target: t, verification } = event {
+        if let AppEvent::ReportOutcome {
+            target: t,
+            verification,
+        } = event
+        {
             if t == target {
                 monitors = verification.verified;
             }
@@ -57,7 +61,12 @@ pub fn verified_availability(
         if node != asker {
             continue;
         }
-        if let AppEvent::HistoryOutcome { target: t, availability: Some(a), .. } = event {
+        if let AppEvent::HistoryOutcome {
+            target: t,
+            availability: Some(a),
+            ..
+        } = event
+        {
             if t == target {
                 estimates.push(a);
             }
@@ -66,6 +75,9 @@ pub fn verified_availability(
     if estimates.is_empty() {
         None
     } else {
-        Some((estimates.iter().sum::<f64>() / estimates.len() as f64, monitors.len()))
+        Some((
+            estimates.iter().sum::<f64>() / estimates.len() as f64,
+            monitors.len(),
+        ))
     }
 }

@@ -48,10 +48,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     parent_scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
     let fanout = 8usize;
-    let smart_parents: Vec<NodeId> =
-        parent_scores.iter().take(fanout).map(|&(id, _)| id).collect();
-    let random_parents: Vec<NodeId> =
-        alive[1..].choose_multiple(&mut rng, fanout).copied().collect();
+    let smart_parents: Vec<NodeId> = parent_scores
+        .iter()
+        .take(fanout)
+        .map(|&(id, _)| id)
+        .collect();
+    let random_parents: Vec<NodeId> = alive[1..]
+        .choose_multiple(&mut rng, fanout)
+        .copied()
+        .collect();
 
     // Children attach uniformly to a parent in each scheme; a child
     // receives a packet iff its parent is up at send time (source assumed
@@ -76,12 +81,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smart = reliability(&smart_parents);
     let random = reliability(&random_parents);
 
-    println!("\nmulticast delivery reliability over {} children:", children.len());
+    println!(
+        "\nmulticast delivery reliability over {} children:",
+        children.len()
+    );
     avmon_examples::print_kv(&[
         ("source", source.to_string()),
         ("AVMON-verified parents", format!("{smart:.3}")),
         ("random parents", format!("{random:.3}")),
-        ("improvement", format!("{:+.1}%", (smart - random) / random.max(1e-9) * 100.0)),
+        (
+            "improvement",
+            format!("{:+.1}%", (smart - random) / random.max(1e-9) * 100.0),
+        ),
     ]);
     println!(
         "\n(parents chosen at t={:.1}h, audited to t={:.1}h)",

@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Consistent system parameters (every node must share these).
     let config = Config::builder(n).build()?;
-    println!("AVMON quickstart: N={n}, K={}, cvs={}", config.k, config.cvs);
+    println!(
+        "AVMON quickstart: N={n}, K={}, cvs={}",
+        config.k, config.cvs
+    );
 
     // 2. A static availability model: 200 nodes, plus a 10% control group
     //    joining after the 1-hour warm-up (the paper's Fig. 3 setup).
@@ -25,12 +28,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = sim.run();
 
     // 4. Discovery: how quickly did the joiners find their monitors?
-    let latencies: Vec<f64> =
-        report.discovery_latencies(1).iter().map(|&ms| ms as f64 / 1000.0).collect();
+    let latencies: Vec<f64> = report
+        .discovery_latencies(1)
+        .iter()
+        .map(|&ms| ms as f64 / 1000.0)
+        .collect();
     avmon_examples::print_kv(&[
         ("control nodes", report.discovery.len().to_string()),
         ("discovered ≥1 monitor", latencies.len().to_string()),
-        ("avg discovery (s)", format!("{:.1}", metrics::mean(&latencies))),
+        (
+            "avg discovery (s)",
+            format!("{:.1}", metrics::mean(&latencies)),
+        ),
         (
             "expected E[D]/K (s)",
             format!(
@@ -47,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let node = sim.node(id).expect("alive");
     println!("\nnode {id}:");
     let show = |ids: Vec<avmon::NodeId>| {
-        ids.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+        ids.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
     };
     avmon_examples::print_kv(&[
         ("pinging set PS(x)", show(node.pinging_set().collect())),
@@ -62,9 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some((availability, monitors)) =
         avmon_examples::verified_availability(&mut sim, asker, id, 3)
     {
-        println!(
-            "\nverified availability of {id} via {monitors} monitor(s): {availability:.3}"
-        );
+        println!("\nverified availability of {id} via {monitors} monitor(s): {availability:.3}");
     }
 
     // 7. Overhead: what did the overlay cost per node?
@@ -73,8 +83,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     avmon_examples::print_kv(&[
         ("avg bandwidth (B/s)", format!("{:.2}", metrics::mean(&bw))),
-        ("avg hash checks (/s)", format!("{:.2}", metrics::mean(&comps))),
-        ("simulated span", format!("{:.1} h", (HOUR / 2 + HOUR) as f64 / HOUR as f64)),
+        (
+            "avg hash checks (/s)",
+            format!("{:.2}", metrics::mean(&comps)),
+        ),
+        (
+            "simulated span",
+            format!("{:.1} h", (HOUR / 2 + HOUR) as f64 / HOUR as f64),
+        ),
     ]);
     Ok(())
 }

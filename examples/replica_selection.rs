@@ -60,10 +60,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut smart_sets = Vec::with_capacity(OBJECTS);
     let mut random_sets = Vec::with_capacity(OBJECTS);
     for _ in 0..OBJECTS {
-        smart_sets
-            .push(smart_pool.choose_multiple(&mut rng, REPLICAS).copied().collect::<Vec<_>>());
-        random_sets
-            .push(candidates.choose_multiple(&mut rng, REPLICAS).copied().collect::<Vec<_>>());
+        smart_sets.push(
+            smart_pool
+                .choose_multiple(&mut rng, REPLICAS)
+                .copied()
+                .collect::<Vec<_>>(),
+        );
+        random_sets.push(
+            candidates
+                .choose_multiple(&mut rng, REPLICAS)
+                .copied()
+                .collect::<Vec<_>>(),
+        );
     }
 
     // Run the remaining simulated time, then audit replica availability
@@ -96,11 +104,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (random_avail, random_ok) = audit(&random_sets);
     println!("\nfuture-window quorum availability ({OBJECTS} objects, {REPLICAS} replicas):");
     avmon_examples::print_kv(&[
-        ("smart (AVMON-ranked)", format!("{smart_avail:.3} ({smart_ok} objects >0.8)")),
-        ("random placement", format!("{random_avail:.3} ({random_ok} objects >0.8)")),
+        (
+            "smart (AVMON-ranked)",
+            format!("{smart_avail:.3} ({smart_ok} objects >0.8)"),
+        ),
+        (
+            "random placement",
+            format!("{random_avail:.3} ({random_ok} objects >0.8)"),
+        ),
         (
             "improvement",
-            format!("{:+.1}%", (smart_avail - random_avail) / random_avail.max(1e-9) * 100.0),
+            format!(
+                "{:+.1}%",
+                (smart_avail - random_avail) / random_avail.max(1e-9) * 100.0
+            ),
         ),
     ]);
     println!(

@@ -20,13 +20,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .monitoring_period(300)
         .ping_timeout(120)
         .build()?;
-    println!("spawning {n} AVMON nodes on UDP loopback (K={}, cvs={})…", config.k, config.cvs);
-    let cluster = Cluster::builder(config, n).transport(ClusterTransport::Udp).seed(17).spawn()?;
+    println!(
+        "spawning {n} AVMON nodes on UDP loopback (K={}, cvs={})…",
+        config.k, config.cvs
+    );
+    let cluster = Cluster::builder(config, n)
+        .transport(ClusterTransport::Udp)
+        .seed(17)
+        .spawn()?;
 
     let converged = cluster.wait_for_discovery(1, Duration::from_secs(30));
     println!(
         "discovery {} after startup",
-        if converged { "complete" } else { "incomplete (timeout)" }
+        if converged {
+            "complete"
+        } else {
+            "incomplete (timeout)"
+        }
     );
 
     // Let monitoring pings accumulate a little history.

@@ -4,9 +4,7 @@
 
 use std::collections::BTreeSet;
 
-use avmon::{
-    verify_report, Behavior, Config, HashSelector, MonitorSelector, NodeId, MINUTE,
-};
+use avmon::{verify_report, Behavior, Config, HashSelector, MonitorSelector, NodeId, MINUTE};
 use avmon_churn::{stat, synthetic, SynthParams};
 use avmon_sim::{SimOptions, Simulation};
 
@@ -26,7 +24,12 @@ fn selfish_advertiser_cannot_fake_monitors_end_to_end() {
     assert_eq!(fakes.len(), 3);
     let mut opts = SimOptions::new(config).seed(3);
     opts.collect_app_events = true;
-    opts = opts.behavior(liar, Behavior::SelfishAdvertiser { fake_monitors: fakes.clone() });
+    opts = opts.behavior(
+        liar,
+        Behavior::SelfishAdvertiser {
+            fake_monitors: fakes.clone(),
+        },
+    );
     let mut sim = Simulation::new(trace, opts);
     sim.run_until(20 * MINUTE);
     let _ = sim.take_app_events();
@@ -38,11 +41,10 @@ fn selfish_advertiser_cannot_fake_monitors_end_to_end() {
         .take_app_events()
         .into_iter()
         .find_map(|(node, e)| match e {
-            avmon::AppEvent::ReportOutcome { target, verification }
-                if node == asker && target == liar =>
-            {
-                Some(verification)
-            }
+            avmon::AppEvent::ReportOutcome {
+                target,
+                verification,
+            } if node == asker && target == liar => Some(verification),
             _ => None,
         })
         .expect("report outcome");
@@ -92,19 +94,30 @@ fn overreporting_fraction_has_bounded_effect() {
         opts = opts.behavior(*id, Behavior::OverreportAll);
     }
     let report = Simulation::new(trace, opts).run();
-    let measured: Vec<_> = report.availability.iter().filter(|m| m.monitors >= 2).collect();
+    let measured: Vec<_> = report
+        .availability
+        .iter()
+        .filter(|m| m.monitors >= 2)
+        .collect();
     assert!(!measured.is_empty());
-    let affected =
-        measured.iter().filter(|m| (m.estimated - m.actual).abs() > 0.2).count();
+    let affected = measured
+        .iter()
+        .filter(|m| (m.estimated - m.actual).abs() > 0.2)
+        .count();
     let frac = affected as f64 / measured.len() as f64;
-    assert!(frac < 0.20, "affected fraction {frac:.3}, paper's worst case is 3.5%");
+    assert!(
+        frac < 0.20,
+        "affected fraction {frac:.3}, paper's worst case is 3.5%"
+    );
 }
 
 #[test]
 fn colluding_friends_only_inflate_their_friends() {
     let a = NodeId::from_index(1);
     let b = NodeId::from_index(2);
-    let behavior = Behavior::Colluding { friends: BTreeSet::from([a]) };
+    let behavior = Behavior::Colluding {
+        friends: BTreeSet::from([a]),
+    };
     assert!(behavior.misreports(a));
     assert!(!behavior.misreports(b));
 }
@@ -121,7 +134,10 @@ fn verify_report_is_sound_and_complete() {
         .filter(|&m| m != target && selector.is_monitor(m, target))
         .collect();
     let outcome = verify_report(&selector, target, &true_monitors);
-    assert!(outcome.all_verified(), "complete: every true monitor verifies");
+    assert!(
+        outcome.all_verified(),
+        "complete: every true monitor verifies"
+    );
     let non_monitors: Vec<NodeId> = all
         .iter()
         .copied()
@@ -129,5 +145,8 @@ fn verify_report_is_sound_and_complete() {
         .take(10)
         .collect();
     let outcome = verify_report(&selector, target, &non_monitors);
-    assert!(outcome.verified.is_empty(), "sound: no non-monitor verifies");
+    assert!(
+        outcome.verified.is_empty(),
+        "sound: no non-monitor verifies"
+    );
 }

@@ -9,25 +9,36 @@ use avmon_sim::{metrics, SimOptions, Simulation};
 fn stat_discovery_is_subminute_on_average() {
     let n = 200;
     let trace = stat(n, 40 * MINUTE, 0.1, 1);
-    let report = Simulation::new(trace, SimOptions::new(Config::builder(n).build().unwrap()))
-        .run();
-    let lat: Vec<f64> = report.discovery_latencies(1).iter().map(|&ms| ms as f64).collect();
+    let report = Simulation::new(trace, SimOptions::new(Config::builder(n).build().unwrap())).run();
+    let lat: Vec<f64> = report
+        .discovery_latencies(1)
+        .iter()
+        .map(|&ms| ms as f64)
+        .collect();
     assert_eq!(lat.len() + report.undiscovered(1), 20);
     assert!(report.undiscovered(1) <= 1);
     let avg_min = metrics::mean(&lat) / MINUTE as f64;
-    assert!(avg_min < 2.0, "average discovery {avg_min} min, paper reports < 1");
+    assert!(
+        avg_min < 2.0,
+        "average discovery {avg_min} min, paper reports < 1"
+    );
 }
 
 #[test]
 fn discovery_succeeds_under_synth_churn() {
     let n = 200;
     let trace = synthetic(SynthParams::synth(n).duration(40 * MINUTE).seed(2));
-    let report =
-        Simulation::new(trace, SimOptions::new(Config::builder(n).build().unwrap()).seed(2))
-            .run();
+    let report = Simulation::new(
+        trace,
+        SimOptions::new(Config::builder(n).build().unwrap()).seed(2),
+    )
+    .run();
     let found = report.discovery_latencies(1).len();
     let total = report.discovery.len();
-    assert!(found * 10 >= total * 8, "only {found}/{total} discovered under churn");
+    assert!(
+        found * 10 >= total * 8,
+        "only {found}/{total} discovered under churn"
+    );
 }
 
 #[test]
@@ -62,8 +73,11 @@ fn larger_views_discover_faster() {
         let trace = stat(n, 40 * MINUTE, 0.1, 4);
         let config = Config::builder(n).cvs(cvs).build().unwrap();
         let report = Simulation::new(trace, SimOptions::new(config).seed(4)).run();
-        let lat: Vec<f64> =
-            report.discovery_latencies(1).iter().map(|&ms| ms as f64).collect();
+        let lat: Vec<f64> = report
+            .discovery_latencies(1)
+            .iter()
+            .map(|&ms| ms as f64)
+            .collect();
         avgs.push(metrics::mean(&lat));
     }
     assert!(
@@ -80,8 +94,10 @@ fn pinging_sets_concentrate_around_k() {
     let k = f64::from(config.k);
     let mut sim = Simulation::new(trace, SimOptions::new(config).seed(5));
     let _ = sim.run();
-    let sizes: Vec<f64> =
-        sim.alive().filter_map(|id| sim.node(id).map(|n| n.pinging_set_len() as f64)).collect();
+    let sizes: Vec<f64> = sim
+        .alive()
+        .filter_map(|id| sim.node(id).map(|n| n.pinging_set_len() as f64))
+        .collect();
     let avg = metrics::mean(&sizes);
     assert!(
         (avg - k).abs() < k * 0.4,

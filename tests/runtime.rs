@@ -34,7 +34,10 @@ fn memory_and_udp_clusters_agree_on_relationships() {
             assert!(selector.is_monitor(m, id), "{m} in PS({id}) must verify");
         }
         for &t in &snapshot.ts {
-            assert!(selector.is_monitor(id, t), "{id} monitoring {t} must verify");
+            assert!(
+                selector.is_monitor(id, t),
+                "{id} monitoring {t} must verify"
+            );
         }
     }
 }
@@ -75,7 +78,10 @@ fn kill_and_restart_preserves_monitoring_state() {
     let after = after.expect("victim republishes after restart");
     // Persistent PS survived the crash (no history transfer needed).
     for m in &before.ps {
-        assert!(after.ps.contains(m), "monitor {m} lost across crash-restart");
+        assert!(
+            after.ps.contains(m),
+            "monitor {m} lost across crash-restart"
+        );
     }
 }
 
@@ -102,5 +108,8 @@ fn udp_cluster_estimates_availability_of_live_nodes() {
     }
     assert!(!estimates.is_empty());
     let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
-    assert!(mean > 0.6, "live-node availability estimate {mean} should be near 1");
+    assert!(
+        mean > 0.6,
+        "live-node availability estimate {mean} should be near 1"
+    );
 }

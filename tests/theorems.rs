@@ -29,10 +29,12 @@ fn theorem1_eventual_discovery_of_all_alive_pairs() {
                 continue;
             }
             satisfying += 1;
-            let monitor_knows =
-                sim.node(m).is_some_and(|node| node.target_set().any(|x| x == t));
-            let target_knows =
-                sim.node(t).is_some_and(|node| node.pinging_set().any(|x| x == m));
+            let monitor_knows = sim
+                .node(m)
+                .is_some_and(|node| node.target_set().any(|x| x == t));
+            let target_knows = sim
+                .node(t)
+                .is_some_and(|node| node.pinging_set().any(|x| x == m));
             if monitor_knows && target_knows {
                 discovered += 1;
             }
@@ -62,7 +64,11 @@ fn theorem2_dead_node_leaves_all_views() {
             kind: ChurnEventKind::Birth,
         });
     }
-    events.push(ChurnEvent { at: 30 * MINUTE, node: dead, kind: ChurnEventKind::Death });
+    events.push(ChurnEvent {
+        at: 30 * MINUTE,
+        node: dead,
+        kind: ChurnEventKind::Death,
+    });
     let gc_bound_periods = (cvs as f64 * (n as f64).ln()).ceil() as u64;
     let horizon = 30 * MINUTE + (gc_bound_periods + 30) * MINUTE;
     let trace = Trace::new("theorem2", n, horizon, 0, vec![], events);
@@ -97,19 +103,34 @@ fn consistency_relationship_survives_churn_round_trips() {
         });
     }
     // Leave at 40 min, rejoin at 60 min.
-    events.push(ChurnEvent { at: 40 * MINUTE, node: rejoiner, kind: ChurnEventKind::Leave });
-    events.push(ChurnEvent { at: 60 * MINUTE, node: rejoiner, kind: ChurnEventKind::Join });
+    events.push(ChurnEvent {
+        at: 40 * MINUTE,
+        node: rejoiner,
+        kind: ChurnEventKind::Leave,
+    });
+    events.push(ChurnEvent {
+        at: 60 * MINUTE,
+        node: rejoiner,
+        kind: ChurnEventKind::Join,
+    });
     let trace = Trace::new("rejoin", n, 2 * HOUR, 0, vec![], events);
     let mut sim = Simulation::new(trace, SimOptions::new(config.clone()).seed(9));
 
     sim.run_until(40 * MINUTE - 1);
-    let ps_before: Vec<NodeId> =
-        sim.node(rejoiner).map(|node| node.pinging_set().collect()).unwrap_or_default();
-    assert!(!ps_before.is_empty(), "monitors discovered before the leave");
+    let ps_before: Vec<NodeId> = sim
+        .node(rejoiner)
+        .map(|node| node.pinging_set().collect())
+        .unwrap_or_default();
+    assert!(
+        !ps_before.is_empty(),
+        "monitors discovered before the leave"
+    );
 
     let _ = sim.run();
-    let ps_after: Vec<NodeId> =
-        sim.node(rejoiner).map(|node| node.pinging_set().collect()).unwrap_or_default();
+    let ps_after: Vec<NodeId> = sim
+        .node(rejoiner)
+        .map(|node| node.pinging_set().collect())
+        .unwrap_or_default();
     // Persistence: everything known before the leave is still known.
     for m in &ps_before {
         assert!(
@@ -148,6 +169,13 @@ fn join_spread_reaches_cvs_nodes() {
             count >= (cvs as u32) / 2,
             "join of {joiner} reached only {count} nodes, expected ≈ cvs = {cvs}"
         );
-        assert!(count <= cvs as u32, "spread cannot exceed the JOIN weight");
+        // One JOIN(cvs) spreads to at most cvs nodes; the joiner may emit a
+        // second JOIN if its first protocol period fires before the
+        // init-view reply lands (the loss-recovery retry, which the paper's
+        // reliable-network model does not need), so allow up to 2·cvs.
+        assert!(
+            count <= 2 * cvs as u32,
+            "spread {count} cannot exceed the total transmitted JOIN weight"
+        );
     }
 }
