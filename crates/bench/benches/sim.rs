@@ -1,9 +1,9 @@
 //! End-to-end simulation benchmarks: how much wall-clock the paper's
 //! evaluation costs per simulated hour, per model.
 
-use avmon::{Config, MINUTE};
+use avmon::{Config, NodeId, MINUTE};
 use avmon_churn::{overnet_like, stat, synthetic, SynthParams};
-use avmon_sim::{SimOptions, Simulation};
+use avmon_sim::{InvariantConfig, LinkFaults, Scenario, SimOptions, Simulation};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn sim_hour(c: &mut Criterion) {
@@ -35,6 +35,60 @@ fn sim_hour(c: &mut Criterion) {
     group.finish();
 }
 
+/// Overhead of the fault subsystem and the always-on invariant checker:
+/// the same 30-minute overlay on a reliable network (checker off), with
+/// checking on, and through loss + partition faults.
+fn sim_faulty(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_30min_faults");
+    group.sample_size(10);
+    let n = 100usize;
+    let make = || {
+        (
+            stat(n, 30 * MINUTE, 0.1, 7),
+            Config::builder(n).build().unwrap(),
+        )
+    };
+    group.bench_function("reliable_checker_off", |b| {
+        b.iter(|| {
+            let (trace, config) = make();
+            Simulation::new(
+                trace,
+                SimOptions::new(config).invariants(InvariantConfig::off()),
+            )
+            .run()
+        })
+    });
+    group.bench_function("reliable_checker_on", |b| {
+        b.iter(|| {
+            let (trace, config) = make();
+            Simulation::new(trace, SimOptions::new(config)).run()
+        })
+    });
+    group.bench_function("loss10_partition", |b| {
+        b.iter(|| {
+            let (trace, config) = make();
+            let ids: Vec<NodeId> = trace.identities().into_iter().collect();
+            let scenario = Scenario::builder("bench")
+                .partition(
+                    65 * MINUTE,
+                    10 * MINUTE,
+                    ids[..n / 4].to_vec(),
+                    ids[n / 4..].to_vec(),
+                )
+                .build()
+                .unwrap();
+            let mut opts = SimOptions::new(config).scenario(scenario);
+            opts.network.faults = LinkFaults {
+                loss: 0.10,
+                duplicate: 0.05,
+                jitter: 300,
+            };
+            Simulation::new(trace, opts).run()
+        })
+    });
+    group.finish();
+}
+
 fn trace_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace_generation");
     group.sample_size(10);
@@ -56,6 +110,6 @@ fn trace_generation(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default();
-    targets = sim_hour, trace_generation
+    targets = sim_hour, sim_faulty, trace_generation
 }
 criterion_main!(benches);

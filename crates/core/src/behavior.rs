@@ -33,6 +33,16 @@ pub enum Behavior {
         /// The nodes (typically colluders) it falsely claims as monitors.
         fake_monitors: Vec<NodeId>,
     },
+    /// A lying monitor: adopts these targets into its own target set
+    /// without the consistency condition ever selecting it, then pings and
+    /// (mis)reports on them like a real monitor. Models a buggy or
+    /// malicious node manufacturing monitoring relationships — exactly the
+    /// corruption the simulator's invariant checker must flag, and the
+    /// attack third-party verification (§3.3) defeats.
+    FakeMonitor {
+        /// The nodes it pretends to have been assigned.
+        targets: Vec<NodeId>,
+    },
 }
 
 impl Behavior {
@@ -40,7 +50,9 @@ impl Behavior {
     #[must_use]
     pub fn misreports(&self, target: NodeId) -> bool {
         match self {
-            Behavior::Honest | Behavior::SelfishAdvertiser { .. } => false,
+            Behavior::Honest
+            | Behavior::SelfishAdvertiser { .. }
+            | Behavior::FakeMonitor { .. } => false,
             Behavior::OverreportAll => true,
             Behavior::Colluding { friends } => friends.contains(&target),
         }
@@ -52,6 +64,16 @@ impl Behavior {
     pub fn fake_report(&self) -> Option<&[NodeId]> {
         match self {
             Behavior::SelfishAdvertiser { fake_monitors } => Some(fake_monitors),
+            _ => None,
+        }
+    }
+
+    /// The targets this behavior adopts without verification, if it forges
+    /// monitoring relationships.
+    #[must_use]
+    pub fn fake_targets(&self) -> Option<&[NodeId]> {
+        match self {
+            Behavior::FakeMonitor { targets } => Some(targets),
             _ => None,
         }
     }
@@ -98,5 +120,17 @@ mod tests {
     #[test]
     fn default_is_honest() {
         assert_eq!(Behavior::default(), Behavior::Honest);
+    }
+
+    #[test]
+    fn fake_monitor_forges_targets_but_reports_its_real_measurements() {
+        let fakes = vec![NodeId::from_index(4)];
+        let b = Behavior::FakeMonitor {
+            targets: fakes.clone(),
+        };
+        assert_eq!(b.fake_targets(), Some(fakes.as_slice()));
+        assert!(!b.misreports(NodeId::from_index(4)));
+        assert!(b.fake_report().is_none());
+        assert!(Behavior::Honest.fake_targets().is_none());
     }
 }

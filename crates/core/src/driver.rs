@@ -194,10 +194,14 @@ pub struct NodeSnapshot {
     pub ps: Vec<NodeId>,
     /// The node's target set.
     pub ts: Vec<NodeId>,
-    /// Coarse-view occupancy.
-    pub view_len: usize,
+    /// Coarse-view entries (invariant checkers verify no self-reference
+    /// and no overflow; dashboards show membership and occupancy).
+    pub view: Vec<NodeId>,
     /// Memory entries `|CV|+|PS|+|TS|`.
     pub memory_entries: usize,
+    /// When this incarnation started (basis for uptime / discovery-delay
+    /// observations).
+    pub started_at: TimeMs,
     /// Protocol counters.
     pub stats: NodeStats,
     /// Per-target availability estimates.
@@ -214,8 +218,9 @@ impl NodeSnapshot {
         NodeSnapshot {
             ps: node.pinging_set().collect(),
             ts: node.target_set().collect(),
-            view_len: node.view().len(),
+            view: node.view().iter().collect(),
             memory_entries: node.memory_entries(),
+            started_at: node.started_at(),
             stats: *node.stats(),
             estimates: node
                 .target_set()

@@ -13,6 +13,22 @@ impl Node {
     /// liveness-ping one random view entry, fetch the view of another, and
     /// (if enabled) run the PR2 re-advertisement check.
     pub(super) fn protocol_period(&mut self, now: TimeMs) {
+        // Behavior-driven corruption: a lying monitor adopts its forged
+        // targets without any consistency-condition check. Honest nodes
+        // never take this branch.
+        if self.behavior.fake_targets().is_some() {
+            self.adopt_fake_targets(now);
+        }
+
+        // Age out the notified cache: suppressed NOTIFYs become eligible
+        // for retransmission every few periods, so a copy lost to the
+        // network (loss, partitions) is eventually replaced. See the field
+        // docs on `Node::notified_cleared_at`.
+        if now.saturating_sub(self.notified_cleared_at) >= 8 * self.config.protocol_period {
+            self.notified.clear();
+            self.notified_cleared_at = now;
+        }
+
         // 0. Loss recovery (not in the paper, whose network is reliable):
         //    an empty view means this node is invisible and blind — its
         //    original JOIN or view inheritance was lost. Retry through the
@@ -34,6 +50,18 @@ impl Node {
                 self.arm_timer(Timer::Expire(nonce), now + self.config.ping_timeout);
             }
             return;
+        }
+
+        // 0b. Visibility recovery (deviation, see `last_view_probe_rx`):
+        //     several silent periods mean no coarse view holds this node
+        //     any more — a state only reachable when the network loses
+        //     messages, and unrecoverable by the paper's protocol alone.
+        //     Re-advertise to the current view entries (as PR2 would) and
+        //     back off for another detection window.
+        let visibility_basis = self.last_view_probe_rx.unwrap_or(self.started_at);
+        if now.saturating_sub(visibility_basis) >= 6 * self.config.protocol_period {
+            self.last_view_probe_rx = Some(now);
+            self.readvertise();
         }
 
         // 1. Ping a random coarse-view entry; unresponsive ⇒ removed (via
@@ -64,11 +92,17 @@ impl Node {
             };
             if now.saturating_sub(basis) >= 2 * self.config.protocol_period {
                 self.pr2_last_fired = Some(now);
-                let peers: Vec<NodeId> = self.view.iter().collect();
-                for peer in peers {
-                    self.send(peer, Message::AddMeRequest);
-                }
+                self.readvertise();
             }
+        }
+    }
+
+    /// Asks every current coarse-view entry to re-add this node — shared
+    /// by PR2 (§5.4) and visibility recovery.
+    fn readvertise(&mut self) {
+        let peers: Vec<NodeId> = self.view.iter().collect();
+        for peer in peers {
+            self.send(peer, Message::AddMeRequest);
         }
     }
 
@@ -148,6 +182,27 @@ impl Node {
 
         // Shuffle: CV(x) := cvs random entries of CV(x) ∪ CV(w) ∪ {w}.
         self.view.shuffle_merge(w, fetched, &mut self.rng);
+    }
+
+    /// [`crate::Behavior::FakeMonitor`]: force the forged targets into
+    /// `TS` as if a NOTIFY had verified, emitting the same discovery
+    /// events a real adoption would.
+    fn adopt_fake_targets(&mut self, now: TimeMs) {
+        let fakes: Vec<NodeId> = self
+            .behavior
+            .fake_targets()
+            .unwrap_or_default()
+            .iter()
+            .copied()
+            .filter(|&t| t != self.id && !self.targets.contains_key(&t))
+            .collect();
+        for target in fakes {
+            self.targets.insert(
+                target,
+                super::TargetRecord::new(now, self.history_template.clone()),
+            );
+            self.emit(AppEvent::TargetDiscovered { target });
+        }
     }
 
     /// Records that `(monitor, target)` has been notified; returns whether

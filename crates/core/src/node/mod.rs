@@ -296,6 +296,13 @@ pub struct Node {
     /// discovery) is preserved even if an endpoint was down the first time.
     notified: std::collections::HashSet<(NodeId, NodeId)>,
     notified_cap: usize,
+    /// When the notified cache was last aged out wholesale. Clearing on a
+    /// time cadence (not only at capacity) bounds NOTIFY suppression in
+    /// *time*: if the first NOTIFY to an endpoint was lost — possible under
+    /// message loss or partitions, which the paper's reliable network
+    /// excludes — the pair is re-notified within a bounded number of
+    /// periods, preserving eventual discovery (Theorem 1) under faults.
+    notified_cleared_at: TimeMs,
     /// The join contact, kept for re-joining when the coarse view empties
     /// out (possible under message loss, which the paper's reliable-network
     /// model excludes but real deployments do not).
@@ -303,6 +310,16 @@ pub struct Node {
     history_template: HistoryStore,
     started_at: TimeMs,
     last_monitor_ping_rx: Option<TimeMs>,
+    /// Last time a coarse-view probe (ViewPing / ViewFetch) arrived —
+    /// direct evidence that somebody still holds this node in a view. On
+    /// a reliable network a view member receives ~2 probes per period, so
+    /// silence over several periods means loss-driven evictions have made
+    /// the node *invisible*: alive, but in nobody's coarse view, a state
+    /// from which the paper's protocol (reliable network, §3) can never
+    /// recover because only view members are ever fetched from. The
+    /// visibility-recovery branch of the protocol period re-advertises in
+    /// that case (documented deviation, like the empty-view rejoin).
+    last_view_probe_rx: Option<TimeMs>,
     pr2_last_fired: Option<TimeMs>,
     stats: NodeStats,
     /// Output queues drained by the poll interface. Reused across inputs:
@@ -331,10 +348,12 @@ impl Node {
             pending: HashMap::new(),
             notified: std::collections::HashSet::new(),
             notified_cap: (8 * cvs * cvs).max(1024),
+            notified_cleared_at: 0,
             contact: None,
             history_template: HistoryStore::default(),
             started_at: 0,
             last_monitor_ping_rx: None,
+            last_view_probe_rx: None,
             pr2_last_fired: None,
             stats: NodeStats::default(),
             outbox: VecDeque::new(),
@@ -427,6 +446,14 @@ impl Node {
         &self.stats
     }
 
+    /// When this incarnation entered the system (the `now` passed to
+    /// [`Node::start`]); used by observers measuring uptime and discovery
+    /// delay.
+    #[must_use]
+    pub fn started_at(&self) -> TimeMs {
+        self.started_at
+    }
+
     // ------------------------------------------------------ poll interface
 
     /// The next outgoing datagram, in FIFO order; `None` when drained.
@@ -506,7 +533,9 @@ impl Node {
     pub fn start(&mut self, now: TimeMs, kind: JoinKind, contact: Option<NodeId>) {
         self.started_at = now;
         self.last_monitor_ping_rx = None;
+        self.last_view_probe_rx = None;
         self.pr2_last_fired = None;
+        self.notified_cleared_at = now;
         self.pending.clear();
 
         match self.config.discovery {
@@ -586,6 +615,7 @@ impl Node {
                 }
             }
             Message::ViewPing { nonce } => {
+                self.last_view_probe_rx = Some(now);
                 self.send(from, Message::ViewPong { nonce });
             }
             Message::ViewPong { nonce } => {
@@ -596,6 +626,7 @@ impl Node {
                 }
             }
             Message::ViewFetch { nonce } => {
+                self.last_view_probe_rx = Some(now);
                 let view = self.view.as_slice().to_vec();
                 self.send(from, Message::ViewFetchReply { nonce, view });
             }

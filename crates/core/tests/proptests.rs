@@ -1,6 +1,7 @@
 //! Property-based tests for the core protocol data structures.
 
-use avmon::codec::{decode, encode, encoded_len};
+use avmon::bytes::{self, BufMut};
+use avmon::codec::{decode, decode_from, encode, encode_into, encoded_len};
 use avmon::{CoarseView, Config, CvsPolicy, HashSelector, Message, MonitorSelector, NodeId, Nonce};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -68,6 +69,23 @@ fn arb_message() -> impl Strategy<Value = Message> {
     ]
 }
 
+/// Exhaustiveness guard for the strategy itself: `arb_message` must be
+/// able to produce *every* wire variant, or the round-trip properties
+/// above would silently stop covering new messages. Breaks loudly when a
+/// variant is added to `Message` without extending the strategy.
+#[test]
+fn arb_message_covers_every_variant() {
+    use proptest::rand::SeedableRng;
+    let strategy = arb_message();
+    let mut rng = proptest::TestRng::seed_from_u64(42);
+    let mut kinds = std::collections::BTreeSet::new();
+    for _ in 0..4000 {
+        kinds.insert(strategy.generate(&mut rng).kind());
+    }
+    // One per Message variant (see MessageKind).
+    assert_eq!(kinds.len(), 16, "strategy misses variants; saw {kinds:?}");
+}
+
 proptest! {
     /// Every message the protocol can produce round-trips the wire codec.
     #[test]
@@ -80,6 +98,31 @@ proptest! {
     #[test]
     fn encoded_len_matches_encode(msg in arb_message()) {
         prop_assert_eq!(encode(&msg).len(), encoded_len(&msg));
+    }
+
+    /// The zero-copy `encode_into` path (what the runtime driver and the
+    /// bandwidth accounting actually use) agrees with `encode` and
+    /// round-trips through `decode_from` for arbitrary message *sequences*
+    /// sharing one reused buffer — including a dirty (non-empty) buffer,
+    /// since `encode_into` appends.
+    #[test]
+    fn encode_into_round_trips_message_streams(
+        msgs in proptest::collection::vec(arb_message(), 1..8),
+        prefix in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(&prefix);
+        for msg in &msgs {
+            let before = buf.len();
+            encode_into(msg, &mut buf);
+            prop_assert_eq!(buf.len() - before, encoded_len(msg));
+            prop_assert_eq!(&buf[before..], &encode(msg)[..]);
+        }
+        let mut slice: &[u8] = &buf[prefix.len()..];
+        for msg in &msgs {
+            prop_assert_eq!(&decode_from(&mut slice).unwrap(), msg);
+        }
+        prop_assert!(slice.is_empty());
     }
 
     /// Decoding arbitrary junk never panics (it may error).

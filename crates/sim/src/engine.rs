@@ -24,8 +24,10 @@ use avmon_hash::fast64::mix64;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::invariants::{InvariantChecker, InvariantConfig};
 use crate::metrics::{AvailabilityMeasure, DiscoveryLog, NodeSeries, SimReport};
-use crate::network::LatencyModel;
+use crate::network::{LatencyModel, NetworkModel, NetworkState, Route};
+use crate::scenario::Scenario;
 
 /// Simulation options beyond the protocol [`Config`].
 #[derive(Debug, Clone)]
@@ -35,8 +37,16 @@ pub struct SimOptions {
     /// Which hasher backs the consistency condition (default [`HasherKind::Fast64`];
     /// pass [`HasherKind::Md5`] for the paper's exact construction).
     pub hasher: HasherKind,
-    /// Message propagation delays.
-    pub latency: LatencyModel,
+    /// The network model: propagation delays plus always-on link faults.
+    /// Defaults to the paper's reliable network.
+    pub network: NetworkModel,
+    /// Timeline of injected faults (partitions, bursts, freezes); `None`
+    /// runs fault-free.
+    pub scenario: Option<Scenario>,
+    /// The always-on protocol invariant checker (default:
+    /// [`InvariantMode::Record`] — violations land in
+    /// [`SimReport::invariants`]).
+    pub invariants: InvariantConfig,
     /// Master seed; every node RNG and the network RNG derive from it.
     pub seed: u64,
     /// Metric sampling interval (default: one protocol period).
@@ -62,7 +72,9 @@ impl SimOptions {
         SimOptions {
             config,
             hasher: HasherKind::Fast64,
-            latency: LatencyModel::default(),
+            network: NetworkModel::default(),
+            scenario: None,
+            invariants: InvariantConfig::default(),
             seed: 1,
             sample_interval,
             history_template: None,
@@ -86,11 +98,53 @@ impl SimOptions {
         self
     }
 
+    /// Overrides the latency model (keeping the network's fault knobs).
+    #[must_use]
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.network.latency = latency;
+        self
+    }
+
+    /// Overrides the whole network model.
+    #[must_use]
+    pub fn network(mut self, network: NetworkModel) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Installs a fault-injection scenario.
+    #[must_use]
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = Some(scenario);
+        self
+    }
+
+    /// Overrides the invariant-checker configuration.
+    #[must_use]
+    pub fn invariants(mut self, invariants: InvariantConfig) -> Self {
+        self.invariants = invariants;
+        self
+    }
+
     /// Assigns `behavior` to `node`.
     #[must_use]
     pub fn behavior(mut self, node: NodeId, behavior: Behavior) -> Self {
         self.behaviors.push((node, behavior));
         self
+    }
+
+    /// Checks network model and scenario parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`avmon::Error::InvalidConfig`] for inverted latency
+    /// ranges, out-of-range probabilities, or malformed scenario faults.
+    pub fn validate(&self) -> Result<(), avmon::Error> {
+        self.network.validate()?;
+        if let Some(scenario) = &self.scenario {
+            scenario.validate()?;
+        }
+        Ok(())
     }
 }
 
@@ -202,6 +256,10 @@ pub struct Simulation {
     graveyard_stats: NodeStats,
     initial_cohort: Vec<NodeId>,
     app_events: Vec<(NodeId, AppEvent)>,
+    net: NetworkState,
+    /// Per-node freeze windows `(node, from, until)` from the scenario.
+    freezes: Vec<(NodeId, TimeMs, TimeMs)>,
+    checker: InvariantChecker,
     finished: bool,
 }
 
@@ -210,10 +268,27 @@ impl Simulation {
     ///
     /// # Panics
     ///
-    /// Panics if the trace is empty.
+    /// Panics if the trace is empty or the options are invalid
+    /// (see [`Simulation::try_new`] for the fallible path).
     #[must_use]
     pub fn new(trace: Trace, opts: SimOptions) -> Self {
+        Simulation::try_new(trace, opts).unwrap_or_else(|e| panic!("invalid simulation: {e}"))
+    }
+
+    /// Builds a simulation over `trace` with `opts`, validating the
+    /// network model and scenario at construction time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`avmon::Error::InvalidConfig`] for invalid network or
+    /// scenario parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn try_new(trace: Trace, opts: SimOptions) -> Result<Self, avmon::Error> {
         assert!(!trace.events.is_empty(), "cannot simulate an empty trace");
+        opts.validate()?;
         let selector = HashSelector::from_config_with_kind(&opts.config, opts.hasher);
         let mut queue = BinaryHeap::with_capacity(trace.events.len() * 2);
         let mut seq = 0u64;
@@ -264,7 +339,25 @@ impl Simulation {
             nodes.insert(id, SimNode::new(behavior));
         }
         let rng = SmallRng::seed_from_u64(opts.seed ^ 0xdead_beef_cafe_f00d);
-        Simulation {
+        let net = NetworkState::compile(opts.network.clone(), opts.scenario.as_ref());
+        let freezes = opts
+            .scenario
+            .as_ref()
+            .map(Scenario::freeze_windows)
+            .unwrap_or_default();
+        let quiescent_from = opts
+            .scenario
+            .as_ref()
+            .map(Scenario::quiescent_after)
+            .unwrap_or(0);
+        let checker = InvariantChecker::new(
+            opts.invariants.clone(),
+            selector.clone(),
+            &opts.config,
+            quiescent_from,
+            opts.network.faults.loss > 0.0,
+        );
+        Ok(Simulation {
             trace,
             opts,
             selector,
@@ -281,8 +374,18 @@ impl Simulation {
             graveyard_stats: NodeStats::default(),
             initial_cohort,
             app_events: Vec::new(),
+            net,
+            freezes,
+            checker,
             finished: false,
-        }
+        })
+    }
+
+    /// The invariant-checker observations so far (complete once the run
+    /// reached the horizon; also available via [`SimReport::invariants`]).
+    #[must_use]
+    pub fn invariants(&self) -> &crate::invariants::InvariantSummary {
+        self.checker.summary()
     }
 
     /// Current simulated time.
@@ -353,20 +456,72 @@ impl Simulation {
             self.dispatch(event.kind);
         }
         self.now = deadline;
-        if deadline == self.trace.horizon {
+        if deadline == self.trace.horizon && !self.finished {
             self.finished = true;
+            // End-of-run invariant sweep (Theorem 1 liveness, convergence).
+            let Simulation {
+                checker,
+                nodes,
+                alive,
+                now,
+                ..
+            } = self;
+            checker.finalize(
+                *now,
+                alive
+                    .iter()
+                    .filter_map(|id| nodes.get(id).and_then(|n| n.proto.as_ref())),
+            );
         }
+    }
+
+    /// The thaw time if `node` is inside a freeze window at `self.now`.
+    fn frozen_until(&self, node: NodeId) -> Option<TimeMs> {
+        self.freezes
+            .iter()
+            .find(|&&(n, from, until)| n == node && self.now >= from && self.now < until)
+            .map(|&(_, _, until)| until)
+    }
+
+    /// Re-queues `kind` to fire at `at` (used to stall events of frozen
+    /// nodes; original relative order is preserved by the fresh `seq`).
+    fn requeue(&mut self, at: TimeMs, kind: EventKind) {
+        self.queue.push(Event {
+            at,
+            seq: self.seq,
+            kind,
+        });
+        self.seq += 1;
     }
 
     fn dispatch(&mut self, kind: EventKind) {
         match kind {
             EventKind::Churn { node, kind } => self.on_churn(node, kind),
-            EventKind::Deliver { from, to, msg } => self.on_deliver(from, to, msg),
+            EventKind::Deliver { from, to, msg } => {
+                // A frozen destination stops processing: its deliveries
+                // stall, in order, until the freeze thaws.
+                if let Some(thaw) = self.frozen_until(to) {
+                    self.requeue(thaw, EventKind::Deliver { from, to, msg });
+                    return;
+                }
+                self.on_deliver(from, to, msg);
+            }
             EventKind::Timer {
                 node,
                 incarnation,
                 timer,
             } => {
+                if let Some(thaw) = self.frozen_until(node) {
+                    self.requeue(
+                        thaw,
+                        EventKind::Timer {
+                            node,
+                            incarnation,
+                            timer,
+                        },
+                    );
+                    return;
+                }
                 let Some(sim_node) = self.nodes.get_mut(&node) else {
                     return;
                 };
@@ -455,9 +610,11 @@ impl Simulation {
                     });
                 }
                 self.alive_insert(id);
+                self.checker.node_up(id, now);
                 self.drain_node(id);
             }
             ChurnEventKind::Leave | ChurnEventKind::Death => {
+                self.checker.node_down(id);
                 let sim_node = self.nodes.get_mut(&id).expect("identity known");
                 if let Some(proto) = sim_node.proto.take() {
                     // Fold the unsampled tail of this incarnation's counters.
@@ -519,6 +676,20 @@ impl Simulation {
             series.memory_entries_sum += mem as u64;
             series.memory_entries_max = series.memory_entries_max.max(mem);
         }
+        // Always-on invariant sweep over the live population.
+        let Simulation {
+            checker,
+            nodes,
+            alive,
+            now,
+            ..
+        } = self;
+        checker.on_sample(
+            *now,
+            alive
+                .iter()
+                .filter_map(|id| nodes.get(id).and_then(|n| n.proto.as_ref())),
+        );
     }
 
     /// Drains `node`'s queued outputs straight into the event calendar —
@@ -535,6 +706,7 @@ impl Simulation {
             seq,
             rng,
             opts,
+            net,
             tracked: _,
             discovery,
             app_events,
@@ -549,37 +721,54 @@ impl Simulation {
         };
         let now = *now;
 
-        while let Some(transmit) = proto.poll_transmit() {
-            match transmit.to {
-                Destination::Node(to) => {
-                    let delay = opts.latency.sample(rng);
+        // Routes one unicast through the network model: lost, delivered,
+        // or delivered twice (duplication), each copy independently
+        // delayed. Takes the message by value so the fault-free unicast
+        // path stays clone-free, exactly like the pre-fault engine.
+        let route_to = |queue: &mut BinaryHeap<Event>,
+                        rng: &mut SmallRng,
+                        seq: &mut u64,
+                        to: NodeId,
+                        msg: Message| {
+            match net.route(rng, now, id, to) {
+                Route::Drop => {}
+                Route::Deliver {
+                    delay,
+                    duplicate_delay,
+                } => {
+                    if let Some(dup) = duplicate_delay {
+                        queue.push(Event {
+                            at: now + dup,
+                            seq: *seq,
+                            kind: EventKind::Deliver {
+                                from: id,
+                                to,
+                                msg: msg.clone(),
+                            },
+                        });
+                        *seq += 1;
+                    }
                     queue.push(Event {
                         at: now + delay,
                         seq: *seq,
-                        kind: EventKind::Deliver {
-                            from: id,
-                            to,
-                            msg: transmit.msg,
-                        },
+                        kind: EventKind::Deliver { from: id, to, msg },
                     });
                     *seq += 1;
+                }
+            }
+        };
+
+        while let Some(transmit) = proto.poll_transmit() {
+            match transmit.to {
+                Destination::Node(to) => {
+                    route_to(queue, rng, seq, to, transmit.msg);
                 }
                 Destination::AllNodes => {
                     for &to in alive.iter() {
                         if to == id {
                             continue;
                         }
-                        let delay = opts.latency.sample(rng);
-                        queue.push(Event {
-                            at: now + delay,
-                            seq: *seq,
-                            kind: EventKind::Deliver {
-                                from: id,
-                                to,
-                                msg: transmit.msg.clone(),
-                            },
-                        });
-                        *seq += 1;
+                        route_to(queue, rng, seq, to, transmit.msg.clone());
                     }
                 }
             }
@@ -719,6 +908,7 @@ impl Simulation {
             availability,
             totals,
             alive_at_end: self.alive.len(),
+            invariants: self.checker.summary().clone(),
         }
     }
 }

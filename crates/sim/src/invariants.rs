@@ -1,0 +1,684 @@
+//! Always-on protocol invariant checking.
+//!
+//! The simulator does not just *measure* AVMON — it machine-checks the
+//! paper's core properties while every run progresses, so a regression in
+//! any later PR trips here first. Hooked into the engine's sampling ticks
+//! and run finale, the [`InvariantChecker`] asserts:
+//!
+//! * **Hash consistency / no ghosts** (Theorem 1 soundness): every entry of
+//!   every live node's `PS` and `TS` satisfies the consistency condition
+//!   `H(monitor, target) ≤ K/N`. A lying or buggy node that smuggles an
+//!   unverified relationship into its sets is flagged the very next sample
+//!   — including ghosts surviving a leave + rejoin, since persistent state
+//!   is re-checked every tick of the new incarnation.
+//! * **Structural sanity**: no node monitors itself, appears in its own
+//!   coarse view, or overflows the view capacity `cvs`.
+//! * **Eventual PS/TS agreement** (Theorem 1 liveness): once the network
+//!   has been quiescent (all scenario faults healed) for a grace window,
+//!   every pair of continuously-live nodes satisfying the consistency
+//!   condition must have discovered each other — `t ∈ TS(m)` *and*
+//!   `m ∈ PS(t)`, checked at the end of the run.
+//! * **Monitor-set convergence toward `K`**: the mean discovered
+//!   pinging-set size over long-lived nodes must sit inside a generous band
+//!   around the configured `K` after heal.
+//! * **Graceful discovery degradation**: a node up for many protocol
+//!   periods with an empty pinging set is *recorded* as a warning, never
+//!   silently ignored — under faults the bound degrades visibly in the
+//!   [`InvariantSummary`] instead of vanishing.
+//!
+//! The checker runs in [`InvariantMode::Record`] by default: violations are
+//! collected into the [`crate::SimReport`]. [`InvariantMode::Strict`]
+//! panics at the failing sample, which pins the simulated time of the first
+//! corruption.
+
+use std::collections::{HashMap, HashSet};
+
+use avmon::{Config, DurMs, Node, NodeId, SharedSelector, TimeMs};
+use serde::{Deserialize, Serialize};
+
+/// How invariant violations are handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum InvariantMode {
+    /// No checking at all (for benchmarks measuring raw engine speed).
+    Off,
+    /// Check and record violations in the [`InvariantSummary`] (default).
+    #[default]
+    Record,
+    /// Check and panic on the first violation, pinning its simulated time.
+    Strict,
+}
+
+/// Invariant-checker configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InvariantConfig {
+    /// Violation handling.
+    pub mode: InvariantMode,
+    /// How long both endpoints must be continuously up — *and* the network
+    /// quiescent — before eventual-agreement is owed. `None` derives
+    /// `20 × protocol_period`: enough for the notified-cache aging cadence
+    /// to retransmit NOTIFYs lost during a fault window and for forgetful
+    /// pinging's removals to be re-adopted after heal.
+    pub grace: Option<DurMs>,
+    /// Whether to run the `O(pairs)` eventual-agreement and convergence
+    /// checks at the end of the run.
+    pub check_agreement: bool,
+    /// Accepted band for mean `|PS|` of long-lived nodes, as multiples of
+    /// the configured `K` (checked only when ≥ 8 nodes are eligible).
+    pub convergence_band: (f64, f64),
+    /// A node continuously up (and quiescent) for this many protocol
+    /// periods with an empty pinging set earns a slow-discovery warning.
+    pub slow_discovery_periods: u32,
+}
+
+impl Default for InvariantConfig {
+    fn default() -> Self {
+        InvariantConfig {
+            mode: InvariantMode::default(),
+            grace: None,
+            check_agreement: true,
+            convergence_band: (0.2, 3.0),
+            slow_discovery_periods: 10,
+        }
+    }
+}
+
+impl InvariantConfig {
+    /// A strict configuration (panic on first violation).
+    #[must_use]
+    pub fn strict() -> Self {
+        InvariantConfig {
+            mode: InvariantMode::Strict,
+            ..InvariantConfig::default()
+        }
+    }
+
+    /// Checking disabled.
+    #[must_use]
+    pub fn off() -> Self {
+        InvariantConfig {
+            mode: InvariantMode::Off,
+            ..InvariantConfig::default()
+        }
+    }
+}
+
+/// One violated protocol property.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InvariantViolation {
+    /// A pinging-set entry fails the consistency condition: `claimed` is
+    /// not actually a monitor of `node`.
+    GhostMonitor {
+        /// The node whose `PS` holds the ghost.
+        node: NodeId,
+        /// The failing entry.
+        claimed: NodeId,
+    },
+    /// A target-set entry fails the consistency condition: `node` was
+    /// never selected to monitor `target`.
+    GhostTarget {
+        /// The node whose `TS` holds the ghost.
+        node: NodeId,
+        /// The failing entry.
+        target: NodeId,
+    },
+    /// A node appears in its own `PS`, `TS`, or coarse view.
+    SelfReference {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A coarse view exceeds its configured capacity.
+    ViewOverflow {
+        /// The offending node.
+        node: NodeId,
+        /// Observed view length.
+        len: usize,
+        /// Configured capacity (`cvs`).
+        cap: usize,
+    },
+    /// Theorem 1 liveness failure: a consistency-condition pair, both ends
+    /// continuously live through the whole grace window after quiescence,
+    /// never discovered each other.
+    MissedDiscovery {
+        /// The undiscovered monitor.
+        monitor: NodeId,
+        /// Its target.
+        target: NodeId,
+    },
+    /// Mean discovered `|PS|` over long-lived nodes fell outside the
+    /// accepted band around `K`.
+    MonitorConvergence {
+        /// Observed mean `|PS|`.
+        mean: f64,
+        /// The configured `K`.
+        k: u32,
+        /// Number of nodes the mean was taken over.
+        eligible: usize,
+    },
+}
+
+impl core::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            InvariantViolation::GhostMonitor { node, claimed } => {
+                write!(
+                    f,
+                    "ghost monitor: {claimed} in PS({node}) fails the consistency condition"
+                )
+            }
+            InvariantViolation::GhostTarget { node, target } => {
+                write!(
+                    f,
+                    "ghost target: {target} in TS({node}) fails the consistency condition"
+                )
+            }
+            InvariantViolation::SelfReference { node } => {
+                write!(f, "self reference: {node} appears in its own PS/TS/view")
+            }
+            InvariantViolation::ViewOverflow { node, len, cap } => {
+                write!(f, "view overflow: |CV({node})| = {len} > cvs = {cap}")
+            }
+            InvariantViolation::MissedDiscovery { monitor, target } => {
+                write!(
+                    f,
+                    "missed discovery: live pair ({monitor} monitors {target}) \
+                     never agreed despite a quiescent grace window"
+                )
+            }
+            InvariantViolation::MonitorConvergence { mean, k, eligible } => {
+                write!(
+                    f,
+                    "monitor-set convergence: mean |PS| = {mean:.2} over {eligible} \
+                     long-lived nodes, outside the accepted band around K = {k}"
+                )
+            }
+        }
+    }
+}
+
+/// A violation with the simulated time it was detected at.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordedViolation {
+    /// Simulated detection time.
+    pub at: TimeMs,
+    /// What was violated.
+    pub violation: InvariantViolation,
+}
+
+/// A non-fatal observation: the property degraded but is not provably
+/// broken (discovery bounds are probabilistic, and faults legitimately
+/// stretch them).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InvariantWarning {
+    /// A node has been continuously up and quiescent for longer than the
+    /// configured bound without discovering a single monitor.
+    SlowDiscovery {
+        /// The undiscovered node.
+        node: NodeId,
+        /// How long it has been waiting, in ms.
+        waiting_for: DurMs,
+    },
+    /// A live consistency-condition pair had not mutually agreed by the
+    /// end of the run, but the base network is permanently lossy, so only
+    /// a statistical (not hard) guarantee applies: forgetful pinging may
+    /// legitimately have dropped a target that looked down.
+    SlowAgreement {
+        /// The monitor side of the unagreed pair.
+        monitor: NodeId,
+        /// The target side.
+        target: NodeId,
+    },
+}
+
+/// A warning with its detection time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordedWarning {
+    /// Simulated detection time.
+    pub at: TimeMs,
+    /// The observation.
+    pub warning: InvariantWarning,
+}
+
+/// Everything the checker observed during one run; part of the
+/// [`crate::SimReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct InvariantSummary {
+    /// Whether checking was enabled for the run.
+    pub enabled: bool,
+    /// Individual property checks evaluated (hash checks, set scans, pair
+    /// agreements).
+    pub checks: u64,
+    /// Hard violations (empty ⇔ the run upheld every checked property).
+    pub violations: Vec<RecordedViolation>,
+    /// Soft degradations worth looking at.
+    pub warnings: Vec<RecordedWarning>,
+}
+
+impl InvariantSummary {
+    /// Whether the run passed every hard invariant.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The always-on checker; owned and driven by the simulation engine.
+///
+/// The checker evaluates the consistency condition through its own
+/// [`SharedSelector`] handle, so its hash checks never perturb node
+/// counters, and it consumes no randomness — checking cannot change the
+/// simulated run it observes.
+#[derive(Debug, Default)]
+pub struct InvariantChecker {
+    config: InvariantConfig,
+    selector: Option<SharedSelector>,
+    protocol_period: DurMs,
+    k: u32,
+    view_cap: usize,
+    /// First instant with every scenario fault healed.
+    quiescent_from: TimeMs,
+    /// Whether the base network drops messages for the whole run — if so,
+    /// eventual agreement is owed only statistically (warnings, not
+    /// violations).
+    lossy_base: bool,
+    up_since: HashMap<NodeId, TimeMs>,
+    warned_slow: HashSet<NodeId>,
+    /// Per-sample violations already reported, keyed by
+    /// `(kind, node, other)`: persistent corruption is recorded once per
+    /// incarnation, not once per sampling tick, so long runs don't bloat
+    /// the report while the first-corruption timestamp stays sharp.
+    reported: HashSet<(u8, NodeId, NodeId)>,
+    summary: InvariantSummary,
+}
+
+/// The dedup identity of a per-sample violation (`None` for finalize-time
+/// checks, which run once per run anyway).
+fn dedup_key(violation: &InvariantViolation) -> Option<(u8, NodeId, NodeId)> {
+    match *violation {
+        InvariantViolation::GhostMonitor { node, claimed } => Some((0, node, claimed)),
+        InvariantViolation::GhostTarget { node, target } => Some((1, node, target)),
+        InvariantViolation::SelfReference { node } => Some((2, node, node)),
+        InvariantViolation::ViewOverflow { node, .. } => Some((3, node, node)),
+        InvariantViolation::MissedDiscovery { .. }
+        | InvariantViolation::MonitorConvergence { .. } => None,
+    }
+}
+
+impl InvariantChecker {
+    /// Builds a checker for one run.
+    #[must_use]
+    pub fn new(
+        config: InvariantConfig,
+        selector: SharedSelector,
+        protocol: &Config,
+        quiescent_from: TimeMs,
+        lossy_base: bool,
+    ) -> Self {
+        let enabled = config.mode != InvariantMode::Off;
+        InvariantChecker {
+            config,
+            selector: Some(selector),
+            protocol_period: protocol.protocol_period,
+            k: protocol.k,
+            view_cap: protocol.cvs,
+            quiescent_from,
+            lossy_base,
+            up_since: HashMap::new(),
+            warned_slow: HashSet::new(),
+            reported: HashSet::new(),
+            summary: InvariantSummary {
+                enabled,
+                ..InvariantSummary::default()
+            },
+        }
+    }
+
+    /// Whether any checking happens.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.config.mode != InvariantMode::Off && self.selector.is_some()
+    }
+
+    /// The grace window in effect.
+    #[must_use]
+    pub fn grace(&self) -> DurMs {
+        self.config
+            .grace
+            .unwrap_or(20 * self.protocol_period.max(1))
+    }
+
+    /// Observations so far.
+    #[must_use]
+    pub fn summary(&self) -> &InvariantSummary {
+        &self.summary
+    }
+
+    /// A node came up (birth or rejoin) at `now`.
+    pub fn node_up(&mut self, node: NodeId, now: TimeMs) {
+        self.up_since.insert(node, now);
+        self.warned_slow.remove(&node);
+        // A fresh incarnation gets a fresh dedup slate: corruption that
+        // survives a leave + rejoin is flagged again.
+        self.reported.retain(|&(_, n, _)| n != node);
+    }
+
+    /// A node went down at `now`.
+    pub fn node_down(&mut self, node: NodeId) {
+        self.up_since.remove(&node);
+    }
+
+    /// Per-sample sweep over the live population: hash consistency of every
+    /// `PS`/`TS` entry, structural sanity, slow-discovery warnings.
+    pub fn on_sample<'a>(&mut self, now: TimeMs, nodes: impl Iterator<Item = &'a Node>) {
+        if !self.enabled() {
+            return;
+        }
+        let Some(selector) = self.selector.clone() else {
+            return;
+        };
+        for node in nodes {
+            let id = node.id();
+            let mut self_ref = false;
+            for claimed in node.pinging_set() {
+                self.summary.checks += 1;
+                if claimed == id {
+                    self_ref = true;
+                } else if !selector.is_monitor(claimed, id) {
+                    self.record(now, InvariantViolation::GhostMonitor { node: id, claimed });
+                }
+            }
+            for target in node.target_set() {
+                self.summary.checks += 1;
+                if target == id {
+                    self_ref = true;
+                } else if !selector.is_monitor(id, target) {
+                    self.record(now, InvariantViolation::GhostTarget { node: id, target });
+                }
+            }
+            self.summary.checks += 1;
+            if node.view().contains(id) {
+                self_ref = true;
+            }
+            if self_ref {
+                self.record(now, InvariantViolation::SelfReference { node: id });
+            }
+            let (len, cap) = (node.view().len(), self.view_cap);
+            if len > cap {
+                self.record(now, InvariantViolation::ViewOverflow { node: id, len, cap });
+            }
+
+            // Discovery-bound degradation: warn (once per incarnation) for
+            // nodes waiting far beyond the expected ~1 period.
+            let bound = DurMs::from(self.config.slow_discovery_periods) * self.protocol_period;
+            if node.pinging_set_len() == 0 {
+                if let Some(&since) = self.up_since.get(&id) {
+                    let waiting_from = since.max(self.quiescent_from);
+                    if now >= waiting_from
+                        && now - waiting_from >= bound
+                        && self.warned_slow.insert(id)
+                    {
+                        self.summary.warnings.push(RecordedWarning {
+                            at: now,
+                            warning: InvariantWarning::SlowDiscovery {
+                                node: id,
+                                waiting_for: now - waiting_from,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// End-of-run sweep: eventual PS/TS agreement (Theorem 1 liveness) and
+    /// monitor-set convergence, over nodes continuously live through the
+    /// whole post-quiescence grace window.
+    pub fn finalize<'a>(&mut self, now: TimeMs, nodes: impl Iterator<Item = &'a Node>) {
+        if !self.enabled() || !self.config.check_agreement {
+            return;
+        }
+        let Some(selector) = self.selector.clone() else {
+            return;
+        };
+        let Some(cutoff) = now.checked_sub(self.grace()) else {
+            return; // the run was shorter than one grace window
+        };
+        if self.quiescent_from > cutoff {
+            return; // faults were still active inside the grace window
+        }
+        let mut eligible: Vec<&Node> = nodes
+            .filter(|n| {
+                self.up_since
+                    .get(&n.id())
+                    .is_some_and(|&since| since <= cutoff)
+            })
+            .collect();
+        eligible.sort_by_key(|n| n.id());
+
+        for m in &eligible {
+            for t in &eligible {
+                if m.id() == t.id() {
+                    continue;
+                }
+                self.summary.checks += 1;
+                if !selector.is_monitor(m.id(), t.id()) {
+                    continue;
+                }
+                let monitor_knows = m.target_record(t.id()).is_some();
+                let target_knows = t.pinging_set().any(|p| p == m.id());
+                if !(monitor_knows && target_knows) {
+                    if self.lossy_base {
+                        // A permanently lossy network only owes agreement
+                        // statistically: forgetful pinging may have dropped
+                        // a target that looked down. Degrade visibly.
+                        self.summary.warnings.push(RecordedWarning {
+                            at: now,
+                            warning: InvariantWarning::SlowAgreement {
+                                monitor: m.id(),
+                                target: t.id(),
+                            },
+                        });
+                    } else {
+                        self.record(
+                            now,
+                            InvariantViolation::MissedDiscovery {
+                                monitor: m.id(),
+                                target: t.id(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        if eligible.len() >= 8 {
+            self.summary.checks += 1;
+            let mean = eligible
+                .iter()
+                .map(|n| n.pinging_set_len() as f64)
+                .sum::<f64>()
+                / eligible.len() as f64;
+            let (lo, hi) = self.config.convergence_band;
+            let k = f64::from(self.k);
+            if mean < lo * k || mean > hi * k {
+                self.record(
+                    now,
+                    InvariantViolation::MonitorConvergence {
+                        mean,
+                        k: self.k,
+                        eligible: eligible.len(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn record(&mut self, at: TimeMs, violation: InvariantViolation) {
+        if self.config.mode == InvariantMode::Strict {
+            panic!("invariant violated at t={at}ms: {violation}");
+        }
+        if let Some(key) = dedup_key(&violation) {
+            if !self.reported.insert(key) {
+                return; // already on record for this incarnation
+            }
+        }
+        self.summary
+            .violations
+            .push(RecordedViolation { at, violation });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avmon::{HashSelector, HasherKind, JoinKind};
+
+    fn checker(mode: InvariantMode) -> (InvariantChecker, Config) {
+        let config = Config::builder(100).build().unwrap();
+        let selector = HashSelector::from_config_with_kind(&config, HasherKind::Fast64);
+        let cfg = InvariantConfig {
+            mode,
+            ..InvariantConfig::default()
+        };
+        (
+            InvariantChecker::new(cfg, selector, &config, 0, false),
+            config,
+        )
+    }
+
+    fn live_node(config: &Config, index: u32) -> Node {
+        let selector = HashSelector::from_config_with_kind(config, HasherKind::Fast64);
+        let mut node = Node::new(NodeId::from_index(index), config.clone(), selector, 7);
+        node.start(0, JoinKind::Fresh, None);
+        while node.poll_transmit().is_some() {}
+        while node.poll_timer().is_some() {}
+        while node.poll_event().is_some() {}
+        node
+    }
+
+    #[test]
+    fn clean_node_passes_sampling() {
+        let (mut checker, config) = checker(InvariantMode::Strict);
+        let node = live_node(&config, 1);
+        checker.node_up(node.id(), 0);
+        checker.on_sample(1000, std::iter::once(&node));
+        assert!(checker.summary().passed());
+        assert!(checker.summary().checks > 0);
+    }
+
+    #[test]
+    fn ghost_ps_entry_is_flagged() {
+        let (mut checker, config) = checker(InvariantMode::Record);
+        let mut node = live_node(&config, 1);
+        // Find an identity that is NOT a monitor of node 1 and smuggle it
+        // into the persistent pinging set, as a corrupted store would.
+        let selector = HashSelector::from_config_with_kind(&config, HasherKind::Fast64);
+        let ghost = (100..)
+            .map(NodeId::from_index)
+            .find(|&g| !selector.is_monitor(g, node.id()))
+            .unwrap();
+        let mut persistent = node.snapshot_persistent();
+        persistent.ps.push(ghost);
+        node.restore_persistent(persistent);
+
+        checker.node_up(node.id(), 0);
+        checker.on_sample(1000, std::iter::once(&node));
+        assert!(!checker.summary().passed());
+        assert!(matches!(
+            checker.summary().violations[0].violation,
+            InvariantViolation::GhostMonitor { claimed, .. } if claimed == ghost
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violated")]
+    fn strict_mode_panics_on_ghost() {
+        let (mut checker, config) = checker(InvariantMode::Strict);
+        let mut node = live_node(&config, 1);
+        let selector = HashSelector::from_config_with_kind(&config, HasherKind::Fast64);
+        let ghost = (100..)
+            .map(NodeId::from_index)
+            .find(|&g| !selector.is_monitor(g, node.id()))
+            .unwrap();
+        let mut persistent = node.snapshot_persistent();
+        persistent.ps.push(ghost);
+        node.restore_persistent(persistent);
+        checker.on_sample(1000, std::iter::once(&node));
+    }
+
+    #[test]
+    fn off_mode_checks_nothing() {
+        let (mut checker, config) = checker(InvariantMode::Off);
+        let node = live_node(&config, 1);
+        checker.on_sample(1000, std::iter::once(&node));
+        assert_eq!(checker.summary().checks, 0);
+        assert!(!checker.summary().enabled);
+    }
+
+    #[test]
+    fn finalize_skips_runs_inside_grace_or_fault_window() {
+        let (mut checker, config) = checker(InvariantMode::Strict);
+        let node = live_node(&config, 1);
+        checker.node_up(node.id(), 0);
+        // now < grace: nothing owed yet.
+        checker.finalize(checker.grace() / 2, std::iter::once(&node));
+        assert!(checker.summary().passed());
+        // Fault active until after the cutoff: nothing owed either.
+        checker.quiescent_from = TimeMs::MAX;
+        checker.finalize(TimeMs::MAX - 1, std::iter::once(&node));
+        assert!(checker.summary().passed());
+    }
+
+    #[test]
+    fn missed_discovery_flagged_for_undiscovered_consistent_pair() {
+        let (mut checker, config) = checker(InvariantMode::Record);
+        let selector = HashSelector::from_config_with_kind(&config, HasherKind::Fast64);
+        // Find a pair satisfying the consistency condition.
+        let target = NodeId::from_index(1);
+        let monitor = (2..)
+            .map(NodeId::from_index)
+            .find(|&m| selector.is_monitor(m, target))
+            .unwrap();
+        // Build both nodes live since t=0 with empty PS/TS — they never
+        // discovered each other.
+        let a = live_node(&config, 1);
+        let mut b = Node::new(monitor, config.clone(), selector, 8);
+        b.start(0, JoinKind::Fresh, None);
+        while b.poll_transmit().is_some() {}
+        while b.poll_timer().is_some() {}
+        checker.node_up(a.id(), 0);
+        checker.node_up(b.id(), 0);
+        let end = checker.grace() * 3;
+        checker.finalize(end, [&a, &b].into_iter());
+        assert!(checker.summary().violations.iter().any(
+            |v| matches!(v.violation, InvariantViolation::MissedDiscovery { monitor: m, target: t }
+                if m == monitor && t == target)
+        ));
+    }
+
+    #[test]
+    fn violations_serialize_round_trip() {
+        let summary = InvariantSummary {
+            enabled: true,
+            checks: 7,
+            violations: vec![RecordedViolation {
+                at: 42,
+                violation: InvariantViolation::MonitorConvergence {
+                    mean: 0.1,
+                    k: 7,
+                    eligible: 20,
+                },
+            }],
+            warnings: vec![RecordedWarning {
+                at: 43,
+                warning: InvariantWarning::SlowDiscovery {
+                    node: NodeId::from_index(3),
+                    waiting_for: 600_000,
+                },
+            }],
+        };
+        let json = serde_json::to_string(&summary).unwrap();
+        let back: InvariantSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(summary, back);
+        assert!(!back.passed());
+    }
+}

@@ -14,6 +14,8 @@ use std::collections::BTreeMap;
 use avmon::{DurMs, NodeId, NodeStats, TimeMs};
 use serde::{Deserialize, Serialize};
 
+use crate::invariants::InvariantSummary;
+
 /// Running per-node accumulators, updated once per sampling interval.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct NodeSeries {
@@ -92,6 +94,9 @@ pub struct SimReport {
     pub totals: NodeStats,
     /// Final count of alive nodes.
     pub alive_at_end: usize,
+    /// What the always-on protocol invariant checker observed
+    /// (`invariants.passed()` ⇔ no hard violation all run).
+    pub invariants: InvariantSummary,
 }
 
 impl SimReport {
@@ -291,6 +296,7 @@ mod tests {
             availability: vec![],
             totals: NodeStats::default(),
             alive_at_end: 1,
+            invariants: InvariantSummary::default(),
         };
         // 240 checks over 2 minutes = 2 checks/second.
         assert_eq!(report.comps_per_second(), vec![2.0]);

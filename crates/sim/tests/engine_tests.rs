@@ -180,6 +180,65 @@ fn report_and_history_requests_flow_through_sim() {
     }));
 }
 
+/// Regression: `collect_app_events` buffers when on, and drops (not
+/// leaks) when off — a long run with the flag off must not accumulate an
+/// unbounded event buffer.
+#[test]
+fn app_events_buffered_when_on_dropped_when_off() {
+    let n = 80;
+    let trace = || stat(n, 60 * MINUTE, 0.1, 17);
+
+    // On: a busy hour of protocol activity surfaces plenty of events.
+    let mut opts = SimOptions::new(small_config(n)).seed(17);
+    opts.collect_app_events = true;
+    let mut sim = Simulation::new(trace(), opts);
+    sim.run_until(30 * MINUTE);
+    let first_half = sim.take_app_events();
+    assert!(
+        !first_half.is_empty(),
+        "discovery chatter must be buffered when collection is on"
+    );
+    // take_app_events drains: an immediate second take is empty.
+    assert!(sim.take_app_events().is_empty());
+    // The control group joins at the end of the warm-up hour; running to
+    // the horizon produces fresh discovery events after the drain.
+    let _ = sim.run();
+    assert!(
+        !sim.take_app_events().is_empty(),
+        "buffering continues after a drain"
+    );
+
+    // Off: the same long run buffers nothing at any point.
+    let mut opts = SimOptions::new(small_config(n)).seed(17);
+    opts.collect_app_events = false;
+    let mut sim = Simulation::new(trace(), opts);
+    sim.run_until(30 * MINUTE);
+    assert!(
+        sim.take_app_events().is_empty(),
+        "events must be dropped, not accumulated, when collection is off"
+    );
+    let _ = sim.run();
+    assert!(
+        sim.take_app_events().is_empty(),
+        "no leak across the whole run"
+    );
+}
+
+/// The always-on invariant checker's summary rides along in every report
+/// and passes on a plain healthy run.
+#[test]
+fn default_run_reports_clean_invariants() {
+    let trace = stat(60, 40 * MINUTE, 0.1, 19);
+    let report = Simulation::new(trace, SimOptions::new(small_config(60)).seed(19)).run();
+    assert!(report.invariants.enabled);
+    assert!(report.invariants.checks > 0);
+    assert!(
+        report.invariants.passed(),
+        "{:?}",
+        report.invariants.violations
+    );
+}
+
 #[test]
 fn alive_count_tracks_trace() {
     let trace = synthetic(SynthParams::synth(100).duration(30 * MINUTE).seed(3));

@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:<22} {:>5} {:>5} {:>5} {:>8} {:>10.3}",
             id.to_string(),
-            s.view_len,
+            s.view.len(),
             s.ps.len(),
             s.ts.len(),
             s.stats.monitor_pings_sent,

@@ -1,0 +1,285 @@
+//! Deterministic fault-injection scenarios: AVMON's guarantees under the
+//! regimes the paper's reliable network (§3) never exercises — message
+//! loss, duplication, reordering, healed partitions, and node freezes —
+//! with the always-on invariant checker machine-verifying Theorem 1 along
+//! the way. The expensive random-scenario sweep is opt-in via the
+//! `AVMON_FUZZ_SWEEP` environment variable (see CI).
+
+use avmon::{Config, NodeId, MINUTE};
+use avmon_churn::{stat, synthetic, SynthParams, Trace};
+use avmon_sim::{
+    InvariantConfig, LatencyModel, LinkFaults, NetworkModel, Scenario, SimOptions, SimReport,
+    Simulation,
+};
+
+/// Protocol config for fault scenarios: PR2 (§5.4) on. The paper's
+/// re-advertisement optimization is exactly the recovery path for a node
+/// whose view representation was shredded by loss-driven evictions — with
+/// it, post-heal re-discovery fits comfortably inside the invariant
+/// checker's grace window.
+fn fault_config(n: usize) -> Config {
+    Config::builder(n).pr2(true).build().unwrap()
+}
+
+fn split_population(trace: &Trace) -> (Vec<NodeId>, Vec<NodeId>) {
+    let ids: Vec<NodeId> = trace.identities().into_iter().collect();
+    let island = ids[..ids.len() / 5].to_vec();
+    let mainland = ids[ids.len() / 5..].to_vec();
+    (island, mainland)
+}
+
+fn assert_clean(report: &SimReport) {
+    assert!(report.invariants.enabled);
+    assert!(report.invariants.checks > 0, "checker never ran");
+    assert!(
+        report.invariants.passed(),
+        "invariant violations: {:?}",
+        report.invariants.violations
+    );
+}
+
+/// A healed symmetric partition: discovery suffers while the island is cut
+/// off, then converges again — and no invariant is ever violated.
+#[test]
+fn partition_heals_and_overlay_reconverges() {
+    let n = 80;
+    let trace = stat(n, 60 * MINUTE, 0.1, 11);
+    let (island, mainland) = split_population(&trace);
+    let scenario = Scenario::builder("partition-heal")
+        .partition(65 * MINUTE, 15 * MINUTE, island, mainland)
+        .build()
+        .unwrap();
+    let config = fault_config(n);
+    let report = Simulation::new(
+        trace.clone(),
+        SimOptions::new(config.clone())
+            .seed(11)
+            .scenario(scenario)
+            .invariants(InvariantConfig::strict()),
+    )
+    .run();
+    assert_clean(&report);
+
+    // The overlay still converges: most control nodes find a monitor.
+    let latencies = report.discovery_latencies(1);
+    assert!(
+        latencies.len() * 10 >= report.discovery.len() * 8,
+        "{} of {} control nodes discovered",
+        latencies.len(),
+        report.discovery.len()
+    );
+
+    // Relative to the same fault-free run, the partition slowed things
+    // down (more undiscovered-or-late nodes, never corrupted state).
+    let baseline = Simulation::new(
+        trace,
+        SimOptions::new(config)
+            .seed(11)
+            .invariants(InvariantConfig::strict()),
+    )
+    .run();
+    assert_clean(&baseline);
+    let worst = |r: &SimReport| {
+        r.discovery_latencies(1).iter().copied().max().unwrap_or(0)
+            + r.undiscovered(1) as u64 * 60 * MINUTE
+    };
+    assert!(
+        worst(&report) >= worst(&baseline),
+        "partition cannot speed discovery up: {} vs {}",
+        worst(&report),
+        worst(&baseline)
+    );
+}
+
+/// An asymmetric partition (island can send, never receive) also heals
+/// cleanly: one-way reachability must not corrupt PS/TS state.
+#[test]
+fn asymmetric_partition_keeps_invariants() {
+    let n = 60;
+    let trace = stat(n, 50 * MINUTE, 0.1, 7);
+    let (island, mainland) = split_population(&trace);
+    let scenario = Scenario::builder("one-way")
+        .one_way_partition(62 * MINUTE, 12 * MINUTE, mainland, island)
+        .build()
+        .unwrap();
+    let report = Simulation::new(
+        trace,
+        SimOptions::new(fault_config(n))
+            .seed(7)
+            .scenario(scenario)
+            .invariants(InvariantConfig::strict()),
+    )
+    .run();
+    assert_clean(&report);
+}
+
+/// Uniform 15% message loss plus duplication plus reordering jitter: the
+/// protocol is request/response- and idempotency-safe, so correctness
+/// holds; agreement under permanent loss is reported statistically.
+#[test]
+fn lossy_duplicating_reordering_network_stays_consistent() {
+    let n = 80;
+    let trace = stat(n, 60 * MINUTE, 0.1, 13);
+    let mut opts = SimOptions::new(fault_config(n))
+        .seed(13)
+        .invariants(InvariantConfig::strict());
+    opts.network = NetworkModel {
+        latency: LatencyModel::default(),
+        faults: LinkFaults {
+            loss: 0.15,
+            duplicate: 0.10,
+            jitter: 400,
+        },
+    };
+    let report = Simulation::new(trace, opts).run();
+    assert_clean(&report);
+    // Loss slows but must not stop discovery.
+    assert!(
+        !report.discovery_latencies(1).is_empty(),
+        "nobody discovered a monitor under 15% loss"
+    );
+}
+
+/// A mid-run loss burst (congestion weather) heals without corruption and
+/// without stopping the control group's discovery.
+#[test]
+fn loss_burst_heals() {
+    let n = 60;
+    let trace = stat(n, 60 * MINUTE, 0.1, 5);
+    let scenario = Scenario::builder("burst")
+        .loss_burst(61 * MINUTE, 8 * MINUTE, 0.6)
+        .build()
+        .unwrap();
+    let report = Simulation::new(
+        trace,
+        SimOptions::new(fault_config(n))
+            .seed(5)
+            .scenario(scenario)
+            .invariants(InvariantConfig::strict()),
+    )
+    .run();
+    assert_clean(&report);
+    assert!(report.discovery_latencies(1).len() >= 4);
+}
+
+/// A frozen node (GC pause / overload) processes nothing during the
+/// window, then drains its stalled inputs in order — it must come back
+/// with consistent state, not ghosts.
+#[test]
+fn frozen_node_thaws_consistently() {
+    let n = 60;
+    let trace = stat(n, 60 * MINUTE, 0.1, 9);
+    let victim = *trace.control_group.first().unwrap();
+    let scenario = Scenario::builder("freeze")
+        .freeze(70 * MINUTE, 6 * MINUTE, victim)
+        .build()
+        .unwrap();
+    let mut sim = Simulation::new(
+        trace,
+        SimOptions::new(fault_config(n))
+            .seed(9)
+            .scenario(scenario)
+            .invariants(InvariantConfig::strict()),
+    );
+    let report = sim.run();
+    assert_clean(&report);
+    // The victim stayed in the system throughout (freezes are not churn).
+    assert!(sim.alive().any(|id| id == victim));
+    assert!(sim.node(victim).is_some());
+}
+
+/// Under churn *and* faults together, the checker still passes: fault
+/// windows and down-time windows compose.
+#[test]
+fn churn_plus_faults_compose() {
+    let n = 80;
+    let trace = synthetic(SynthParams::synth(n).duration(50 * MINUTE).seed(21));
+    let ids: Vec<NodeId> = trace.identities().into_iter().collect();
+    let scenario = Scenario::builder("churn-mix")
+        .degrade(
+            65 * MINUTE,
+            10 * MINUTE,
+            ids[..10].to_vec(),
+            ids[10..].to_vec(),
+            0.5,
+        )
+        .loss_burst(80 * MINUTE, 5 * MINUTE, 0.3)
+        .build()
+        .unwrap();
+    let report = Simulation::new(
+        trace,
+        SimOptions::new(fault_config(n))
+            .seed(21)
+            .scenario(scenario)
+            .invariants(InvariantConfig::strict()),
+    )
+    .run();
+    assert_clean(&report);
+}
+
+/// Invalid options are rejected at construction, not mid-run: inverted
+/// latency ranges, bad probabilities, malformed scenarios.
+#[test]
+fn invalid_options_rejected_at_construction() {
+    let trace = stat(20, 10 * MINUTE, 0.1, 1);
+    let config = Config::builder(20).build().unwrap();
+
+    let mut opts = SimOptions::new(config.clone());
+    opts.network.latency = LatencyModel::Uniform { min: 50, max: 10 };
+    assert!(Simulation::try_new(trace.clone(), opts).is_err());
+
+    let mut opts = SimOptions::new(config.clone());
+    opts.network.faults.loss = 2.0;
+    assert!(Simulation::try_new(trace.clone(), opts).is_err());
+
+    let mut opts = SimOptions::new(config);
+    opts.scenario = Some(Scenario {
+        name: "raw-unvalidated".into(),
+        events: vec![avmon_sim::ScenarioEvent {
+            at: 0,
+            fault: avmon_sim::Fault::LossBurst {
+                loss: 7.0,
+                duration: MINUTE,
+            },
+        }],
+    });
+    assert!(Simulation::try_new(trace, opts).is_err());
+}
+
+/// Seed-driven random-scenario sweep (fuzz-style). Expensive, so opt-in:
+/// set `AVMON_FUZZ_SWEEP=1` (CI runs it in a dedicated job). Every failing
+/// seed is replayable: the scenario embeds it, and this test prints it.
+#[test]
+fn random_scenario_fuzz_sweep() {
+    if std::env::var("AVMON_FUZZ_SWEEP").is_err() {
+        eprintln!("skipping fuzz sweep (set AVMON_FUZZ_SWEEP=1 to run)");
+        return;
+    }
+    let n = 60;
+    for seed in 0..24u64 {
+        let trace = stat(n, 60 * MINUTE, 0.1, seed);
+        let ids: Vec<NodeId> = trace.identities().into_iter().collect();
+        // Faults live inside the measurement window, leaving the tail for
+        // the post-heal grace period.
+        let scenario = Scenario::random(seed, &ids, 61 * MINUTE, 90 * MINUTE);
+        let opts = || {
+            SimOptions::new(fault_config(n))
+                .seed(seed)
+                .scenario(scenario.clone())
+        };
+        let report = Simulation::new(trace.clone(), opts()).run();
+        assert!(
+            report.invariants.passed(),
+            "seed {seed} (scenario {:?}) violated invariants: {:?}",
+            scenario,
+            report.invariants.violations
+        );
+        // And every faulty run is replayable byte-for-byte.
+        let replay = Simulation::new(trace, opts()).run();
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&replay).unwrap(),
+            "seed {seed} not reproducible"
+        );
+    }
+}
