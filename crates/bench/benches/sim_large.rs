@@ -1,0 +1,200 @@
+//! Large-N checker benchmarks: the cost of one invariant-checker sampling
+//! sweep over a steady-state 5 000-node population, full-rescan vs
+//! incremental, plus an end-to-end N = 10k smoke run.
+//!
+//! Besides the criterion output, the binary records its measurements in
+//! `BENCH_sim_large.json` at the workspace root — the large-N perf
+//! trajectory CI tracks across PRs.
+
+use std::time::Instant;
+
+use avmon::{
+    Config, HashSelector, HasherKind, JoinKind, MonitorSelector, Node, NodeId, PersistentState,
+    TargetRecord, MINUTE,
+};
+use avmon_churn::{synthetic, SynthParams};
+use avmon_sim::{CheckStrategy, InvariantChecker, InvariantConfig, SimOptions, Simulation};
+use criterion::{black_box, criterion_group, Criterion};
+
+const BENCH_N: usize = 5_000;
+
+/// Builds a steady-state population of `n` nodes whose `PS`/`TS` hold
+/// exactly the consistency-condition pairs — the state a converged overlay
+/// reaches, injected directly so the bench isolates checker cost from
+/// protocol execution.
+fn steady_population(n: usize) -> (Vec<Node>, Config) {
+    let config = Config::builder(n).build().expect("valid config");
+    let selector = HashSelector::from_config_with_kind(&config, HasherKind::Fast64);
+    let probe = HashSelector::from_config(&config);
+    let ids: Vec<NodeId> = (0..n as u32).map(NodeId::from_index).collect();
+    // All consistency-condition pairs, one O(N²) hashing pass at setup.
+    let mut ps: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut ts: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (mi, &monitor) in ids.iter().enumerate() {
+        for (ti, &target) in ids.iter().enumerate() {
+            if mi != ti && probe.is_monitor(monitor, target) {
+                ps[ti].push(monitor);
+                ts[mi].push(target);
+            }
+        }
+    }
+    let nodes: Vec<Node> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| {
+            let mut node = Node::new(id, config.clone(), selector.clone(), 7);
+            node.start(0, JoinKind::Fresh, None);
+            while node.poll_transmit().is_some() {}
+            while node.poll_timer().is_some() {}
+            while node.poll_event().is_some() {}
+            let targets = ts[i]
+                .iter()
+                .map(|&t| {
+                    let mut rec = TargetRecord {
+                        discovered_at: 0,
+                        pings_sent: 0,
+                        pongs_received: 0,
+                        last_pong: None,
+                        session_start: None,
+                        last_session: 0,
+                        unresponsive_since: None,
+                        history: avmon::HistoryStore::default(),
+                    };
+                    rec.pings_sent = 10;
+                    rec.pongs_received = 9;
+                    (t, rec)
+                })
+                .collect();
+            node.restore_persistent(PersistentState {
+                ps: ps[i].clone(),
+                targets,
+            });
+            node
+        })
+        .collect();
+    (nodes, config)
+}
+
+fn checker_for(strategy: CheckStrategy, config: &Config) -> InvariantChecker {
+    let selector = HashSelector::from_config_with_kind(config, HasherKind::Fast64);
+    InvariantChecker::new(
+        InvariantConfig::default().strategy(strategy),
+        selector,
+        config,
+        0,
+        false,
+    )
+}
+
+/// Wall-clock per checker sampling sweep over the population, measured
+/// with a plain `Instant` loop (deterministic iteration count — the
+/// number the perf trajectory records).
+fn measure_per_sample(strategy: CheckStrategy, nodes: &[Node], config: &Config) -> f64 {
+    let mut checker = checker_for(strategy, config);
+    for node in nodes {
+        checker.node_up(node.id(), 0);
+    }
+    // Prime: the first sweep verifies everything under both strategies.
+    checker.on_sample(MINUTE, nodes.iter());
+    let iters: u64 = match strategy {
+        CheckStrategy::FullRescan => 20,
+        _ => 200,
+    };
+    let start = Instant::now();
+    for i in 0..iters {
+        checker.on_sample(MINUTE * (2 + i), nodes.iter());
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        checker.summary().passed(),
+        "bench population violated invariants: {:?}",
+        checker.summary().violations
+    );
+    elapsed.as_nanos() as f64 / iters as f64
+}
+
+fn checker_per_sample(c: &mut Criterion) {
+    let (nodes, config) = steady_population(BENCH_N);
+    let mut group = c.benchmark_group(format!("checker_per_sample_n{BENCH_N}"));
+    group.sample_size(10);
+    for (label, strategy) in [
+        ("full_rescan", CheckStrategy::FullRescan),
+        ("incremental", CheckStrategy::Incremental),
+    ] {
+        group.bench_function(label, |b| {
+            let mut checker = checker_for(strategy, &config);
+            for node in &nodes {
+                checker.node_up(node.id(), 0);
+            }
+            checker.on_sample(MINUTE, nodes.iter());
+            let mut tick = 1u64;
+            b.iter(|| {
+                tick += 1;
+                checker.on_sample(MINUTE * tick, black_box(nodes.iter()));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end N = 10k smoke: the CI-sized large-N run (short measurement
+/// window, checker in Record mode).
+fn smoke_10k_wall_ms() -> (f64, u64) {
+    let n = 10_000;
+    let params = SynthParams {
+        n,
+        churn_per_hour: 0.0,
+        birth_death_per_day: 0.0,
+        warmup: 10 * MINUTE,
+        duration: 5 * MINUTE,
+        control_fraction: 0.01,
+        seed: 7,
+    };
+    let trace = synthetic(params);
+    let config = Config::builder(n).build().expect("valid config");
+    let opts = SimOptions::new(config)
+        .seed(7)
+        .invariants(InvariantConfig::default().agreement_pair_cap(20_000_000));
+    let start = Instant::now();
+    let mut sim = Simulation::new(trace, opts);
+    let horizon = sim.trace().horizon;
+    sim.run_until(horizon);
+    let report = sim.into_report();
+    let wall = start.elapsed().as_secs_f64() * 1_000.0;
+    assert!(report.invariants.passed(), "10k smoke violated invariants");
+    (wall, report.invariants.checks)
+}
+
+/// Records the perf trajectory to `BENCH_sim_large.json` at the workspace
+/// root.
+fn record_trajectory() {
+    let (nodes, config) = steady_population(BENCH_N);
+    let full_ns = measure_per_sample(CheckStrategy::FullRescan, &nodes, &config);
+    let incremental_ns = measure_per_sample(CheckStrategy::Incremental, &nodes, &config);
+    let speedup = full_ns / incremental_ns.max(1.0);
+    let (smoke_ms, smoke_checks) = smoke_10k_wall_ms();
+    let json = format!(
+        "{{\n  \"bench\": \"sim_large\",\n  \"checker_per_sample\": {{\n    \"n\": {BENCH_N},\n    \"full_rescan_ns\": {full_ns:.0},\n    \"incremental_ns\": {incremental_ns:.0},\n    \"speedup\": {speedup:.1}\n  }},\n  \"smoke_end_to_end\": {{\n    \"n\": 10000,\n    \"simulated_minutes\": 15,\n    \"wall_ms\": {smoke_ms:.0},\n    \"checker_checks\": {smoke_checks}\n  }}\n}}\n"
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sim_large.json");
+    std::fs::write(&path, &json).expect("write BENCH_sim_large.json");
+    println!(
+        "perf trajectory ({}x per-sample speedup):\n{json}",
+        speedup as u64
+    );
+    assert!(
+        speedup >= 10.0,
+        "incremental checking must be >=10x faster per sample at steady state, got {speedup:.1}x"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = checker_per_sample
+}
+
+fn main() {
+    record_trajectory();
+    benches();
+}

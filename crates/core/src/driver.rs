@@ -199,6 +199,11 @@ pub struct NodeSnapshot {
     pub view: Vec<NodeId>,
     /// Memory entries `|CV|+|PS|+|TS|`.
     pub memory_entries: usize,
+    /// The node's combined change epoch ([`Node::change_epoch`]) at capture
+    /// time: equal epochs across two snapshots of the same incarnation
+    /// guarantee identical `ps`/`ts`/`view` membership, so observers can
+    /// skip diffing (or re-verifying) unchanged nodes in O(1).
+    pub change_epoch: u64,
     /// When this incarnation started (basis for uptime / discovery-delay
     /// observations).
     pub started_at: TimeMs,
@@ -220,6 +225,7 @@ impl NodeSnapshot {
             ts: node.target_set().collect(),
             view: node.view().iter().collect(),
             memory_entries: node.memory_entries(),
+            change_epoch: node.change_epoch(),
             started_at: node.started_at(),
             stats: *node.stats(),
             estimates: node

@@ -78,6 +78,16 @@ impl NodeId {
         [self.ip[0], self.ip[1], self.ip[2], self.ip[3], p[0], p[1]]
     }
 
+    /// The identity packed into the low 48 bits of a `u64` (big-endian
+    /// byte order, so distinct identities map to distinct keys). Used as a
+    /// compact cache key, e.g. by [`avmon_hash::PointMemo`]-backed
+    /// consistency-condition caches.
+    #[must_use]
+    pub fn to_u64(self) -> u64 {
+        let b = self.to_bytes();
+        u64::from_be_bytes([0, 0, b[0], b[1], b[2], b[3], b[4], b[5]])
+    }
+
     /// Decodes a 6-byte wire encoding.
     #[must_use]
     pub fn from_bytes(bytes: [u8; 6]) -> Self {

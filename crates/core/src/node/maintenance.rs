@@ -197,6 +197,7 @@ impl Node {
             .filter(|&t| t != self.id && !self.targets.contains_key(&t))
             .collect();
         for target in fakes {
+            self.sets_epoch += 1;
             self.targets.insert(
                 target,
                 super::TargetRecord::new(now, self.history_template.clone()),
@@ -237,6 +238,7 @@ impl Node {
         if target == self.id && monitor != self.id && !self.ps.contains(&monitor) {
             // Someone claims `monitor` should monitor me: verify, then admit.
             if self.check(monitor, target) {
+                self.sets_epoch += 1;
                 self.ps.insert(monitor);
                 self.emit(AppEvent::MonitorDiscovered { monitor });
             }
@@ -244,6 +246,7 @@ impl Node {
         if monitor == self.id && target != self.id && !self.targets.contains_key(&target) {
             // Someone claims I should monitor `target`: verify, then adopt.
             if self.check(monitor, target) {
+                self.sets_epoch += 1;
                 self.targets.insert(
                     target,
                     super::TargetRecord::new(now, self.history_template.clone()),
@@ -261,6 +264,7 @@ impl Node {
         }
         // Do I monitor the joiner?
         if !self.targets.contains_key(&origin) && self.check(self.id, origin) {
+            self.sets_epoch += 1;
             self.targets.insert(
                 origin,
                 super::TargetRecord::new(now, self.history_template.clone()),
@@ -277,6 +281,7 @@ impl Node {
         }
         // Does the joiner monitor me?
         if !self.ps.contains(&origin) && self.check(origin, self.id) {
+            self.sets_epoch += 1;
             self.ps.insert(origin);
             self.emit(AppEvent::MonitorDiscovered { monitor: origin });
             self.stats.notifies_sent += 1;

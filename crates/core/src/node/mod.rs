@@ -321,6 +321,12 @@ pub struct Node {
     /// that case (documented deviation, like the empty-view rejoin).
     last_view_probe_rx: Option<TimeMs>,
     pr2_last_fired: Option<TimeMs>,
+    /// Monotone membership version of `PS` ∪ `TS`: bumped whenever either
+    /// set's membership changes (never for per-target counter updates).
+    /// Together with [`CoarseView::version`] this gives observers a cheap
+    /// "anything to re-verify?" signal — the basis of the simulator's
+    /// incremental invariant checking.
+    sets_epoch: u64,
     stats: NodeStats,
     /// Output queues drained by the poll interface. Reused across inputs:
     /// `pop_front` never shrinks capacity, so the steady state allocates
@@ -355,6 +361,7 @@ impl Node {
             last_monitor_ping_rx: None,
             last_view_probe_rx: None,
             pr2_last_fired: None,
+            sets_epoch: 0,
             stats: NodeStats::default(),
             outbox: VecDeque::new(),
             timerbox: VecDeque::new(),
@@ -423,6 +430,29 @@ impl Node {
     #[must_use]
     pub fn target_record(&self, target: NodeId) -> Option<&TargetRecord> {
         self.targets.get(&target)
+    }
+
+    /// Iterates over every monitored target with its monitoring state, in
+    /// identity order. Lets observers aggregate estimates in one pass
+    /// instead of probing [`Node::target_record`] per candidate.
+    pub fn target_records(&self) -> impl Iterator<Item = (NodeId, &TargetRecord)> {
+        self.targets.iter().map(|(&id, rec)| (id, rec))
+    }
+
+    /// The `PS`/`TS` membership version (see the field docs): equal values
+    /// guarantee both sets are membership-identical.
+    #[must_use]
+    pub fn sets_epoch(&self) -> u64 {
+        self.sets_epoch
+    }
+
+    /// A combined change epoch over everything invariant checkers and
+    /// snapshot consumers observe: `PS`/`TS` membership plus coarse-view
+    /// membership. Both components are monotone, so the sum is equal
+    /// between two observations iff nothing changed in between.
+    #[must_use]
+    pub fn change_epoch(&self) -> u64 {
+        self.sets_epoch + self.view.version()
     }
 
     /// The §5.4 availability estimate for `target` (fraction of monitoring
@@ -503,6 +533,7 @@ impl Node {
     /// (current session start, unresponsive streak) are reset: while this
     /// node was away it observed nothing.
     pub fn restore_persistent(&mut self, state: PersistentState) {
+        self.sets_epoch += 1;
         self.ps = state.ps.into_iter().collect();
         self.targets = state
             .targets

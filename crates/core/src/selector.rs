@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use std::fmt::Debug;
 use std::sync::Arc;
 
-use avmon_hash::{Fast64PairHasher, HasherKind, PairHasher, Threshold};
+use avmon_hash::{Fast64PairHasher, HashPoint, HasherKind, PairHasher, Threshold};
 
 use crate::{Config, NodeId};
 
@@ -30,6 +30,24 @@ pub trait MonitorSelector: Debug + Send + Sync {
 
     /// A short stable identifier for logs and experiment output.
     fn name(&self) -> &'static str;
+
+    /// The raw hash point behind [`MonitorSelector::is_monitor`], when the
+    /// scheme is a pure pair hash. `Some(point)` promises that
+    /// `is_monitor(m, t) == selection_threshold().unwrap().accepts(point)`
+    /// forever — the property that lets checkers memoize points in an
+    /// [`avmon_hash::PointMemo`] instead of re-hashing every sample.
+    /// Membership-dependent schemes (e.g. [`DhtRingSelector`]) must return
+    /// `None`: their answers are not cacheable.
+    fn hash_point(&self, monitor: NodeId, target: NodeId) -> Option<HashPoint> {
+        let _ = (monitor, target);
+        None
+    }
+
+    /// The acceptance threshold paired with [`MonitorSelector::hash_point`];
+    /// `None` whenever `hash_point` is `None`.
+    fn selection_threshold(&self) -> Option<Threshold> {
+        None
+    }
 }
 
 /// Shared, dynamically-typed selector handle as stored by nodes.
@@ -110,6 +128,14 @@ impl<H: PairHasher> MonitorSelector for HashSelector<H> {
 
     fn name(&self) -> &'static str {
         "hash"
+    }
+
+    fn hash_point(&self, monitor: NodeId, target: NodeId) -> Option<HashPoint> {
+        Some(self.hasher.point(&NodeId::pair_bytes(monitor, target)))
+    }
+
+    fn selection_threshold(&self) -> Option<Threshold> {
+        Some(self.threshold)
     }
 }
 

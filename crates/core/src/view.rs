@@ -35,6 +35,10 @@ pub struct CoarseView {
     owner: NodeId,
     cap: usize,
     entries: Vec<NodeId>,
+    /// Monotone membership version: bumped whenever the entry set may have
+    /// changed. Observers (incremental invariant checking, snapshot
+    /// diffing) compare versions to skip re-scanning unchanged views.
+    version: u64,
 }
 
 impl CoarseView {
@@ -45,7 +49,17 @@ impl CoarseView {
             owner,
             cap,
             entries: Vec::with_capacity(cap),
+            version: 0,
         }
+    }
+
+    /// The membership version: strictly increases every time the entry set
+    /// may have changed (conservative — a shuffle that happens to reproduce
+    /// the same membership still bumps). Equal versions guarantee equal
+    /// membership.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The maximal number of entries (`cvs`).
@@ -79,6 +93,7 @@ impl CoarseView {
             return false;
         }
         self.entries.push(id);
+        self.version += 1;
         true
     }
 
@@ -100,6 +115,7 @@ impl CoarseView {
             let victim = rng.gen_range(0..self.entries.len());
             self.entries[victim] = id;
         }
+        self.version += 1;
         true
     }
 
@@ -107,6 +123,7 @@ impl CoarseView {
     pub fn remove(&mut self, id: NodeId) -> bool {
         if let Some(pos) = self.entries.iter().position(|&e| e == id) {
             self.entries.swap_remove(pos);
+            self.version += 1;
             true
         } else {
             false
@@ -150,12 +167,14 @@ impl CoarseView {
             union.truncate(self.cap);
         }
         self.entries = union;
+        self.version += 1;
     }
 
     /// Replaces the contents with entries from `source` (used when a joining
     /// node inherits the view of its contact, Fig. 1), keeping invariants.
     pub fn adopt(&mut self, source: &[NodeId]) {
         self.entries.clear();
+        self.version += 1;
         for &id in source {
             self.insert(id);
         }

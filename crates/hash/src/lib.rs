@@ -45,7 +45,7 @@ pub mod sha1;
 
 pub use fast64::Fast64PairHasher;
 pub use md5::{md5, Md5, Md5PairHasher};
-pub use point::{HashPoint, Threshold};
+pub use point::{HashPoint, PointMemo, Threshold};
 pub use sha1::{sha1, Sha1, Sha1PairHasher};
 
 use core::fmt::Debug;

@@ -1,6 +1,8 @@
-//! Points on the unit interval and consistency-condition thresholds.
+//! Points on the unit interval, consistency-condition thresholds, and the
+//! shared pair-point memoization cache.
 
 use core::fmt;
+use std::collections::HashMap;
 
 /// A point in the half-open unit interval `[0, 1)`, stored as a 64-bit
 /// numerator over the implicit denominator `2^64`.
@@ -144,6 +146,127 @@ impl fmt::Display for Threshold {
     }
 }
 
+/// A memoization cache for pair hash points.
+///
+/// Every [`PairHasher`](crate::PairHasher) is a pure function, so the point
+/// of a `(monitor, target)` pair can be computed once and reused for the
+/// lifetime of both identities — which turns an availability checker's
+/// per-sample `O(pairs)` re-hashing into `O(changed pairs)` hashing plus
+/// `O(1)` lookups. Callers key entries by two opaque `u64` identity keys
+/// (e.g. a 48-bit `<IP, port>` encoding).
+///
+/// Because the underlying hash is pure, invalidation is never required for
+/// *correctness*; it exists as a memory-hygiene lever. [`PointMemo::forget`]
+/// invalidates every cached pair involving one identity in `O(1)` by bumping
+/// that identity's *generation* — stale entries become unreachable and are
+/// overwritten on the next lookup or dropped by the wholesale capacity
+/// clear. Drivers call it when a node's incarnation bumps, so a churn-heavy
+/// run does not accumulate pairs of long-departed incarnations.
+///
+/// # Example
+///
+/// ```
+/// use avmon_hash::{HashPoint, PointMemo};
+///
+/// let mut memo = PointMemo::new(1024);
+/// let mut computed = 0;
+/// for _ in 0..3 {
+///     let p = memo.point_with(1, 2, || {
+///         computed += 1;
+///         HashPoint::from_bits(7)
+///     });
+///     assert_eq!(p.to_bits(), 7);
+/// }
+/// assert_eq!(computed, 1, "hashed once, served from cache twice");
+/// assert_eq!(memo.hits(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct PointMemo {
+    /// `(a, b)` → `(gen(a), gen(b), point)` at insertion time.
+    map: HashMap<(u64, u64), (u32, u32, HashPoint)>,
+    /// Current generation per identity key; absent means generation 0.
+    gens: HashMap<u64, u32>,
+    cap: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl PointMemo {
+    /// Creates a memo bounded at `cap` cached pairs (cleared wholesale when
+    /// full, like a generational scratch cache; `0` means unbounded).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        PointMemo {
+            map: HashMap::new(),
+            gens: HashMap::new(),
+            cap,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn gen_of(&self, key: u64) -> u32 {
+        self.gens.get(&key).copied().unwrap_or(0)
+    }
+
+    /// The memoized point for `(a, b)`, calling `compute` only on a miss
+    /// (or when either identity was [`forgotten`](PointMemo::forget) since
+    /// the entry was cached).
+    pub fn point_with(&mut self, a: u64, b: u64, compute: impl FnOnce() -> HashPoint) -> HashPoint {
+        let (ga, gb) = (self.gen_of(a), self.gen_of(b));
+        if let Some(&(ca, cb, point)) = self.map.get(&(a, b)) {
+            if ca == ga && cb == gb {
+                self.hits += 1;
+                return point;
+            }
+        }
+        self.misses += 1;
+        let point = compute();
+        if self.cap > 0 && self.map.len() >= self.cap {
+            self.map.clear();
+        }
+        self.map.insert((a, b), (ga, gb, point));
+        point
+    }
+
+    /// Invalidates every cached pair involving `key` in `O(1)` by bumping
+    /// its generation. See the type docs: a hygiene lever, not a
+    /// correctness requirement — pair hashes are pure.
+    pub fn forget(&mut self, key: u64) {
+        let gen = self.gens.entry(key).or_insert(0);
+        *gen = gen.wrapping_add(1);
+    }
+
+    /// Cached pairs currently stored (including unreachable stale ones).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups served from the cache.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to compute.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops every cached pair (generations and counters survive).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +336,59 @@ mod tests {
         assert_eq!(format!("{p}"), "0.500000");
         let t = Threshold::from_ratio(1.0, 1000.0);
         assert!(format!("{t}").contains('e'));
+    }
+
+    #[test]
+    fn memo_caches_and_counts() {
+        let mut memo = PointMemo::new(0);
+        let mut calls = 0u32;
+        let mut get = |m: &mut PointMemo, a, b| {
+            m.point_with(a, b, || {
+                calls += 1;
+                HashPoint::from_bits(a ^ b)
+            })
+        };
+        assert_eq!(get(&mut memo, 1, 2).to_bits(), 3);
+        assert_eq!(get(&mut memo, 1, 2).to_bits(), 3);
+        // Ordered pairs are distinct keys (the condition is directional).
+        assert_eq!(get(&mut memo, 2, 1).to_bits(), 3);
+        assert_eq!(calls, 2);
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(memo.misses(), 2);
+        assert_eq!(memo.len(), 2);
+    }
+
+    #[test]
+    fn memo_forget_invalidates_only_pairs_involving_key() {
+        let mut memo = PointMemo::new(0);
+        for (a, b) in [(1, 2), (3, 4)] {
+            memo.point_with(a, b, || HashPoint::from_bits(99));
+        }
+        memo.forget(1);
+        let mut recomputed = false;
+        memo.point_with(1, 2, || {
+            recomputed = true;
+            HashPoint::from_bits(99)
+        });
+        assert!(recomputed, "forgotten identity must recompute");
+        let mut untouched = true;
+        memo.point_with(3, 4, || {
+            untouched = false;
+            HashPoint::from_bits(99)
+        });
+        assert!(untouched, "unrelated pair must stay cached");
+    }
+
+    #[test]
+    fn memo_capacity_clears_wholesale() {
+        let mut memo = PointMemo::new(2);
+        for i in 0..5u64 {
+            memo.point_with(i, i + 1, || HashPoint::from_bits(i));
+        }
+        assert!(memo.len() <= 2, "capacity bound violated: {}", memo.len());
+        assert!(!memo.is_empty());
+        memo.clear();
+        assert!(memo.is_empty());
     }
 
     /// The acceptance probability of a uniform point should be ≈ K/N.

@@ -17,7 +17,7 @@ use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 
 use avmon::{
     AppEvent, Behavior, Config, Destination, HashSelector, HasherKind, HistoryStore, JoinKind,
-    Message, Node, NodeId, NodeStats, PersistentState, SharedSelector, TimeMs, Timer,
+    Message, Node, NodeId, NodeStats, PersistentState, SharedSelector, TargetRecord, TimeMs, Timer,
 };
 use avmon_churn::{ChurnEventKind, Trace};
 use avmon_hash::fast64::mix64;
@@ -25,7 +25,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::invariants::{InvariantChecker, InvariantConfig};
-use crate::metrics::{AvailabilityMeasure, DiscoveryLog, NodeSeries, SimReport};
+use crate::metrics::{AvailabilityMeasure, DiscoveryLog, EstimateIndex, NodeSeries, SimReport};
 use crate::network::{LatencyModel, NetworkModel, NetworkState, Route};
 use crate::scenario::Scenario;
 
@@ -205,6 +205,13 @@ struct SimNode {
     born_at: Option<TimeMs>,
     left_at: Option<TimeMs>,
     last_stats: NodeStats,
+    /// Streaming per-node metric accumulators: updated in place at every
+    /// sampling tick (and counter fold), so report assembly never walks or
+    /// clones a side map of per-node state.
+    series: NodeSeries,
+    /// Whether `series` was ever written — only touched nodes appear in
+    /// [`SimReport::series`].
+    series_touched: bool,
 }
 
 impl SimNode {
@@ -217,7 +224,14 @@ impl SimNode {
             born_at: None,
             left_at: None,
             last_stats: NodeStats::default(),
+            series: NodeSeries::default(),
+            series_touched: false,
         }
+    }
+
+    fn series_mut(&mut self) -> &mut NodeSeries {
+        self.series_touched = true;
+        &mut self.series
     }
 }
 
@@ -252,13 +266,17 @@ pub struct Simulation {
     rng: SmallRng,
     tracked: HashSet<NodeId>,
     discovery: BTreeMap<NodeId, DiscoveryLog>,
-    series: BTreeMap<NodeId, NodeSeries>,
     graveyard_stats: NodeStats,
     initial_cohort: Vec<NodeId>,
+    /// Position of each initial-cohort member in `initial_cohort`, so
+    /// bootstrap view seeding can exclude the joiner in O(1).
+    initial_cohort_index: HashMap<NodeId, usize>,
     app_events: Vec<(NodeId, AppEvent)>,
     net: NetworkState,
-    /// Per-node freeze windows `(node, from, until)` from the scenario.
-    freezes: Vec<(NodeId, TimeMs, TimeMs)>,
+    /// Per-node freeze windows from the scenario, indexed by node so the
+    /// delivery/timer hot path pays O(1) for the (overwhelmingly common)
+    /// unfrozen case.
+    freezes: HashMap<NodeId, Vec<(TimeMs, TimeMs)>>,
     checker: InvariantChecker,
     finished: bool,
 }
@@ -332,6 +350,11 @@ impl Simulation {
             .filter(|e| e.at == 0 && e.kind == ChurnEventKind::Birth)
             .map(|e| e.node)
             .collect();
+        let initial_cohort_index: HashMap<NodeId, usize> = initial_cohort
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
         let behaviors: HashMap<NodeId, Behavior> = opts.behaviors.iter().cloned().collect();
         let mut nodes = HashMap::with_capacity(trace.identities().len());
         for id in trace.identities() {
@@ -343,7 +366,7 @@ impl Simulation {
         let freezes = opts
             .scenario
             .as_ref()
-            .map(Scenario::freeze_windows)
+            .map(Scenario::freeze_index)
             .unwrap_or_default();
         let quiescent_from = opts
             .scenario
@@ -370,9 +393,9 @@ impl Simulation {
             rng,
             tracked,
             discovery: BTreeMap::new(),
-            series: BTreeMap::new(),
             graveyard_stats: NodeStats::default(),
             initial_cohort,
+            initial_cohort_index,
             app_events: Vec::new(),
             net,
             freezes,
@@ -477,10 +500,11 @@ impl Simulation {
 
     /// The thaw time if `node` is inside a freeze window at `self.now`.
     fn frozen_until(&self, node: NodeId) -> Option<TimeMs> {
-        self.freezes
+        let windows = self.freezes.get(&node)?;
+        windows
             .iter()
-            .find(|&&(n, from, until)| n == node && self.now >= from && self.now < until)
-            .map(|&(_, _, until)| until)
+            .find(|&&(from, until)| self.now >= from && self.now < until)
+            .map(|&(_, until)| until)
     }
 
     /// Re-queues `kind` to fire at `at` (used to stall events of frozen
@@ -586,18 +610,31 @@ impl Simulation {
                 if kind == ChurnEventKind::Birth && self.now == 0 && self.initial_cohort.len() > 1 {
                     // Bootstrap the initial population with warm views: at
                     // time zero there is no overlay yet to join through.
-                    let cvs = self.opts.config.cvs;
-                    let mut seeds = Vec::with_capacity(cvs);
-                    for _ in 0..cvs * 2 {
-                        let pick =
-                            self.initial_cohort[self.rng.gen_range(0..self.initial_cohort.len())];
-                        if pick != id && !seeds.contains(&pick) {
-                            seeds.push(pick);
-                            if seeds.len() == cvs {
-                                break;
-                            }
-                        }
+                    // Sample WITHOUT replacement (Floyd's algorithm) over
+                    // the cohort minus the joiner, so the initial view is
+                    // always min(cvs, cohort − 1) distinct peers — the old
+                    // with-replacement loop could under-fill small cohorts.
+                    // Exactly k RNG draws; the Vec membership probe makes
+                    // bootstrap O(cvs²) comparisons per node, fine at
+                    // cvs ≤ a few hundred (switch to a bitset before
+                    // pushing cvs toward 1000).
+                    let cohort = self.initial_cohort.len();
+                    let pool = cohort - 1;
+                    let k = self.opts.config.cvs.min(pool);
+                    let skip = self
+                        .initial_cohort_index
+                        .get(&id)
+                        .copied()
+                        .unwrap_or(cohort);
+                    let mut picks: Vec<usize> = Vec::with_capacity(k);
+                    for j in (pool - k)..pool {
+                        let t = self.rng.gen_range(0..j + 1);
+                        picks.push(if picks.contains(&t) { j } else { t });
                     }
+                    let seeds: Vec<NodeId> = picks
+                        .iter()
+                        .map(|&idx| self.initial_cohort[if idx >= skip { idx + 1 } else { idx }])
+                        .collect();
                     proto.seed_view(&seeds);
                 }
                 let now = self.now;
@@ -620,7 +657,7 @@ impl Simulation {
                     // Fold the unsampled tail of this incarnation's counters.
                     let delta = proto.stats().delta(&sim_node.last_stats);
                     if self.now >= self.trace.measure_from {
-                        let series = self.series.entry(id).or_default();
+                        let series = sim_node.series_mut();
                         series.hash_checks += delta.hash_checks;
                         series.bytes_sent += delta.bytes_sent;
                         series.monitor_pings_sent += delta.monitor_pings_sent;
@@ -649,7 +686,9 @@ impl Simulation {
                 // Destination has departed: the message is lost. Monitoring
                 // pings to absent nodes are the "useless pings" of Fig. 18.
                 if msg.is_monitoring_ping() && now >= self.trace.measure_from {
-                    self.series.entry(from).or_default().useless_pings += 1;
+                    if let Some(sender) = self.nodes.get_mut(&from) {
+                        sender.series_mut().useless_pings += 1;
+                    }
                 }
             }
         }
@@ -667,12 +706,12 @@ impl Simulation {
             let stats = *proto.stats();
             let delta = stats.delta(&sim_node.last_stats);
             sim_node.last_stats = stats;
-            let series = self.series.entry(id).or_default();
+            let mem = proto.memory_entries();
+            let series = sim_node.series_mut();
             series.samples += 1;
             series.hash_checks += delta.hash_checks;
             series.bytes_sent += delta.bytes_sent;
             series.monitor_pings_sent += delta.monitor_pings_sent;
-            let mem = proto.memory_entries();
             series.memory_entries_sum += mem as u64;
             series.memory_entries_max = series.memory_entries_max.max(mem);
         }
@@ -797,17 +836,32 @@ impl Simulation {
         }
     }
 
+    /// Picks a uniformly random live contact for `joiner`, in O(1) and
+    /// with exactly one RNG draw whenever a valid contact exists.
+    ///
+    /// Returns `None` only when no other node is alive. (The previous
+    /// implementation gave up after 8 rejection-sampling draws and could
+    /// spuriously isolate a joiner — a (1/2)^8 chance per join with two
+    /// alive nodes. The joiner is normally not yet in `alive` when this
+    /// runs; the index exclusion below keeps the guarantee even if it is.)
     fn pick_contact(&mut self, joiner: NodeId) -> Option<NodeId> {
-        if self.alive.is_empty() {
-            return None;
-        }
-        for _ in 0..8 {
-            let pick = self.alive[self.rng.gen_range(0..self.alive.len())];
-            if pick != joiner {
-                return Some(pick);
+        match self.alive_index.get(&joiner).copied() {
+            None => {
+                if self.alive.is_empty() {
+                    return None;
+                }
+                Some(self.alive[self.rng.gen_range(0..self.alive.len())])
+            }
+            Some(jidx) => {
+                if self.alive.len() < 2 {
+                    return None;
+                }
+                // Draw over the n−1 non-joiner slots and skip past the
+                // joiner's own index.
+                let r = self.rng.gen_range(0..self.alive.len() - 1);
+                Some(self.alive[if r >= jidx { r + 1 } else { r }])
             }
         }
-        None
     }
 
     fn alive_insert(&mut self, id: NodeId) {
@@ -865,29 +919,94 @@ impl Simulation {
     }
 
     /// Builds the final [`SimReport`].
+    ///
+    /// Assembly is `O(N·K)`: one pass over every node's target records
+    /// feeds a per-target estimate index (instead of the old `O(N²)`
+    /// [`Simulation::monitor_estimates`] probe per measured node), and the
+    /// per-node series stream straight out of the engine's accumulators.
     #[must_use]
     pub fn report(&self) -> SimReport {
+        self.assemble_report(self.discovery.clone(), self.checker.summary().clone())
+    }
+
+    /// Like [`Simulation::report`], but consumes the simulation and moves
+    /// the per-node discovery logs into the report instead of cloning
+    /// them — preferred once the run is over.
+    #[must_use]
+    pub fn into_report(mut self) -> SimReport {
+        let discovery = std::mem::take(&mut self.discovery);
+        let invariants = self.checker.summary().clone();
+        self.assemble_report(discovery, invariants)
+    }
+
+    fn assemble_report(
+        &self,
+        discovery: BTreeMap<NodeId, DiscoveryLog>,
+        invariants: crate::invariants::InvariantSummary,
+    ) -> SimReport {
         let mut totals = self.graveyard_stats;
         for sim_node in self.nodes.values() {
             if let Some(proto) = sim_node.proto.as_ref() {
                 totals.merge(proto.stats());
             }
         }
+        // One pass over every monitor's target records builds the
+        // per-target estimate index (O(total TS entries) = O(N·K)).
+        let mut estimate_index = EstimateIndex::new();
+        for (&mid, sim_node) in &self.nodes {
+            let mut push = |target: NodeId, rec: &TargetRecord| {
+                if target == mid || rec.pings_sent == 0 {
+                    return;
+                }
+                let estimate = if sim_node.behavior.misreports(target) {
+                    Some(1.0)
+                } else {
+                    rec.availability_estimate()
+                };
+                if let Some(est) = estimate {
+                    estimate_index.push(target, est);
+                }
+            };
+            match sim_node.proto.as_ref() {
+                Some(proto) => {
+                    for (target, rec) in proto.target_records() {
+                        push(target, rec);
+                    }
+                }
+                None => {
+                    for (target, rec) in &sim_node.persistent.targets {
+                        push(*target, rec);
+                    }
+                }
+            }
+        }
         let mut availability = Vec::new();
         let control: HashSet<NodeId> = self.trace.control_group.iter().copied().collect();
+        // One pass over the trace builds every node's up-intervals;
+        // Trace::availability_of would rebuild this map per queried node
+        // (O(N · E) over a report — minutes at N = 50k).
+        let up_intervals = self.trace.up_intervals();
         for (&id, sim_node) in &self.nodes {
             let Some(born) = sim_node.born_at else {
                 continue;
             };
-            let estimates = self.monitor_estimates(id);
-            if estimates.is_empty() {
+            let Some(estimates) = estimate_index.take_sorted(id) else {
                 continue;
-            }
+            };
             let from = born.max(self.trace.measure_from);
             if from >= self.trace.horizon {
                 continue;
             }
-            let actual = self.trace.availability_of(id, from, self.trace.horizon);
+            let to = self.trace.horizon;
+            let up: avmon::DurMs = up_intervals
+                .get(&id)
+                .map(|ups| {
+                    ups.iter()
+                        .map(|&(s, e)| e.min(to).saturating_sub(s.max(from)))
+                        .sum()
+                })
+                .unwrap_or(0);
+            let actual = up as f64 / (to - from) as f64;
             availability.push(AvailabilityMeasure {
                 node: id,
                 estimated: crate::metrics::mean(&estimates),
@@ -897,18 +1016,129 @@ impl Simulation {
             });
         }
         availability.sort_by_key(|m| m.node);
+        let mut series = BTreeMap::new();
+        for (&id, sim_node) in &self.nodes {
+            if sim_node.series_touched {
+                series.insert(id, sim_node.series.clone());
+            }
+        }
         SimReport {
             model: self.trace.name.clone(),
             n: self.trace.stable_size,
             cvs: self.opts.config.cvs,
             k: self.opts.config.k,
             sample_interval: self.opts.sample_interval,
-            discovery: self.discovery.clone(),
-            series: self.series.clone(),
+            discovery,
+            series,
             availability,
             totals,
             alive_at_end: self.alive.len(),
-            invariants: self.checker.summary().clone(),
+            invariants,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avmon_churn::ChurnEvent;
+
+    /// A minimal trace: `n` births at t = 0, nothing else.
+    fn cohort_trace(n: u32, horizon: TimeMs) -> Trace {
+        let events: Vec<ChurnEvent> = (0..n)
+            .map(|i| ChurnEvent {
+                at: 0,
+                node: NodeId::from_index(i),
+                kind: ChurnEventKind::Birth,
+            })
+            .collect();
+        Trace::new("COHORT", n as usize, horizon, 0, vec![], events)
+    }
+
+    /// The starvation regression: with ≥ 2 alive nodes, `pick_contact`
+    /// must never return `None` — the old 8-draw rejection loop could
+    /// spuriously isolate a joiner. Exercised across many seeds and draws
+    /// (the property the old code violated with probability (1/2)^8 per
+    /// join at 2 alive nodes — certain to appear in 64 × 200 trials).
+    #[test]
+    fn pick_contact_never_starves_with_two_alive() {
+        for seed in 0..64u64 {
+            let config = Config::builder(8).build().unwrap();
+            let mut sim = Simulation::new(
+                cohort_trace(2, avmon::MINUTE),
+                SimOptions::new(config).seed(seed),
+            );
+            sim.run_until(1);
+            assert_eq!(sim.alive.len(), 2);
+            let (a, b) = (NodeId::from_index(0), NodeId::from_index(1));
+            for _ in 0..200 {
+                // Joiner alive: the other node is the only valid contact.
+                assert_eq!(sim.pick_contact(a), Some(b), "seed {seed}");
+                assert_eq!(sim.pick_contact(b), Some(a), "seed {seed}");
+            }
+        }
+    }
+
+    /// `pick_contact` excludes a joiner that is already in `alive`, and
+    /// returns `None` only when no other node exists.
+    #[test]
+    fn pick_contact_excludes_joiner_and_handles_singletons() {
+        let config = Config::builder(8).build().unwrap();
+        let mut sim = Simulation::new(
+            cohort_trace(5, avmon::MINUTE),
+            SimOptions::new(config.clone()).seed(3),
+        );
+        sim.run_until(1);
+        let joiner = NodeId::from_index(2);
+        for _ in 0..500 {
+            let pick = sim.pick_contact(joiner).expect("4 valid contacts exist");
+            assert_ne!(pick, joiner);
+        }
+        // A non-member joiner draws uniformly over all alive nodes.
+        for _ in 0..100 {
+            assert!(sim.pick_contact(NodeId::from_index(99)).is_some());
+        }
+        // Singleton system: the sole node has no contact.
+        let mut lonely = Simulation::new(
+            cohort_trace(1, avmon::MINUTE),
+            SimOptions::new(config).seed(3),
+        );
+        lonely.run_until(1);
+        assert_eq!(lonely.pick_contact(NodeId::from_index(0)), None);
+    }
+
+    /// The bootstrap under-fill regression: warm-view seeding now samples
+    /// without replacement, so every initial view holds exactly
+    /// `min(cvs, cohort − 1)` distinct peers — the old `cvs · 2`
+    /// with-replacement draws could under-fill small cohorts.
+    #[test]
+    fn bootstrap_views_are_full_and_duplicate_free() {
+        for seed in 0..50u64 {
+            for cohort in [2u32, 3, 5, 9] {
+                let config = Config::builder(64).cvs(8).build().unwrap();
+                let cvs = config.cvs;
+                let mut sim = Simulation::new(
+                    cohort_trace(cohort, avmon::MINUTE),
+                    SimOptions::new(config).seed(seed),
+                );
+                sim.run_until(0);
+                let expected = cvs.min(cohort as usize - 1);
+                for i in 0..cohort {
+                    let id = NodeId::from_index(i);
+                    let node = sim.node(id).expect("alive at t=0");
+                    let view: Vec<NodeId> = node.view().iter().collect();
+                    assert_eq!(
+                        view.len(),
+                        expected,
+                        "seed {seed}, cohort {cohort}: under-filled view {view:?}"
+                    );
+                    let mut distinct: Vec<NodeId> = view.clone();
+                    distinct.sort();
+                    distinct.dedup();
+                    assert_eq!(distinct.len(), view.len(), "duplicates in {view:?}");
+                    assert!(!view.contains(&id), "self-reference in {view:?}");
+                }
+            }
         }
     }
 }

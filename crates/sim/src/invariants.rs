@@ -30,10 +30,35 @@
 //! collected into the [`crate::SimReport`]. [`InvariantMode::Strict`]
 //! panics at the failing sample, which pins the simulated time of the first
 //! corruption.
+//!
+//! # Incremental checking
+//!
+//! A naive sweep re-hashes every `PS`/`TS` entry of every live node every
+//! sample — `O(N·K)` hash evaluations per tick, which is what makes
+//! checked large-`N` runs (the regime the paper's §5 scalability argument
+//! is *about*) unaffordable. The default [`CheckStrategy::Incremental`]
+//! exploits two facts:
+//!
+//! * membership changes are rare at steady state, and every [`Node`]
+//!   exposes cheap monotone change epochs ([`Node::sets_epoch`],
+//!   [`CoarseView::version`](avmon::CoarseView::version)) that are equal
+//!   between samples iff nothing changed — unchanged nodes are skipped in
+//!   `O(1)`;
+//! * the consistency condition is a *pure* pair hash, so re-verified pairs
+//!   are served from a shared [`PointMemo`] instead of re-hashing
+//!   (per-identity invalidation on incarnation bump keeps the cache honest
+//!   under identity churn).
+//!
+//! [`CheckStrategy::FullRescan`] forces every node dirty every sample and
+//! bypasses the memo — the original behavior, kept as the equivalence
+//! baseline: both strategies run the *same* verification path and flag the
+//! *same* violations at the same simulated times (`tests/incremental.rs`
+//! proves it), they only differ in how much work they skip.
 
 use std::collections::{HashMap, HashSet};
 
 use avmon::{Config, DurMs, Node, NodeId, SharedSelector, TimeMs};
+use avmon_hash::{PointMemo, Threshold};
 use serde::{Deserialize, Serialize};
 
 /// How invariant violations are handled.
@@ -48,16 +73,42 @@ pub enum InvariantMode {
     Strict,
 }
 
+/// How the per-sample sweep decides which nodes to re-verify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CheckStrategy {
+    /// Re-verify only nodes whose `PS`/`TS`/view change epochs moved since
+    /// they were last verified, serving repeated pair hashes from a memo
+    /// (default). Flags exactly the same violations as a full rescan.
+    #[default]
+    Incremental,
+    /// Re-verify every node every sample and re-hash every pair — the
+    /// pre-incremental behavior, kept as the equivalence/benchmark
+    /// baseline.
+    FullRescan,
+}
+
 /// Invariant-checker configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InvariantConfig {
     /// Violation handling.
     pub mode: InvariantMode,
+    /// Per-sample sweep strategy (default [`CheckStrategy::Incremental`]).
+    pub strategy: CheckStrategy,
+    /// Caps the end-of-run eventual-agreement sweep at roughly this many
+    /// ordered pairs by deterministic stride sampling (the sweep is
+    /// `O(eligible²)`, which at `N = 100k` is 10¹⁰ pairs). `None` (default)
+    /// checks every pair.
+    pub max_agreement_pairs: Option<u64>,
     /// How long both endpoints must be continuously up — *and* the network
-    /// quiescent — before eventual-agreement is owed. `None` derives
-    /// `20 × protocol_period`: enough for the notified-cache aging cadence
-    /// to retransmit NOTIFYs lost during a fault window and for forgetful
-    /// pinging's removals to be re-adopted after heal.
+    /// quiescent — before eventual-agreement is owed. `None` derives a
+    /// discovery-scaled default: `max(20, ⌈(ln(N·K) + 2) · N/cvs²⌉)`
+    /// protocol periods. The floor of 20 periods covers the notified-cache
+    /// aging cadence and forgetful-pinging re-adoption after heal; the
+    /// `N/cvs²` factor is the paper's expected discovery time (§4), and
+    /// the `ln(N·K)` factor covers the geometric tail over all condition
+    /// pairs — demanding *every* pair agreed much earlier than that is
+    /// statistically wrong at large `N` (a 40-period 50k-node run would
+    /// flag hundreds of perfectly healthy pairs).
     pub grace: Option<DurMs>,
     /// Whether to run the `O(pairs)` eventual-agreement and convergence
     /// checks at the end of the run.
@@ -74,6 +125,8 @@ impl Default for InvariantConfig {
     fn default() -> Self {
         InvariantConfig {
             mode: InvariantMode::default(),
+            strategy: CheckStrategy::default(),
+            max_agreement_pairs: None,
             grace: None,
             check_agreement: true,
             convergence_band: (0.2, 3.0),
@@ -99,6 +152,21 @@ impl InvariantConfig {
             mode: InvariantMode::Off,
             ..InvariantConfig::default()
         }
+    }
+
+    /// Overrides the per-sample sweep strategy.
+    #[must_use]
+    pub fn strategy(mut self, strategy: CheckStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Caps the end-of-run agreement sweep (see
+    /// [`InvariantConfig::max_agreement_pairs`]).
+    #[must_use]
+    pub fn agreement_pair_cap(mut self, cap: u64) -> Self {
+        self.max_agreement_pairs = Some(cap);
+        self
     }
 }
 
@@ -247,6 +315,16 @@ pub struct InvariantSummary {
     /// Individual property checks evaluated (hash checks, set scans, pair
     /// agreements).
     pub checks: u64,
+    /// Node-samples whose `PS`/`TS` hash re-verification was skipped
+    /// because set membership was unchanged since the last verification
+    /// (always 0 under [`CheckStrategy::FullRescan`]). The cheap `O(cvs)`
+    /// structural view check still runs whenever the view version moved —
+    /// which it does every shuffle — so this counts exactly the expensive
+    /// work avoided.
+    pub set_scans_skipped: u64,
+    /// Consistency-condition evaluations served from the pair-point memo
+    /// instead of re-hashing.
+    pub memo_hits: u64,
     /// Hard violations (empty ⇔ the run upheld every checked property).
     pub violations: Vec<RecordedViolation>,
     /// Soft degradations worth looking at.
@@ -274,6 +352,9 @@ pub struct InvariantChecker {
     protocol_period: DurMs,
     k: u32,
     view_cap: usize,
+    /// The derived grace default in protocol periods (discovery-scaled;
+    /// used when the config does not pin an explicit grace).
+    derived_grace_periods: u64,
     /// First instant with every scenario fault healed.
     quiescent_from: TimeMs,
     /// Whether the base network drops messages for the whole run — if so,
@@ -282,6 +363,17 @@ pub struct InvariantChecker {
     lossy_base: bool,
     up_since: HashMap<NodeId, TimeMs>,
     warned_slow: HashSet<NodeId>,
+    /// Change epochs `(sets_epoch, view_version)` at which each node was
+    /// last verified; nodes whose epochs are unchanged are skipped under
+    /// [`CheckStrategy::Incremental`]. Cleared per incarnation.
+    verified_at: HashMap<NodeId, (u64, u64)>,
+    /// Pair-point memo backing the consistency-condition checks when the
+    /// selector is a pure pair hash ([`threshold`](Self::threshold) is
+    /// `Some`); per-identity invalidated on incarnation bump.
+    memo: PointMemo,
+    /// The cached acceptance threshold, `None` when the selector is not
+    /// memoizable (then every check calls `is_monitor` directly).
+    threshold: Option<Threshold>,
     /// Per-sample violations already reported, keyed by
     /// `(kind, node, other)`: persistent corruption is recorded once per
     /// incarnation, not once per sampling tick, so long runs don't bloat
@@ -314,9 +406,18 @@ impl InvariantChecker {
         lossy_base: bool,
     ) -> Self {
         let enabled = config.mode != InvariantMode::Off;
+        let threshold = selector.selection_threshold();
+        // Discovery-scaled grace default (see `InvariantConfig::grace`).
+        let pairs = (protocol.system_size as f64) * f64::from(protocol.k);
+        let discovery_periods =
+            (protocol.system_size as f64 / ((protocol.cvs * protocol.cvs).max(1) as f64)).max(1.0);
+        let derived_grace_periods = ((pairs.max(2.0).ln() + 2.0) * discovery_periods)
+            .ceil()
+            .max(20.0) as u64;
         InvariantChecker {
             config,
             selector: Some(selector),
+            derived_grace_periods,
             protocol_period: protocol.protocol_period,
             k: protocol.k,
             view_cap: protocol.cvs,
@@ -324,11 +425,37 @@ impl InvariantChecker {
             lossy_base,
             up_since: HashMap::new(),
             warned_slow: HashSet::new(),
+            verified_at: HashMap::new(),
+            // ~4M pairs comfortably covers the live PS∪TS pairs of a
+            // 100k-node run (≈ 2·K·N); beyond that the memo clears
+            // wholesale rather than growing unboundedly.
+            memo: PointMemo::new(1 << 22),
+            threshold,
             reported: HashSet::new(),
             summary: InvariantSummary {
                 enabled,
                 ..InvariantSummary::default()
             },
+        }
+    }
+
+    /// Evaluates the consistency condition `monitor ∈ PS(target)?` through
+    /// the memo when the selector is a pure pair hash, counting the check.
+    /// Under [`CheckStrategy::FullRescan`] the memo is bypassed so the
+    /// baseline really re-hashes every pair, exactly like the
+    /// pre-incremental checker.
+    fn condition(&mut self, selector: &SharedSelector, monitor: NodeId, target: NodeId) -> bool {
+        self.summary.checks += 1;
+        match self.threshold {
+            Some(threshold) if self.config.strategy == CheckStrategy::Incremental => {
+                let point = self.memo.point_with(monitor.to_u64(), target.to_u64(), || {
+                    selector
+                        .hash_point(monitor, target)
+                        .expect("selection_threshold() implies hash_point()")
+                });
+                threshold.accepts(point)
+            }
+            _ => selector.is_monitor(monitor, target),
         }
     }
 
@@ -338,12 +465,13 @@ impl InvariantChecker {
         self.config.mode != InvariantMode::Off && self.selector.is_some()
     }
 
-    /// The grace window in effect.
+    /// The grace window in effect (explicit config, or the
+    /// discovery-scaled default — see [`InvariantConfig::grace`]).
     #[must_use]
     pub fn grace(&self) -> DurMs {
         self.config
             .grace
-            .unwrap_or(20 * self.protocol_period.max(1))
+            .unwrap_or(self.derived_grace_periods.max(20) * self.protocol_period.max(1))
     }
 
     /// Observations so far.
@@ -359,15 +487,26 @@ impl InvariantChecker {
         // A fresh incarnation gets a fresh dedup slate: corruption that
         // survives a leave + rejoin is flagged again.
         self.reported.retain(|&(_, n, _)| n != node);
+        // …and a fresh verification slate: the first sample of the new
+        // incarnation fully re-verifies, and cached pair points involving
+        // the identity are invalidated (O(1) generation bump).
+        self.verified_at.remove(&node);
+        self.memo.forget(node.to_u64());
     }
 
     /// A node went down at `now`.
     pub fn node_down(&mut self, node: NodeId) {
         self.up_since.remove(&node);
+        self.verified_at.remove(&node);
     }
 
     /// Per-sample sweep over the live population: hash consistency of every
     /// `PS`/`TS` entry, structural sanity, slow-discovery warnings.
+    ///
+    /// Under [`CheckStrategy::Incremental`] (the default) only nodes whose
+    /// change epochs moved since their last verification are re-verified;
+    /// both strategies run the identical verification path and produce the
+    /// same violations at the same times.
     pub fn on_sample<'a>(&mut self, now: TimeMs, nodes: impl Iterator<Item = &'a Node>) {
         if !self.enabled() {
             return;
@@ -375,39 +514,61 @@ impl InvariantChecker {
         let Some(selector) = self.selector.clone() else {
             return;
         };
+        let full = self.config.strategy == CheckStrategy::FullRescan;
         for node in nodes {
             let id = node.id();
-            let mut self_ref = false;
-            for claimed in node.pinging_set() {
-                self.summary.checks += 1;
-                if claimed == id {
-                    self_ref = true;
-                } else if !selector.is_monitor(claimed, id) {
-                    self.record(now, InvariantViolation::GhostMonitor { node: id, claimed });
+            let sets_epoch = node.sets_epoch();
+            let view_version = node.view().version();
+            let seen = if full {
+                None
+            } else {
+                self.verified_at.get(&id).copied()
+            };
+            let sets_dirty = seen.is_none_or(|(s, _)| s != sets_epoch);
+            let view_dirty = seen.is_none_or(|(_, v)| v != view_version);
+
+            if sets_dirty {
+                let mut self_ref = false;
+                for claimed in node.pinging_set() {
+                    if claimed == id {
+                        self.summary.checks += 1;
+                        self_ref = true;
+                    } else if !self.condition(&selector, claimed, id) {
+                        self.record(now, InvariantViolation::GhostMonitor { node: id, claimed });
+                    }
+                }
+                for target in node.target_set() {
+                    if target == id {
+                        self.summary.checks += 1;
+                        self_ref = true;
+                    } else if !self.condition(&selector, id, target) {
+                        self.record(now, InvariantViolation::GhostTarget { node: id, target });
+                    }
+                }
+                if self_ref {
+                    self.record(now, InvariantViolation::SelfReference { node: id });
                 }
             }
-            for target in node.target_set() {
+            if view_dirty {
                 self.summary.checks += 1;
-                if target == id {
-                    self_ref = true;
-                } else if !selector.is_monitor(id, target) {
-                    self.record(now, InvariantViolation::GhostTarget { node: id, target });
+                if node.view().contains(id) {
+                    self.record(now, InvariantViolation::SelfReference { node: id });
+                }
+                let (len, cap) = (node.view().len(), self.view_cap);
+                if len > cap {
+                    self.record(now, InvariantViolation::ViewOverflow { node: id, len, cap });
                 }
             }
-            self.summary.checks += 1;
-            if node.view().contains(id) {
-                self_ref = true;
+            if !sets_dirty {
+                self.summary.set_scans_skipped += 1;
             }
-            if self_ref {
-                self.record(now, InvariantViolation::SelfReference { node: id });
-            }
-            let (len, cap) = (node.view().len(), self.view_cap);
-            if len > cap {
-                self.record(now, InvariantViolation::ViewOverflow { node: id, len, cap });
+            if !full {
+                self.verified_at.insert(id, (sets_epoch, view_version));
             }
 
             // Discovery-bound degradation: warn (once per incarnation) for
-            // nodes waiting far beyond the expected ~1 period.
+            // nodes waiting far beyond the expected ~1 period. Always
+            // evaluated — an empty pinging set never bumps an epoch.
             let bound = DurMs::from(self.config.slow_discovery_periods) * self.protocol_period;
             if node.pinging_set_len() == 0 {
                 if let Some(&since) = self.up_since.get(&id) {
@@ -427,6 +588,7 @@ impl InvariantChecker {
                 }
             }
         }
+        self.summary.memo_hits = self.memo.hits();
     }
 
     /// End-of-run sweep: eventual PS/TS agreement (Theorem 1 liveness) and
@@ -454,38 +616,52 @@ impl InvariantChecker {
             .collect();
         eligible.sort_by_key(|n| n.id());
 
-        for m in &eligible {
-            for t in &eligible {
-                if m.id() == t.id() {
-                    continue;
-                }
-                self.summary.checks += 1;
-                if !selector.is_monitor(m.id(), t.id()) {
-                    continue;
-                }
-                let monitor_knows = m.target_record(t.id()).is_some();
-                let target_knows = t.pinging_set().any(|p| p == m.id());
-                if !(monitor_knows && target_knows) {
-                    if self.lossy_base {
-                        // A permanently lossy network only owes agreement
-                        // statistically: forgetful pinging may have dropped
-                        // a target that looked down. Degrade visibly.
-                        self.summary.warnings.push(RecordedWarning {
-                            at: now,
-                            warning: InvariantWarning::SlowAgreement {
-                                monitor: m.id(),
-                                target: t.id(),
-                            },
-                        });
-                    } else {
-                        self.record(
-                            now,
-                            InvariantViolation::MissedDiscovery {
-                                monitor: m.id(),
-                                target: t.id(),
-                            },
-                        );
-                    }
+        // The agreement sweep is O(eligible²); an optional cap thins it to
+        // a deterministic stride sample of the ordered pairs, enumerated
+        // directly (pair index k ↦ lexicographic (monitor, target) with
+        // the diagonal removed) so a capped sweep costs O(cap) work, never
+        // O(eligible²) iteration. The memo is deliberately bypassed here:
+        // these pairs are mostly cold, and inserting N² entries would
+        // thrash the cache.
+        let len = eligible.len() as u64;
+        let total_pairs = len.saturating_mul(len.saturating_sub(1));
+        let stride = match self.config.max_agreement_pairs {
+            Some(cap) if cap > 0 && total_pairs > cap => total_pairs.div_ceil(cap),
+            _ => 1,
+        };
+        let mut k = 0u64;
+        while k < total_pairs {
+            let mi = (k / (len - 1)) as usize;
+            let rem = (k % (len - 1)) as usize;
+            let ti = rem + usize::from(rem >= mi);
+            k += stride;
+            let (m, t) = (eligible[mi], eligible[ti]);
+            self.summary.checks += 1;
+            if !selector.is_monitor(m.id(), t.id()) {
+                continue;
+            }
+            let monitor_knows = m.target_record(t.id()).is_some();
+            let target_knows = t.pinging_set().any(|p| p == m.id());
+            if !(monitor_knows && target_knows) {
+                if self.lossy_base {
+                    // A permanently lossy network only owes agreement
+                    // statistically: forgetful pinging may have dropped
+                    // a target that looked down. Degrade visibly.
+                    self.summary.warnings.push(RecordedWarning {
+                        at: now,
+                        warning: InvariantWarning::SlowAgreement {
+                            monitor: m.id(),
+                            target: t.id(),
+                        },
+                    });
+                } else {
+                    self.record(
+                        now,
+                        InvariantViolation::MissedDiscovery {
+                            monitor: m.id(),
+                            target: t.id(),
+                        },
+                    );
                 }
             }
         }
@@ -656,10 +832,79 @@ mod tests {
     }
 
     #[test]
+    fn incremental_skips_unchanged_nodes_and_rechecks_dirty_ones() {
+        let (mut checker, config) = checker(InvariantMode::Record);
+        let mut node = live_node(&config, 1);
+        // Give the node a few real monitors so set verification costs
+        // something measurable.
+        let selector = HashSelector::from_config_with_kind(&config, HasherKind::Fast64);
+        let monitors: Vec<NodeId> = (100..)
+            .map(NodeId::from_index)
+            .filter(|&m| selector.is_monitor(m, node.id()))
+            .take(3)
+            .collect();
+        let mut persistent = node.snapshot_persistent();
+        persistent.ps.extend(&monitors);
+        node.restore_persistent(persistent);
+
+        checker.node_up(node.id(), 0);
+        checker.on_sample(1000, std::iter::once(&node));
+        let checks_after_first = checker.summary().checks;
+        assert!(checks_after_first >= 3, "first sample verifies everything");
+
+        // Nothing changed: the whole node-sample is an O(1) skip.
+        checker.on_sample(2000, std::iter::once(&node));
+        assert_eq!(checker.summary().set_scans_skipped, 1);
+        assert_eq!(checker.summary().checks, checks_after_first);
+
+        // Epoch bump (same membership): re-verified, served from the memo.
+        let persistent = node.snapshot_persistent();
+        node.restore_persistent(persistent);
+        checker.on_sample(3000, std::iter::once(&node));
+        assert!(checker.summary().checks > checks_after_first);
+        assert!(
+            checker.summary().memo_hits >= 3,
+            "repeat pairs must hit the memo"
+        );
+        assert!(checker.summary().passed());
+    }
+
+    #[test]
+    fn full_rescan_never_skips() {
+        let config = Config::builder(100).build().unwrap();
+        let selector = HashSelector::from_config_with_kind(&config, HasherKind::Fast64);
+        let mut checker = InvariantChecker::new(
+            InvariantConfig::default().strategy(CheckStrategy::FullRescan),
+            selector,
+            &config,
+            0,
+            false,
+        );
+        let node = live_node(&config, 1);
+        checker.node_up(node.id(), 0);
+        checker.on_sample(1000, std::iter::once(&node));
+        let first = checker.summary().checks;
+        checker.on_sample(2000, std::iter::once(&node));
+        assert_eq!(checker.summary().set_scans_skipped, 0);
+        assert_eq!(
+            checker.summary().memo_hits,
+            0,
+            "full rescan bypasses the memo"
+        );
+        assert_eq!(
+            checker.summary().checks,
+            2 * first,
+            "same work every sample"
+        );
+    }
+
+    #[test]
     fn violations_serialize_round_trip() {
         let summary = InvariantSummary {
             enabled: true,
             checks: 7,
+            set_scans_skipped: 2,
+            memo_hits: 3,
             violations: vec![RecordedViolation {
                 at: 42,
                 violation: InvariantViolation::MonitorConvergence {

@@ -83,7 +83,8 @@ pub mod scenario;
 
 pub use engine::{SimOptions, Simulation};
 pub use invariants::{
-    InvariantChecker, InvariantConfig, InvariantMode, InvariantSummary, InvariantViolation,
+    CheckStrategy, InvariantChecker, InvariantConfig, InvariantMode, InvariantSummary,
+    InvariantViolation,
 };
 pub use metrics::{AvailabilityMeasure, DiscoveryLog, NodeSeries, SimReport};
 pub use network::{LatencyModel, LinkFaults, NetworkModel};

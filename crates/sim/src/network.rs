@@ -280,6 +280,20 @@ pub(crate) struct NetworkState {
     model: NetworkModel,
     links: Vec<LinkWindow>,
     bursts: Vec<BurstWindow>,
+    /// Overall `[from, until)` span covering every link window — lets the
+    /// per-message hot path skip the window scan entirely outside fault
+    /// intervals (large runs route hundreds of millions of messages).
+    links_span: (TimeMs, TimeMs),
+    /// Same for the burst windows.
+    bursts_span: (TimeMs, TimeMs),
+}
+
+/// The overall `[from, until)` hull of a set of windows (empty ⇒ `(0, 0)`,
+/// which `now >= until` rejects for every `now`).
+fn span(windows: impl Iterator<Item = (TimeMs, TimeMs)>) -> (TimeMs, TimeMs) {
+    windows.fold((TimeMs::MAX, 0), |(lo, hi), (from, until)| {
+        (lo.min(from), hi.max(until))
+    })
 }
 
 impl NetworkState {
@@ -326,10 +340,14 @@ impl NetworkState {
                 }
             }
         }
+        let links_span = span(links.iter().map(|w| (w.from, w.until)));
+        let bursts_span = span(bursts.iter().map(|w| (w.from, w.until)));
         NetworkState {
             model,
             links,
             bursts,
+            links_span,
+            bursts_span,
         }
     }
 
@@ -349,11 +367,14 @@ impl NetworkState {
         let base_delay = self.model.latency.sample(rng);
 
         // Hard link rules first: a full partition drops without consuming
-        // further randomness.
+        // further randomness. The span check keeps the fault-free (or
+        // already-healed) hot path free of the per-window scan.
         let mut link_loss: f64 = 0.0;
-        for window in &self.links {
-            if window.applies(now, src, dst) {
-                link_loss = link_loss.max(window.loss);
+        if now >= self.links_span.0 && now < self.links_span.1 {
+            for window in &self.links {
+                if window.applies(now, src, dst) {
+                    link_loss = link_loss.max(window.loss);
+                }
             }
         }
         if link_loss >= 1.0 {
@@ -363,9 +384,11 @@ impl NetworkState {
         // Effective probabilistic loss: base, plus the strongest active
         // burst, plus any partial link degradation.
         let mut loss = self.model.faults.loss.max(link_loss);
-        for burst in &self.bursts {
-            if now >= burst.from && now < burst.until {
-                loss = loss.max(burst.loss);
+        if now >= self.bursts_span.0 && now < self.bursts_span.1 {
+            for burst in &self.bursts {
+                if now >= burst.from && now < burst.until {
+                    loss = loss.max(burst.loss);
+                }
             }
         }
         if loss > 0.0 && rng.gen::<f64>() < loss {

@@ -208,6 +208,18 @@ impl Scenario {
             .collect()
     }
 
+    /// The freeze windows indexed per node, for O(1) per-event lookup in
+    /// the engine's delivery/timer hot path (a flat window list would be
+    /// rescanned for *every* message of a large run).
+    pub(crate) fn freeze_index(&self) -> std::collections::HashMap<NodeId, Vec<(TimeMs, TimeMs)>> {
+        let mut index: std::collections::HashMap<NodeId, Vec<(TimeMs, TimeMs)>> =
+            std::collections::HashMap::new();
+        for (node, from, until) in self.freeze_windows() {
+            index.entry(node).or_default().push((from, until));
+        }
+        index
+    }
+
     /// Generates a random scenario for fuzz-style sweeps: 1–4 faults drawn
     /// from every fault family, placed inside `[window_from, window_to)`
     /// over the given identity population. Fully determined by `seed`,
