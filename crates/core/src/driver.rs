@@ -132,10 +132,19 @@ pub fn collect_actions(node: &mut Node) -> Vec<Action> {
 /// Replaces the per-driver timer heaps the pre-poll drivers each carried.
 /// `u64` sequence numbers break `at` ties in arm order, so two drivers
 /// arming the same timers produce the same firing order.
+///
+/// Almost every [`Timer::Expire`] dies unfired — the ping it guards is
+/// answered — so the queue supports two ways to keep dead timers out of
+/// the node's way: an explicit lazy [`TimerQueue::cancel`], and
+/// [`TimerQueue::pop_due_where`], which discards due timers a
+/// caller-supplied predicate (typically [`Node::timer_live`]) rejects.
 #[derive(Debug, Default)]
 pub struct TimerQueue {
     heap: BinaryHeap<Reverse<(TimeMs, u64, Timer)>>,
     seq: u64,
+    /// Lazily-deleted timers: `cancel` counts them here, and pops silently
+    /// drop matching entries instead of returning them.
+    cancelled: std::collections::HashMap<Timer, u32>,
 }
 
 impl TimerQueue {
@@ -151,13 +160,52 @@ impl TimerQueue {
         self.seq += 1;
     }
 
+    /// Cancels one pending instance of `timer` lazily: the entry stays in
+    /// the heap but is silently dropped when it surfaces, in O(1) — the
+    /// heap's ordering is never disturbed. Cancelling a timer that is not
+    /// pending poisons the *next* arming of an equal timer, so only cancel
+    /// what was actually armed (nonce-carrying [`Timer::Expire`] values
+    /// make the match exact in practice).
+    pub fn cancel(&mut self, timer: Timer) {
+        *self.cancelled.entry(timer).or_insert(0) += 1;
+    }
+
     /// Pops the next timer due at or before `now`, if any.
     pub fn pop_due(&mut self, now: TimeMs) -> Option<Timer> {
-        let &Reverse((at, _, _)) = self.heap.peek()?;
-        if at > now {
-            return None;
+        self.pop_due_where(now, |_| true)
+    }
+
+    /// Pops the next *live* timer due at or before `now`: due entries that
+    /// were [`cancelled`](TimerQueue::cancel) or that `live` rejects are
+    /// discarded without being returned. Pass [`Node::timer_live`] to let
+    /// ponged-ping expiries die in the queue instead of round-tripping
+    /// through the node.
+    pub fn pop_due_where(
+        &mut self,
+        now: TimeMs,
+        mut live: impl FnMut(&Timer) -> bool,
+    ) -> Option<Timer> {
+        loop {
+            let &Reverse((at, _, _)) = self.heap.peek()?;
+            if at > now {
+                return None;
+            }
+            let Reverse((_, _, timer)) = self.heap.pop().expect("peeked");
+            // The emptiness check keeps the common no-cancellations case
+            // free of a per-pop hash lookup.
+            if !self.cancelled.is_empty() {
+                if let Some(count) = self.cancelled.get_mut(&timer) {
+                    *count -= 1;
+                    if *count == 0 {
+                        self.cancelled.remove(&timer);
+                    }
+                    continue;
+                }
+            }
+            if live(&timer) {
+                return Some(timer);
+            }
         }
-        self.heap.pop().map(|Reverse((_, _, timer))| timer)
     }
 
     /// The deadline of the earliest pending timer.
@@ -181,6 +229,7 @@ impl TimerQueue {
     /// Drops all pending timers (driver restart hygiene).
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.cancelled.clear();
     }
 }
 
@@ -299,8 +348,43 @@ mod tests {
     fn timer_queue_clear() {
         let mut q = TimerQueue::new();
         q.arm(Timer::Protocol, 5);
+        q.cancel(Timer::Protocol);
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.pop_due(u64::MAX), None);
+        // The cancellation died with the clear: a re-armed timer fires.
+        q.arm(Timer::Protocol, 6);
+        assert_eq!(q.pop_due(10), Some(Timer::Protocol));
+    }
+
+    #[test]
+    fn timer_queue_cancel_drops_one_instance_lazily() {
+        let mut q = TimerQueue::new();
+        q.arm(Timer::Expire(Nonce(1)), 10);
+        q.arm(Timer::Expire(Nonce(2)), 11);
+        q.arm(Timer::Expire(Nonce(1)), 12);
+        q.cancel(Timer::Expire(Nonce(1)));
+        // The first Nonce(1) entry dies in the queue; the second survives.
+        assert_eq!(q.pop_due(100), Some(Timer::Expire(Nonce(2))));
+        assert_eq!(q.pop_due(100), Some(Timer::Expire(Nonce(1))));
+        assert_eq!(q.pop_due(100), None);
+    }
+
+    #[test]
+    fn timer_queue_pop_due_where_filters_dead_timers() {
+        let mut q = TimerQueue::new();
+        q.arm(Timer::Expire(Nonce(7)), 10);
+        q.arm(Timer::Monitoring, 10);
+        q.arm(Timer::Expire(Nonce(8)), 10);
+        // The predicate plays the role of Node::timer_live: nonce 7 was
+        // already answered, so its expiry must never reach the node.
+        let live = |t: &Timer| !matches!(t, Timer::Expire(Nonce(7)));
+        assert_eq!(q.pop_due_where(100, live), Some(Timer::Monitoring));
+        assert_eq!(q.pop_due_where(100, live), Some(Timer::Expire(Nonce(8))));
+        assert_eq!(q.pop_due_where(100, live), None);
+        // Not-yet-due timers are untouched by the filter.
+        q.arm(Timer::Protocol, 500);
+        assert_eq!(q.pop_due_where(100, |_| false), None);
+        assert_eq!(q.len(), 1);
     }
 }

@@ -3,7 +3,7 @@
 //! All effects are queued on the node's internal output queues and drained
 //! by the driver through the poll interface.
 
-use super::{AppEvent, Node, Pending, Timer};
+use super::{AppEvent, Node, Pending};
 use crate::message::Message;
 use crate::time::TimeMs;
 use crate::NodeId;
@@ -43,11 +43,8 @@ impl Node {
                         hops: 0,
                     },
                 );
-                let nonce = self.fresh_nonce();
-                self.pending
-                    .insert(nonce, Pending::InitView { peer: contact });
+                let nonce = self.begin_request(now, Pending::InitView { peer: contact });
                 self.send(contact, Message::InitViewRequest { nonce });
-                self.arm_timer(Timer::Expire(nonce), now + self.config.ping_timeout);
             }
             return;
         }
@@ -67,18 +64,14 @@ impl Node {
         // 1. Ping a random coarse-view entry; unresponsive ⇒ removed (via
         //    the Expire timer).
         if let Some(z) = self.view.pick_random(&mut self.rng) {
-            let nonce = self.fresh_nonce();
-            self.pending.insert(nonce, Pending::ViewPing { peer: z });
+            let nonce = self.begin_request(now, Pending::ViewPing { peer: z });
             self.send(z, Message::ViewPing { nonce });
-            self.arm_timer(Timer::Expire(nonce), now + self.config.ping_timeout);
         }
 
         // 2. Fetch the coarse view of another random entry.
         if let Some(w) = self.view.pick_random(&mut self.rng) {
-            let nonce = self.fresh_nonce();
-            self.pending.insert(nonce, Pending::ViewFetch { peer: w });
+            let nonce = self.begin_request(now, Pending::ViewFetch { peer: w });
             self.send(w, Message::ViewFetch { nonce });
-            self.arm_timer(Timer::Expire(nonce), now + self.config.ping_timeout);
         }
 
         // 3. PR2 (§5.4): if no monitoring ping has arrived for two protocol

@@ -34,6 +34,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use avmon_hash::{PointMemo, Threshold};
+
 use crate::behavior::Behavior;
 use crate::codec;
 use crate::config::{Config, DiscoveryMode};
@@ -70,6 +72,22 @@ pub enum Timer {
     /// The monitoring-ping period tick (§3.3).
     Monitoring,
     /// Expiry of an outstanding request (ping / fetch / RPC).
+    ///
+    /// # Expiry contract (lazy / cancellable timers)
+    ///
+    /// Every `Expire` is armed together with a per-nonce deadline stamp on
+    /// the node's pending-request table. A firing is *live* only while the
+    /// request is still outstanding **and** the firing time has reached the
+    /// stamped deadline; [`Node::handle_timer`] discards anything else in
+    /// `O(1)` — a pong that already retired the request (the common case:
+    /// almost every ping is answered), or a stale firing from an earlier
+    /// arming of a reused nonce (so re-armed nonces never resurrect old
+    /// timers). Drivers are therefore free to *drop* dead `Expire` timers
+    /// without delivering them: [`Node::timer_live`] answers the same
+    /// question without a `&mut` borrow, which is what lets the simulator's
+    /// calendar and [`crate::driver::TimerQueue::pop_due_where`] skip
+    /// ponged pings before they ever touch the node. Delivering a dead
+    /// firing anyway is also fine — it is a no-op.
     Expire(Nonce),
 }
 
@@ -196,6 +214,16 @@ enum Pending {
     History { monitor: NodeId, target: NodeId },
 }
 
+/// An outstanding request plus the absolute deadline its [`Timer::Expire`]
+/// was armed for — the stamp behind the lazy-expiry contract (see
+/// [`Timer::Expire`]): a firing earlier than `deadline` is a stale timer
+/// from a previous arming of a reused nonce and is discarded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PendingEntry {
+    state: Pending,
+    deadline: TimeMs,
+}
+
 /// Per-target monitoring state kept by a monitor (an entry of `TS(x)`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TargetRecord {
@@ -288,7 +316,18 @@ pub struct Node {
     view: CoarseView,
     ps: BTreeSet<NodeId>,
     targets: BTreeMap<NodeId, TargetRecord>,
-    pending: HashMap<Nonce, Pending>,
+    pending: HashMap<Nonce, PendingEntry>,
+    /// Pair-point memo serving repeat consistency-condition checks in O(1)
+    /// when the selector is a pure pair hash (`memo_threshold` is `Some`).
+    /// Purely an evaluation cache: it changes no protocol decision and
+    /// draws no randomness — `process_fetched_view` re-scans mostly the
+    /// same pairs every period (Fig. 2), and with an expensive hasher
+    /// (the paper's MD5) the re-hashing dominates the whole period cost.
+    memo: PointMemo,
+    /// The cached acceptance threshold; `None` disables memoization and
+    /// routes every check through `MonitorSelector::is_monitor` (always the
+    /// case for membership-dependent selectors, whose answers may change).
+    memo_threshold: Option<Threshold>,
     /// Pairs this node has already NOTIFY-ed, so that rediscovering the
     /// same match every period (Fig. 2 re-scans all pairs) does not
     /// retransmit. Bounded: cleared wholesale when it reaches capacity, so
@@ -342,6 +381,12 @@ impl Node {
     #[must_use]
     pub fn new(id: NodeId, config: Config, selector: SharedSelector, seed: u64) -> Self {
         let cvs = config.cvs;
+        let memo_slots = Node::default_memo_slots(&config);
+        let memo_threshold = if memo_slots > 0 {
+            selector.selection_threshold()
+        } else {
+            None
+        };
         Node {
             id,
             config,
@@ -352,6 +397,8 @@ impl Node {
             ps: BTreeSet::new(),
             targets: BTreeMap::new(),
             pending: HashMap::new(),
+            memo: PointMemo::new(memo_slots),
+            memo_threshold,
             notified: std::collections::HashSet::new(),
             notified_cap: (8 * cvs * cvs).max(1024),
             notified_cleared_at: 0,
@@ -367,6 +414,44 @@ impl Node {
             timerbox: VecDeque::new(),
             eventbox: VecDeque::new(),
         }
+    }
+
+    /// Default pair-point memo size: enough slots for the Fig. 2 view
+    /// cross-check working set (`2·(cvs+2)²` ordered pairs) at small and
+    /// medium deployments, and **zero** above 8 192 nodes — per-node pair
+    /// caches cannot scale memory-wise to very large simulated populations,
+    /// and there the cheap default hasher makes them a wash anyway. Large
+    /// deployments that pay for an expensive hasher (the paper's MD5)
+    /// should opt back in via [`Node::set_point_memo_slots`].
+    fn default_memo_slots(config: &Config) -> usize {
+        if config.system_size > 8192 {
+            0
+        } else {
+            (2 * (config.cvs + 2) * (config.cvs + 2)).clamp(1024, 16384)
+        }
+    }
+
+    /// Resizes (or, with `0`, disables) the consistency-condition pair
+    /// memo, dropping everything cached. Memoization only ever engages for
+    /// pure-hash selectors ([`MonitorSelector::selection_threshold`] is
+    /// `Some`); it is an evaluation cache with no observable effect on
+    /// protocol decisions, emitted messages, timers, or RNG draws — the
+    /// differential harness in `tests/equivalence.rs` holds same-seed runs
+    /// byte-identical with the memo on and off.
+    pub fn set_point_memo_slots(&mut self, slots: usize) {
+        self.memo = PointMemo::new(slots);
+        self.memo_threshold = if slots > 0 {
+            self.selector.selection_threshold()
+        } else {
+            None
+        };
+    }
+
+    /// `(hits, misses)` of the consistency-condition pair memo (both zero
+    /// when memoization is disabled or the selector is not a pure hash).
+    #[must_use]
+    pub fn point_memo_stats(&self) -> (u64, u64) {
+        (self.memo.hits(), self.memo.misses())
     }
 
     /// Sets the node's behavior (attack model); defaults to honest.
@@ -600,11 +685,8 @@ impl Node {
                             },
                         );
                     }
-                    let nonce = self.fresh_nonce();
-                    self.pending
-                        .insert(nonce, Pending::InitView { peer: contact });
+                    let nonce = self.begin_request(now, Pending::InitView { peer: contact });
                     self.send(contact, Message::InitViewRequest { nonce });
-                    self.arm_timer(Timer::Expire(nonce), now + self.config.ping_timeout);
                 }
                 // Random phase so periods are asynchronous across nodes.
                 let phase = self.rng.gen_range(0..self.config.protocol_period);
@@ -633,7 +715,11 @@ impl Node {
                 self.send(from, Message::InitViewReply { nonce, view });
             }
             Message::InitViewReply { nonce, view } => {
-                if let Some(Pending::InitView { peer }) = self.pending.remove(&nonce) {
+                if let Some(PendingEntry {
+                    state: Pending::InitView { peer },
+                    ..
+                }) = self.pending.remove(&nonce)
+                {
                     if peer == from {
                         let mut adopted = 0;
                         for id in view {
@@ -650,8 +736,15 @@ impl Node {
                 self.send(from, Message::ViewPong { nonce });
             }
             Message::ViewPong { nonce } => {
-                if let Some(Pending::ViewPing { peer }) = self.pending.get(&nonce) {
+                if let Some(PendingEntry {
+                    state: Pending::ViewPing { peer },
+                    ..
+                }) = self.pending.get(&nonce)
+                {
                     if *peer == from {
+                        // Retiring the entry cancels the armed Expire: the
+                        // firing fails the liveness check and is discarded
+                        // (or dropped by the driver before delivery).
                         self.pending.remove(&nonce);
                     }
                 }
@@ -662,8 +755,12 @@ impl Node {
                 self.send(from, Message::ViewFetchReply { nonce, view });
             }
             Message::ViewFetchReply { nonce, view } => {
-                if let Some(Pending::ViewFetch { peer }) = self.pending.get(&nonce).cloned() {
-                    if peer == from {
+                if let Some(PendingEntry {
+                    state: Pending::ViewFetch { peer },
+                    ..
+                }) = self.pending.get(&nonce)
+                {
+                    if *peer == from {
                         self.pending.remove(&nonce);
                         self.process_fetched_view(now, from, &view);
                     }
@@ -678,7 +775,11 @@ impl Node {
                 self.send(from, Message::MonitorPong { nonce });
             }
             Message::MonitorPong { nonce } => {
-                if let Some(Pending::MonitorPing { peer }) = self.pending.get(&nonce) {
+                if let Some(PendingEntry {
+                    state: Pending::MonitorPing { peer },
+                    ..
+                }) = self.pending.get(&nonce)
+                {
                     if *peer == from {
                         self.pending.remove(&nonce);
                         self.record_pong(now, from);
@@ -689,11 +790,14 @@ impl Node {
                 self.serve_report(from, nonce, count);
             }
             Message::ReportReply { nonce, monitors } => {
-                if let Some(Pending::Report { target }) = self.pending.remove(&nonce) {
+                if let Some(PendingEntry {
+                    state: Pending::Report { target },
+                    ..
+                }) = self.pending.remove(&nonce)
+                {
                     if target == from {
                         self.stats.hash_checks += monitors.len() as u64;
-                        let verification =
-                            crate::selector::verify_report(&*self.selector, target, &monitors);
+                        let verification = self.verify_report_memoized(target, &monitors);
                         self.emit(AppEvent::ReportOutcome {
                             target,
                             verification,
@@ -710,9 +814,13 @@ impl Node {
                 availability,
                 samples,
             } => {
-                if let Some(Pending::History {
-                    monitor,
-                    target: expected,
+                if let Some(PendingEntry {
+                    state:
+                        Pending::History {
+                            monitor,
+                            target: expected,
+                        },
+                    ..
                 }) = self.pending.remove(&nonce)
                 {
                     if monitor == from && target == expected {
@@ -746,8 +854,18 @@ impl Node {
                 self.arm_timer(Timer::Monitoring, now + self.config.monitoring_period);
             }
             Timer::Expire(nonce) => {
-                if let Some(pending) = self.pending.remove(&nonce) {
-                    self.handle_expiry(now, pending);
+                // Lazy-expiry contract (see [`Timer::Expire`]): fire only
+                // while the request is outstanding AND this firing has
+                // reached the stamped deadline. Everything else — a ponged
+                // request, or a stale firing from an earlier arming of a
+                // reused nonce — is discarded in O(1), so a re-armed nonce
+                // can never be expired early by its predecessor's timer.
+                if self.timer_live(Timer::Expire(nonce), now) {
+                    let entry = self
+                        .pending
+                        .remove(&nonce)
+                        .expect("timer_live implies a pending entry");
+                    self.handle_expiry(now, entry.state);
                 }
             }
         }
@@ -756,20 +874,15 @@ impl Node {
     /// Issues a monitor-report request to `target` (the "l out of K" client
     /// side, §3.3). The reply surfaces as [`AppEvent::ReportOutcome`].
     pub fn request_report(&mut self, now: TimeMs, target: NodeId, count: u8) {
-        let nonce = self.fresh_nonce();
-        self.pending.insert(nonce, Pending::Report { target });
+        let nonce = self.begin_request(now, Pending::Report { target });
         self.send(target, Message::ReportRequest { nonce, count });
-        self.arm_timer(Timer::Expire(nonce), now + self.config.ping_timeout);
     }
 
     /// Asks `monitor` for its measured availability of `target`. The reply
     /// surfaces as [`AppEvent::HistoryOutcome`].
     pub fn request_history(&mut self, now: TimeMs, monitor: NodeId, target: NodeId) {
-        let nonce = self.fresh_nonce();
-        self.pending
-            .insert(nonce, Pending::History { monitor, target });
+        let nonce = self.begin_request(now, Pending::History { monitor, target });
         self.send(monitor, Message::HistoryRequest { nonce, target });
-        self.arm_timer(Timer::Expire(nonce), now + self.config.ping_timeout);
     }
 
     fn handle_expiry(&mut self, now: TimeMs, pending: Pending) {
@@ -798,9 +911,53 @@ impl Node {
     }
 
     /// Evaluates the consistency condition, counting the hash computation.
+    ///
+    /// `hash_checks` counts condition *evaluations* (the paper's
+    /// computation metric), not raw hash invocations — a memo hit still
+    /// counts, so the counter is identical with memoization on and off.
     fn check(&mut self, monitor: NodeId, target: NodeId) -> bool {
         self.stats.hash_checks += 1;
-        self.selector.is_monitor(monitor, target)
+        self.condition(monitor, target)
+    }
+
+    /// The consistency condition without the counter bump: served from the
+    /// pair-point memo when the selector is a pure hash, otherwise straight
+    /// from the selector. Pure-hash points never change, so the memoized
+    /// and direct answers are always identical.
+    fn condition(&mut self, monitor: NodeId, target: NodeId) -> bool {
+        match self.memo_threshold {
+            Some(threshold) => {
+                let selector = &self.selector;
+                let point = self.memo.point_with(monitor.to_u64(), target.to_u64(), || {
+                    selector
+                        .hash_point(monitor, target)
+                        .expect("selection_threshold() implies hash_point()")
+                });
+                threshold.accepts(point)
+            }
+            None => self.selector.is_monitor(monitor, target),
+        }
+    }
+
+    /// [`crate::selector::verify_report`] with the condition served
+    /// through the node's pair-point memo: same partition, same order, same
+    /// rejection of self-claims — the caller accounts `hash_checks` for the
+    /// whole claim list exactly as the unmemoized path did.
+    fn verify_report_memoized(&mut self, target: NodeId, claimed: &[NodeId]) -> ReportVerification {
+        let mut verified = Vec::new();
+        let mut rejected = Vec::new();
+        for &m in claimed {
+            if m != target && self.condition(m, target) {
+                verified.push(m);
+            } else {
+                rejected.push(m);
+            }
+        }
+        ReportVerification {
+            target,
+            verified,
+            rejected,
+        }
     }
 
     /// Queues `msg` to `to`, maintaining send-side accounting.
@@ -817,6 +974,36 @@ impl Node {
     /// Queues a timer request.
     fn arm_timer(&mut self, timer: Timer, at: TimeMs) {
         self.timerbox.push_back((timer, at));
+    }
+
+    /// Registers an outstanding request: draws a fresh nonce, stamps the
+    /// expiry deadline (`now + ping_timeout`) on the pending table, and
+    /// arms the matching [`Timer::Expire`]. The single entry point keeps
+    /// the deadline stamp and the armed timer in lockstep — the invariant
+    /// the lazy-expiry contract rests on.
+    fn begin_request(&mut self, now: TimeMs, state: Pending) -> Nonce {
+        let nonce = self.fresh_nonce();
+        let deadline = now + self.config.ping_timeout;
+        self.pending.insert(nonce, PendingEntry { state, deadline });
+        self.arm_timer(Timer::Expire(nonce), deadline);
+        nonce
+    }
+
+    /// Whether firing `timer` at `now` would do any work — the driver-side
+    /// half of the lazy-expiry contract on [`Timer::Expire`]. Periodic
+    /// timers are always live; an `Expire` is live only while its request
+    /// is still outstanding and `now` has reached the stamped deadline.
+    /// Drivers may drop dead timers instead of delivering them; only call
+    /// this for timers that are actually due (`now ≥` their armed time).
+    #[must_use]
+    pub fn timer_live(&self, timer: Timer, now: TimeMs) -> bool {
+        match timer {
+            Timer::Expire(nonce) => self
+                .pending
+                .get(&nonce)
+                .is_some_and(|entry| now >= entry.deadline),
+            _ => true,
+        }
     }
 
     /// Queues an application event.

@@ -6,7 +6,7 @@
 
 use rand::Rng;
 
-use super::{Node, Pending, Timer};
+use super::{Node, Pending};
 use crate::history::AvailabilityStore;
 use crate::message::{Message, Nonce};
 use crate::time::TimeMs;
@@ -42,15 +42,12 @@ impl Node {
         self.stats.monitor_pings_suppressed += suppressed;
 
         for target in to_ping {
-            let nonce = self.fresh_nonce();
-            self.pending
-                .insert(nonce, Pending::MonitorPing { peer: target });
+            let nonce = self.begin_request(now, Pending::MonitorPing { peer: target });
             self.send(target, Message::MonitorPing { nonce });
             self.stats.monitor_pings_sent += 1;
             if let Some(rec) = self.targets.get_mut(&target) {
                 rec.pings_sent += 1;
             }
-            self.arm_timer(Timer::Expire(nonce), now + self.config.ping_timeout);
         }
     }
 

@@ -1227,3 +1227,166 @@ fn stats_accounting_counts_messages_and_bytes() {
         .sum();
     assert_eq!(n.stats().bytes_sent, expected_bytes);
 }
+
+// ------------------------------------------------- lazy-expiry semantics
+//
+// The timer-wheel contract on `Timer::Expire` (PR 5): a pong before the
+// deadline cancels the expiry, a genuine timeout still fires exactly once,
+// and a re-armed nonce never resurrects a stale timer.
+
+/// Drives one protocol period and returns the armed `(ViewPing nonce,
+/// deadline)` pair.
+fn armed_view_ping(n: &mut Node, now: TimeMs) -> (Nonce, TimeMs) {
+    n.handle_timer(now, Timer::Protocol);
+    let actions = drain(n);
+    let ping_nonce = sends(&actions)
+        .iter()
+        .find_map(|(_, m)| match m {
+            Message::ViewPing { nonce } => Some(*nonce),
+            _ => None,
+        })
+        .expect("protocol period pings a view entry");
+    let deadline = timers(&actions)
+        .iter()
+        .find_map(|(t, at)| (*t == Timer::Expire(ping_nonce)).then_some(*at))
+        .expect("the ping arms its expiry");
+    (ping_nonce, deadline)
+}
+
+#[test]
+fn pong_before_deadline_cancels_the_expiry() {
+    let mut n = mk_node(1, config(100), TestSelector::none());
+    n.seed_view(&[id(2)]);
+    let (nonce, deadline) = armed_view_ping(&mut n, MINUTE);
+    assert!(
+        n.timer_live(Timer::Expire(nonce), deadline),
+        "an unanswered ping's expiry is live at its deadline"
+    );
+    n.handle_message(MINUTE + 1, id(2), Message::ViewPong { nonce });
+    let _ = drain(&mut n);
+    // The pong killed the timer: drivers may drop it without delivering…
+    assert!(!n.timer_live(Timer::Expire(nonce), deadline));
+    // …and delivering it anyway is a guaranteed no-op: no false failure.
+    n.handle_timer(deadline, Timer::Expire(nonce));
+    assert!(!n.has_pending_output(), "a dead expiry must emit nothing");
+    assert!(n.view().contains(id(2)), "no false eviction");
+    assert_eq!(n.stats().view_evictions, 0);
+}
+
+#[test]
+fn genuine_timeout_fires_exactly_once() {
+    let mut n = mk_node(1, config(100), TestSelector::none());
+    n.seed_view(&[id(2)]);
+    let (nonce, deadline) = armed_view_ping(&mut n, MINUTE);
+    n.handle_timer(deadline, Timer::Expire(nonce));
+    let _ = drain(&mut n);
+    assert!(!n.view().contains(id(2)), "timeout evicts the silent entry");
+    assert_eq!(n.stats().view_evictions, 1);
+    // A duplicate firing (a driver replaying the same timer) is dead.
+    assert!(!n.timer_live(Timer::Expire(nonce), deadline));
+    n.handle_timer(deadline + 1, Timer::Expire(nonce));
+    let _ = drain(&mut n);
+    assert_eq!(n.stats().view_evictions, 1, "an expiry fires exactly once");
+}
+
+#[test]
+fn rearmed_nonce_does_not_resurrect_stale_timer() {
+    let mut n = mk_node(1, config(100), TestSelector::none());
+    n.seed_view(&[id(2)]);
+    let (nonce, first_deadline) = armed_view_ping(&mut n, MINUTE);
+    // The ping is answered, retiring the nonce…
+    n.handle_message(MINUTE + 1, id(2), Message::ViewPong { nonce });
+    let _ = drain(&mut n);
+    // …and a later request happens to re-draw the same nonce, with a later
+    // deadline (forced here; the RNG makes this a 2⁻⁶⁴ event per draw).
+    let second_deadline = first_deadline + 30 * 1000;
+    n.pending.insert(
+        nonce,
+        PendingEntry {
+            state: Pending::ViewPing { peer: id(2) },
+            deadline: second_deadline,
+        },
+    );
+    // The FIRST arming's timer is still in flight and fires now: it must
+    // not expire the second request early. Before the deadline stamp this
+    // was a false failure — the stale timer removed the fresh entry.
+    assert!(!n.timer_live(Timer::Expire(nonce), first_deadline));
+    n.handle_timer(first_deadline, Timer::Expire(nonce));
+    let _ = drain(&mut n);
+    assert!(n.view().contains(id(2)), "stale timer must not evict");
+    assert_eq!(n.stats().view_evictions, 0);
+    assert!(
+        n.pending.contains_key(&nonce),
+        "the re-armed request survives its predecessor's timer"
+    );
+    // The second arming's own firing still works.
+    assert!(n.timer_live(Timer::Expire(nonce), second_deadline));
+    n.handle_timer(second_deadline, Timer::Expire(nonce));
+    let _ = drain(&mut n);
+    assert!(!n.view().contains(id(2)), "the real timeout still fires");
+}
+
+#[test]
+fn periodic_timers_are_always_live() {
+    let n = mk_node(1, config(100), TestSelector::none());
+    assert!(n.timer_live(Timer::Protocol, 0));
+    assert!(n.timer_live(Timer::Monitoring, TimeMs::MAX));
+    // An unknown nonce is dead at any time.
+    assert!(!n.timer_live(Timer::Expire(Nonce(12345)), TimeMs::MAX));
+}
+
+#[test]
+fn memoized_and_unmemoized_checks_agree_with_identical_outputs() {
+    // Two nodes, same seed and inputs; one has the pair memo disabled.
+    // Every drained output and every observable set must stay identical —
+    // the node-level differential underlying `tests/equivalence.rs`.
+    let cfg = Config::builder(100).build().unwrap();
+    let mk = || {
+        let selector = Arc::new(crate::HashSelector::from_config(&cfg));
+        let mut node = Node::new(id(1), cfg.clone(), selector, 7);
+        node.seed_view(&[id(2), id(3), id(4), id(5)]);
+        node
+    };
+    let mut memoized = mk();
+    let mut plain = mk();
+    plain.set_point_memo_slots(0);
+    let fetched: Vec<NodeId> = (2..40).map(id).collect();
+    for round in 0..12u64 {
+        let now = MINUTE * (round + 1);
+        for node in [&mut memoized, &mut plain] {
+            node.handle_timer(now, Timer::Protocol);
+        }
+        let (a, b) = (drain(&mut memoized), drain(&mut plain));
+        assert_eq!(a, b, "round {round}: outputs diverged");
+        // Feed both the same fetch reply so the cross-check runs.
+        for (to, m) in sends(&a) {
+            if let Message::ViewFetch { nonce } = m {
+                for node in [&mut memoized, &mut plain] {
+                    node.handle_message(
+                        now + 1,
+                        to,
+                        Message::ViewFetchReply {
+                            nonce,
+                            view: fetched.clone(),
+                        },
+                    );
+                }
+            }
+        }
+        let (a, b) = (drain(&mut memoized), drain(&mut plain));
+        assert_eq!(a, b, "round {round}: cross-check outputs diverged");
+    }
+    let (hits, misses) = memoized.point_memo_stats();
+    assert!(hits > 0, "repeat pairs must hit the memo");
+    assert!(misses > 0);
+    assert_eq!(plain.point_memo_stats(), (0, 0));
+    assert_eq!(
+        memoized.pinging_set().collect::<Vec<_>>(),
+        plain.pinging_set().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        memoized.target_set().collect::<Vec<_>>(),
+        plain.target_set().collect::<Vec<_>>()
+    );
+    assert_eq!(memoized.stats(), plain.stats(), "hash_checks must match");
+}

@@ -48,6 +48,33 @@ pub trait MonitorSelector: Debug + Send + Sync {
     fn selection_threshold(&self) -> Option<Threshold> {
         None
     }
+
+    /// Batch enumeration of the condition over `monitors × targets`:
+    /// calls `out(mi, ti)` for every ordered pair with
+    /// `monitors[mi] != targets[ti]` and `is_monitor(monitors[mi],
+    /// targets[ti])`, in lexicographic `(mi, ti)` order.
+    ///
+    /// Semantically identical to the obvious double loop (which is the
+    /// default implementation); pure-hash selectors override it with a
+    /// staged enumeration that shares the hash prefix across every pair
+    /// whose target identities agree on their leading bytes — the basis of
+    /// the invariant checker's exact agreement-sweep candidate index.
+    /// Sorting `targets` by identity maximizes prefix sharing but is not
+    /// required for correctness.
+    fn accepted_pairs(
+        &self,
+        monitors: &[NodeId],
+        targets: &[NodeId],
+        out: &mut dyn FnMut(usize, usize),
+    ) {
+        for (mi, &m) in monitors.iter().enumerate() {
+            for (ti, &t) in targets.iter().enumerate() {
+                if m != t && self.is_monitor(m, t) {
+                    out(mi, ti);
+                }
+            }
+        }
+    }
 }
 
 /// Shared, dynamically-typed selector handle as stored by nodes.
@@ -136,6 +163,58 @@ impl<H: PairHasher> MonitorSelector for HashSelector<H> {
 
     fn selection_threshold(&self) -> Option<Threshold> {
         Some(self.threshold)
+    }
+
+    /// Staged enumeration: the 12-byte pair encoding is the monitor's 6
+    /// bytes followed by the target's 6, so its 8-byte hash prefix covers
+    /// the monitor plus the target's leading 2 bytes. For each monitor the
+    /// prefix state is recomputed only when that 2-byte run changes
+    /// (identity-sorted targets make runs maximal), and each pair pays only
+    /// the 4-byte tail resumption — measurably cheaper than packing and
+    /// hashing 12 bytes per pair. Falls back to the default double loop
+    /// when the hasher has no staged form (e.g. MD5).
+    fn accepted_pairs(
+        &self,
+        monitors: &[NodeId],
+        targets: &[NodeId],
+        out: &mut dyn FnMut(usize, usize),
+    ) {
+        if self.hasher.point12_prefix(&[0; 8]).is_none() {
+            for (mi, &m) in monitors.iter().enumerate() {
+                for (ti, &t) in targets.iter().enumerate() {
+                    if m != t && self.is_monitor(m, t) {
+                        out(mi, ti);
+                    }
+                }
+            }
+            return;
+        }
+        let target_bytes: Vec<[u8; 6]> = targets.iter().map(|t| t.to_bytes()).collect();
+        for (mi, &m) in monitors.iter().enumerate() {
+            let mb = m.to_bytes();
+            let mut prefix = [0u8; 8];
+            prefix[..6].copy_from_slice(&mb);
+            let mut run: Option<[u8; 2]> = None;
+            let mut state = 0u64;
+            for (ti, tb) in target_bytes.iter().enumerate() {
+                let lead = [tb[0], tb[1]];
+                if run != Some(lead) {
+                    prefix[6] = tb[0];
+                    prefix[7] = tb[1];
+                    state = self
+                        .hasher
+                        .point12_prefix(&prefix)
+                        .expect("staged support probed above");
+                    run = Some(lead);
+                }
+                let point = self
+                    .hasher
+                    .point12_resume(state, &[tb[2], tb[3], tb[4], tb[5]]);
+                if self.threshold.accepts(point) && m != targets[ti] {
+                    out(mi, ti);
+                }
+            }
+        }
     }
 }
 
@@ -600,6 +679,51 @@ mod tests {
             dht_rate > base_rate * 3.0,
             "DHT conditional rate {dht_rate} should blow past base {base_rate}"
         );
+    }
+
+    /// The staged batch enumeration must agree pair-for-pair, in order,
+    /// with the naive double loop over `is_monitor` — for the staged
+    /// fast64 hasher, the non-staged MD5 fallback, and a membership-based
+    /// selector using the trait default.
+    #[test]
+    fn accepted_pairs_matches_naive_loop() {
+        let nodes: Vec<NodeId> = (0..120)
+            .map(|i| {
+                // Mix identity shapes so target 2-byte prefixes actually vary.
+                NodeId::new(
+                    [10, (i % 3) as u8, (i / 7) as u8, i as u8],
+                    4000 + (i % 5) as u16,
+                )
+            })
+            .collect();
+        let selectors: Vec<Box<dyn MonitorSelector>> = vec![
+            Box::new(HashSelector::new(Fast64PairHasher::new(), 9.0, 120.0)),
+            Box::new(HashSelector::new(
+                avmon_hash::Md5PairHasher::new(),
+                9.0,
+                120.0,
+            )),
+            Box::new({
+                let mut ring = DhtRingSelector::new(5);
+                for &id in &nodes[..40] {
+                    ring.join(id);
+                }
+                ring
+            }),
+        ];
+        for selector in &selectors {
+            let mut naive = Vec::new();
+            for (mi, &m) in nodes.iter().enumerate() {
+                for (ti, &t) in nodes.iter().enumerate() {
+                    if m != t && selector.is_monitor(m, t) {
+                        naive.push((mi, ti));
+                    }
+                }
+            }
+            let mut batched = Vec::new();
+            selector.accepted_pairs(&nodes, &nodes, &mut |mi, ti| batched.push((mi, ti)));
+            assert_eq!(batched, naive, "selector {} diverged", selector.name());
+        }
     }
 
     #[test]

@@ -190,3 +190,151 @@ proptest! {
         }
     }
 }
+
+/// One step of the PR 5 memo-in-the-node property: what the node's
+/// memoized consistency check decides must always equal a fresh
+/// `hash_point` evaluation.
+#[derive(Debug, Clone)]
+enum MemoOp {
+    /// Deliver `Notify { monitor, target }` (drives the memoized check in
+    /// both directions against the node's own identity).
+    Notify(u8, u8),
+    /// Leave + rejoin: snapshot persistent state into a fresh incarnation
+    /// of the same identity (fresh memo, restored PS/TS).
+    Rejoin,
+    /// In-place incarnation bump of the durable state (restore without a
+    /// fresh node — exercises `restore_persistent` mid-life).
+    RestoreInPlace,
+    /// Process a fetched view (the Fig. 2 cross-check hot path).
+    Fetch(Vec<u8>),
+}
+
+fn arb_memo_op() -> impl Strategy<Value = MemoOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(m, t)| MemoOp::Notify(m, t)),
+        (any::<u8>(), any::<u8>()).prop_map(|(m, t)| MemoOp::Notify(m, t)),
+        Just(MemoOp::Rejoin),
+        Just(MemoOp::RestoreInPlace),
+        proptest::collection::vec(any::<u8>(), 0..24).prop_map(MemoOp::Fetch),
+    ]
+}
+
+proptest! {
+    /// Arbitrary interleavings of joins/leaves/incarnation bumps and
+    /// check-heavy protocol inputs never yield a memoized hash decision
+    /// that disagrees with a fresh `hash_point` computation: every entry
+    /// the node admits into `PS`/`TS` satisfies the condition computed
+    /// from scratch, and every offered pair that satisfies it is admitted.
+    #[test]
+    fn node_memo_never_disagrees_with_fresh_hash(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(arb_memo_op(), 1..60),
+    ) {
+        use std::sync::Arc;
+        let config = Config::builder(256).k(24).build().unwrap();
+        let fresh = HashSelector::from_config(&config);
+        let me = NodeId::from_index(1);
+        let mut node = avmon::Node::new(
+            me,
+            config.clone(),
+            Arc::new(HashSelector::from_config(&config)),
+            seed,
+        );
+        let mut offered: Vec<(NodeId, NodeId)> = Vec::new();
+        let drain = |node: &mut avmon::Node| {
+            while node.poll_transmit().is_some() {}
+            while node.poll_timer().is_some() {}
+            while node.poll_event().is_some() {}
+        };
+        for (step, op) in ops.iter().enumerate() {
+            let now = (step as u64 + 1) * 1000;
+            match op {
+                MemoOp::Notify(m, t) => {
+                    let (monitor, target) = (
+                        NodeId::from_index(u32::from(*m)),
+                        NodeId::from_index(u32::from(*t)),
+                    );
+                    node.handle_message(
+                        now,
+                        NodeId::from_index(2),
+                        Message::Notify { monitor, target },
+                    );
+                    offered.push((monitor, target));
+                }
+                MemoOp::Rejoin => {
+                    let persistent = node.snapshot_persistent();
+                    node = avmon::Node::new(
+                        me,
+                        config.clone(),
+                        Arc::new(HashSelector::from_config(&config)),
+                        seed ^ (step as u64 + 1),
+                    );
+                    node.restore_persistent(persistent);
+                }
+                MemoOp::RestoreInPlace => {
+                    let persistent = node.snapshot_persistent();
+                    node.restore_persistent(persistent);
+                }
+                MemoOp::Fetch(raw) => {
+                    // A real Fig. 2 round: seed the view, run a protocol
+                    // period, answer its ViewFetch with the raw id list —
+                    // the (cvs+2)² memoized cross-check runs on delivery.
+                    let view: Vec<NodeId> = raw
+                        .iter()
+                        .map(|&i| NodeId::from_index(u32::from(i)))
+                        .filter(|&v| v != me)
+                        .collect();
+                    node.seed_view(&view);
+                    node.handle_timer(now, avmon::Timer::Protocol);
+                    let mut fetch: Option<(NodeId, Nonce)> = None;
+                    while let Some(t) = node.poll_transmit() {
+                        if let (Some(to), Message::ViewFetch { nonce }) =
+                            (t.unicast_to(), &t.msg)
+                        {
+                            fetch = Some((to, *nonce));
+                        }
+                    }
+                    drain(&mut node);
+                    if let Some((peer, nonce)) = fetch {
+                        node.handle_message(
+                            now + 1,
+                            peer,
+                            Message::ViewFetchReply { nonce, view },
+                        );
+                    }
+                }
+            }
+            drain(&mut node);
+            // Soundness: everything admitted passes a fresh evaluation.
+            for monitor in node.pinging_set() {
+                prop_assert!(
+                    fresh.is_monitor(monitor, me),
+                    "memoized check admitted ghost monitor {monitor}"
+                );
+            }
+            for target in node.target_set() {
+                prop_assert!(
+                    fresh.is_monitor(me, target),
+                    "memoized check admitted ghost target {target}"
+                );
+            }
+        }
+        // Completeness: every offered pair involving this node that the
+        // fresh hash accepts was admitted (Notify re-verification admits
+        // exactly the condition pairs).
+        for (monitor, target) in offered {
+            if target == me && monitor != me && fresh.is_monitor(monitor, me) {
+                prop_assert!(
+                    node.pinging_set().any(|p| p == monitor),
+                    "memoized check rejected true monitor {monitor}"
+                );
+            }
+            if monitor == me && target != me && fresh.is_monitor(me, target) {
+                prop_assert!(
+                    node.target_set().any(|t| t == target),
+                    "memoized check rejected true target {target}"
+                );
+            }
+        }
+    }
+}

@@ -90,6 +90,20 @@ impl PairHasher for Fast64PairHasher {
     fn name(&self) -> &'static str {
         "fast64"
     }
+
+    /// Fast64 absorbs a 12-byte input as one 8-byte chunk plus a
+    /// zero-padded 4-byte tail, so the state after the first chunk is a
+    /// reusable prefix — see the trait docs.
+    fn point12_prefix(&self, prefix: &[u8; 8]) -> Option<u64> {
+        let state = self.seed ^ mix64(12);
+        Some(mix64(state ^ u64::from_le_bytes(*prefix)))
+    }
+
+    fn point12_resume(&self, state: u64, tail: &[u8; 4]) -> HashPoint {
+        let mut t = [0u8; 8];
+        t[..4].copy_from_slice(tail);
+        HashPoint::from_bits(mix64(mix64(state ^ u64::from_le_bytes(t))))
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +144,25 @@ mod tests {
         }
         let avg = f64::from(total_flips) / f64::from(trials);
         assert!((avg - 32.0).abs() < 4.0, "avalanche average {avg} bits");
+    }
+
+    #[test]
+    fn staged_12_byte_hash_matches_oneshot() {
+        for hasher in [Fast64PairHasher::new(), Fast64PairHasher::with_seed(99)] {
+            for i in 0u64..512 {
+                let mut input = [0u8; 12];
+                input[..8].copy_from_slice(&mix64(i).to_le_bytes());
+                input[8..].copy_from_slice(&(i as u32).to_le_bytes());
+                let prefix: [u8; 8] = input[..8].try_into().unwrap();
+                let tail: [u8; 4] = input[8..].try_into().unwrap();
+                let state = hasher.point12_prefix(&prefix).expect("fast64 is staged");
+                assert_eq!(
+                    hasher.point12_resume(state, &tail),
+                    hasher.point(&input),
+                    "staged hash diverged on input {input:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -65,6 +65,36 @@ pub trait PairHasher: Debug + Send + Sync {
 
     /// A short stable identifier (used in experiment output and logs).
     fn name(&self) -> &'static str;
+
+    /// Optional two-stage hashing of a 12-byte pair encoding, split as an
+    /// 8-byte prefix plus a 4-byte tail.
+    ///
+    /// When this returns `Some(state)`, the hasher promises that
+    /// [`PairHasher::point12_resume`]`(state, tail)` equals
+    /// [`PairHasher::point`] of the concatenated 12 bytes, for every tail.
+    /// Batch enumerators (e.g. the agreement-sweep candidate index) exploit
+    /// this to share the prefix absorption across every pair `(monitor, *)`
+    /// whose targets agree on their leading 2 identity bytes, cutting the
+    /// per-pair cost to the tail absorption alone.
+    ///
+    /// The default returns `None`: block hashers like MD5 pad a 12-byte
+    /// input into a single block and have no reusable prefix state.
+    fn point12_prefix(&self, prefix: &[u8; 8]) -> Option<u64> {
+        let _ = prefix;
+        None
+    }
+
+    /// Completes a two-stage 12-byte hash from a
+    /// [`PairHasher::point12_prefix`] state and the 4 tail bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hasher does not support two-stage hashing (i.e.
+    /// `point12_prefix` returns `None`) — callers must gate on the prefix.
+    fn point12_resume(&self, state: u64, tail: &[u8; 4]) -> HashPoint {
+        let _ = (state, tail);
+        panic!("point12_resume called on a hasher without point12_prefix support")
+    }
 }
 
 impl<T: PairHasher + ?Sized> PairHasher for &T {
@@ -75,6 +105,14 @@ impl<T: PairHasher + ?Sized> PairHasher for &T {
     fn name(&self) -> &'static str {
         (**self).name()
     }
+
+    fn point12_prefix(&self, prefix: &[u8; 8]) -> Option<u64> {
+        (**self).point12_prefix(prefix)
+    }
+
+    fn point12_resume(&self, state: u64, tail: &[u8; 4]) -> HashPoint {
+        (**self).point12_resume(state, tail)
+    }
 }
 
 impl<T: PairHasher + ?Sized> PairHasher for Box<T> {
@@ -84,6 +122,14 @@ impl<T: PairHasher + ?Sized> PairHasher for Box<T> {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn point12_prefix(&self, prefix: &[u8; 8]) -> Option<u64> {
+        (**self).point12_prefix(prefix)
+    }
+
+    fn point12_resume(&self, state: u64, tail: &[u8; 4]) -> HashPoint {
+        (**self).point12_resume(state, tail)
     }
 }
 

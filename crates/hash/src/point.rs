@@ -2,7 +2,6 @@
 //! shared pair-point memoization cache.
 
 use core::fmt;
-use std::collections::HashMap;
 
 /// A point in the half-open unit interval `[0, 1)`, stored as a 64-bit
 /// numerator over the implicit denominator `2^64`.
@@ -155,13 +154,26 @@ impl fmt::Display for Threshold {
 /// `O(1)` lookups. Callers key entries by two opaque `u64` identity keys
 /// (e.g. a 48-bit `<IP, port>` encoding).
 ///
+/// The cache is a *2-way set-associative* table: a pair hashes to one
+/// two-slot set of a power-of-two table, a colliding insert evicts the
+/// least-recently-used way, and a lookup is one mix plus two adjacent
+/// slot compares — no probing, no rehashing, no per-entry allocation.
+/// That keeps the hit path cheaper than recomputing even a fast
+/// non-cryptographic pair hash, bounds memory at exactly `capacity`
+/// slots (grown lazily up to the bound, so small runs never pay for a
+/// large cap), and makes per-`Node` memos affordable at large `N`. The
+/// price is that a set conflict evicts silently — a memo never promises
+/// to *hold* a pair, only that whatever it returns equals the fresh hash.
+///
 /// Because the underlying hash is pure, invalidation is never required for
 /// *correctness*; it exists as a memory-hygiene lever. [`PointMemo::forget`]
 /// invalidates every cached pair involving one identity in `O(1)` by bumping
-/// that identity's *generation* — stale entries become unreachable and are
-/// overwritten on the next lookup or dropped by the wholesale capacity
-/// clear. Drivers call it when a node's incarnation bumps, so a churn-heavy
-/// run does not accumulate pairs of long-departed incarnations.
+/// that identity's *generation* — stale entries fail the generation compare
+/// and are recomputed on their next lookup. Drivers call it when a node's
+/// incarnation bumps, so a churn-heavy run does not serve pairs cached for
+/// long-departed incarnations without re-validating them. (Generations are
+/// themselves direct-mapped, so a `forget` may spuriously invalidate an
+/// unrelated colliding identity — again costing only a recompute.)
 ///
 /// # Example
 ///
@@ -182,31 +194,116 @@ impl fmt::Display for Threshold {
 /// ```
 #[derive(Debug, Default)]
 pub struct PointMemo {
-    /// `(a, b)` → `(gen(a), gen(b), point)` at insertion time.
-    map: HashMap<(u64, u64), (u32, u32, HashPoint)>,
-    /// Current generation per identity key; absent means generation 0.
-    gens: HashMap<u64, u32>,
+    /// Direct-mapped slot table; empty until the first insert, then grown
+    /// by powers of two up to `cap` slots as occupancy rises.
+    slots: Vec<Slot>,
+    /// Requested capacity in slots (power of two); `0` disables caching.
     cap: usize,
+    /// Occupied slots.
+    len: usize,
+    /// Direct-mapped per-identity generation counters; allocated on the
+    /// first [`PointMemo::forget`].
+    gens: Vec<u32>,
     hits: u64,
     misses: u64,
 }
 
+/// One direct-mapped cache slot: the pair, the generations of both
+/// identities at insertion time, and the cached point.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    a: u64,
+    b: u64,
+    gen_a: u32,
+    gen_b: u32,
+    point: HashPoint,
+    occupied: bool,
+}
+
+/// Generation-table slots (fixed: generations are a hygiene signal, and a
+/// collision only costs a spurious recompute).
+const GEN_SLOTS: usize = 1 << 12;
+
+/// Initial slot-table size; doubled up to the cap as occupancy grows.
+const INITIAL_SLOTS: usize = 1 << 10;
+
+/// The SplitMix64 / fmix64 finalizer (local copy: `point.rs` must not
+/// depend on the `fast64` module it serves).
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn pair_slot(a: u64, b: u64) -> u64 {
+    mix(a.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ b)
+}
+
 impl PointMemo {
-    /// Creates a memo bounded at `cap` cached pairs (cleared wholesale when
-    /// full, like a generational scratch cache; `0` means unbounded).
+    /// Creates a memo bounded at `cap` slots (rounded up to a power of
+    /// two). `0` disables caching entirely: every lookup computes.
     #[must_use]
     pub fn new(cap: usize) -> Self {
         PointMemo {
-            map: HashMap::new(),
-            gens: HashMap::new(),
-            cap,
+            slots: Vec::new(),
+            cap: if cap == 0 {
+                0
+            } else {
+                cap.checked_next_power_of_two().unwrap_or(1 << 63).max(2)
+            },
+            len: 0,
+            gens: Vec::new(),
             hits: 0,
             misses: 0,
         }
     }
 
+    #[inline]
     fn gen_of(&self, key: u64) -> u32 {
-        self.gens.get(&key).copied().unwrap_or(0)
+        if self.gens.is_empty() {
+            0
+        } else {
+            self.gens[(mix(key) & (GEN_SLOTS as u64 - 1)) as usize]
+        }
+    }
+
+    /// The two-slot set a pair maps to, as the index of its first way.
+    #[inline]
+    fn set_base(&self, a: u64, b: u64) -> usize {
+        // slots.len() is a power of two ≥ 2; sets are adjacent slot pairs
+        // (one cache line), so both ways cost a single memory access.
+        ((pair_slot(a, b) as usize) & (self.slots.len() - 1)) & !1
+    }
+
+    /// Doubles the slot table (up to the cap) when it is half full,
+    /// re-slotting the surviving entries.
+    fn maybe_grow(&mut self) {
+        if self.slots.is_empty() {
+            self.slots = vec![Slot::default(); INITIAL_SLOTS.min(self.cap)];
+            return;
+        }
+        if self.len * 2 < self.slots.len() || self.slots.len() >= self.cap {
+            return;
+        }
+        let grown = (self.slots.len() * 2).min(self.cap);
+        let old = std::mem::replace(&mut self.slots, vec![Slot::default(); grown]);
+        self.len = 0;
+        for slot in old {
+            if slot.occupied {
+                let base = self.set_base(slot.a, slot.b);
+                if !self.slots[base].occupied {
+                    self.slots[base] = slot;
+                    self.len += 1;
+                } else if !self.slots[base + 1].occupied {
+                    self.slots[base + 1] = slot;
+                    self.len += 1;
+                }
+                // Both ways taken: the entry is dropped (an eviction the
+                // smaller table would have performed anyway).
+            }
+        }
     }
 
     /// The memoized point for `(a, b)`, calling `compute` only on a miss
@@ -214,18 +311,45 @@ impl PointMemo {
     /// the entry was cached).
     pub fn point_with(&mut self, a: u64, b: u64, compute: impl FnOnce() -> HashPoint) -> HashPoint {
         let (ga, gb) = (self.gen_of(a), self.gen_of(b));
-        if let Some(&(ca, cb, point)) = self.map.get(&(a, b)) {
-            if ca == ga && cb == gb {
-                self.hits += 1;
-                return point;
+        if !self.slots.is_empty() {
+            let base = self.set_base(a, b);
+            for way in 0..2 {
+                let s = self.slots[base + way];
+                if s.occupied && s.a == a && s.b == b && s.gen_a == ga && s.gen_b == gb {
+                    self.hits += 1;
+                    if way == 1 {
+                        // Promote to the MRU way (pseudo-LRU).
+                        self.slots.swap(base, base + 1);
+                    }
+                    return s.point;
+                }
             }
         }
         self.misses += 1;
         let point = compute();
-        if self.cap > 0 && self.map.len() >= self.cap {
-            self.map.clear();
+        if self.cap == 0 {
+            return point;
         }
-        self.map.insert((a, b), (ga, gb, point));
+        self.maybe_grow();
+        let base = self.set_base(a, b);
+        let entry = Slot {
+            a,
+            b,
+            gen_a: ga,
+            gen_b: gb,
+            point,
+            occupied: true,
+        };
+        // Insert as MRU: demote way 0 into way 1 (evicting the LRU way)
+        // unless way 0 is the stale version of this very pair.
+        let way0 = self.slots[base];
+        if way0.occupied && !(way0.a == a && way0.b == b) {
+            self.len += usize::from(!self.slots[base + 1].occupied);
+            self.slots[base + 1] = way0;
+        } else {
+            self.len += usize::from(!way0.occupied);
+        }
+        self.slots[base] = entry;
         point
     }
 
@@ -233,20 +357,23 @@ impl PointMemo {
     /// its generation. See the type docs: a hygiene lever, not a
     /// correctness requirement — pair hashes are pure.
     pub fn forget(&mut self, key: u64) {
-        let gen = self.gens.entry(key).or_insert(0);
-        *gen = gen.wrapping_add(1);
+        if self.gens.is_empty() {
+            self.gens = vec![0; GEN_SLOTS];
+        }
+        let slot = (mix(key) & (GEN_SLOTS as u64 - 1)) as usize;
+        self.gens[slot] = self.gens[slot].wrapping_add(1);
     }
 
-    /// Cached pairs currently stored (including unreachable stale ones).
+    /// Cached pairs currently stored (including generation-stale ones).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len
     }
 
     /// Whether nothing is cached.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len == 0
     }
 
     /// Lookups served from the cache.
@@ -263,7 +390,8 @@ impl PointMemo {
 
     /// Drops every cached pair (generations and counters survive).
     pub fn clear(&mut self) {
-        self.map.clear();
+        self.slots.clear();
+        self.len = 0;
     }
 }
 
@@ -340,7 +468,7 @@ mod tests {
 
     #[test]
     fn memo_caches_and_counts() {
-        let mut memo = PointMemo::new(0);
+        let mut memo = PointMemo::new(1024);
         let mut calls = 0u32;
         let mut get = |m: &mut PointMemo, a, b| {
             m.point_with(a, b, || {
@@ -360,7 +488,7 @@ mod tests {
 
     #[test]
     fn memo_forget_invalidates_only_pairs_involving_key() {
-        let mut memo = PointMemo::new(0);
+        let mut memo = PointMemo::new(1024);
         for (a, b) in [(1, 2), (3, 4)] {
             memo.point_with(a, b, || HashPoint::from_bits(99));
         }
@@ -380,15 +508,61 @@ mod tests {
     }
 
     #[test]
-    fn memo_capacity_clears_wholesale() {
+    fn memo_capacity_bounds_slots() {
         let mut memo = PointMemo::new(2);
-        for i in 0..5u64 {
+        for i in 0..64u64 {
             memo.point_with(i, i + 1, || HashPoint::from_bits(i));
         }
         assert!(memo.len() <= 2, "capacity bound violated: {}", memo.len());
         assert!(!memo.is_empty());
         memo.clear();
         assert!(memo.is_empty());
+        // Cleared entries recompute (and re-cache) on the next lookup.
+        let mut recomputed = false;
+        memo.point_with(0, 1, || {
+            recomputed = true;
+            HashPoint::from_bits(0)
+        });
+        assert!(recomputed);
+    }
+
+    #[test]
+    fn memo_zero_capacity_disables_caching() {
+        let mut memo = PointMemo::new(0);
+        let mut calls = 0u32;
+        for _ in 0..3 {
+            memo.point_with(1, 2, || {
+                calls += 1;
+                HashPoint::from_bits(9)
+            });
+        }
+        assert_eq!(calls, 3, "a disabled memo must always compute");
+        assert_eq!(memo.hits(), 0);
+        assert_eq!(memo.misses(), 3);
+        assert!(memo.is_empty());
+    }
+
+    /// Whatever the memo serves must equal the fresh computation, under
+    /// arbitrary interleavings of lookups and forgets — the direct-mapped
+    /// table may *evict*, never *corrupt*.
+    #[test]
+    fn memo_never_serves_a_wrong_point() {
+        let fresh = |a: u64, b: u64| HashPoint::from_bits(mix(a ^ mix(b)));
+        let mut memo = PointMemo::new(64); // tiny: force collisions
+        let mut x = 0x1234_5678u64;
+        for _ in 0..10_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = (x >> 33) % 97;
+            let b = (x >> 13) % 97;
+            if x.is_multiple_of(11) {
+                memo.forget(a);
+            }
+            let got = memo.point_with(a, b, || fresh(a, b));
+            assert_eq!(got, fresh(a, b), "memo served a stale/corrupt point");
+        }
+        assert!(memo.hits() > 0, "tiny memo should still hit sometimes");
     }
 
     /// The acceptance probability of a uniform point should be ≈ K/N.

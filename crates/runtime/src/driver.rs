@@ -127,9 +127,19 @@ impl<T: Transport> NodeDriver<T> {
                 Err(TryRecvError::Empty) => {}
             }
 
-            // Fire due timers.
+            // Fire due timers. The liveness filter applies the lazy-expiry
+            // contract on `Timer::Expire`: expiries of already-answered
+            // pings die in the queue without a node round-trip.
             let now = self.now();
-            while let Some(timer) = self.env.timers.pop_due(now) {
+            loop {
+                let node = &self.node;
+                let Some(timer) = self
+                    .env
+                    .timers
+                    .pop_due_where(now, |t| node.timer_live(*t, now))
+                else {
+                    break;
+                };
                 self.node.handle_timer(self.now(), timer);
                 drain(&mut self.node, &mut self.env);
             }

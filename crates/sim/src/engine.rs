@@ -62,6 +62,27 @@ pub struct SimOptions {
     /// [`Simulation::take_app_events`] (off by default: long runs would
     /// accumulate unbounded buffers).
     pub collect_app_events: bool,
+    /// O(1) calendar fast paths (default `true`): constant-delay timers
+    /// (ping expiries and the periodic protocol/monitoring re-arms) ride
+    /// FIFO *timer lanes*, and short-horizon events (message deliveries,
+    /// whose latency is bounded far below the wheel span) ride a hashed
+    /// *timing wheel* with millisecond buckets — leaving the binary-heap
+    /// calendar only construction-time schedules and rare odd-delay
+    /// events. Lanes are valid because those timers are armed in
+    /// nondecreasing deadline order; wheel buckets are valid because
+    /// timestamps are integer milliseconds, so one bucket holds one
+    /// instant and FIFO order *is* sequence order. Expiries of
+    /// already-answered pings are discarded at the lane head without ever
+    /// touching the node. Event *order* is unchanged (heap, lanes and
+    /// wheel merge on the same `(time, seq)` key), so same-seed reports
+    /// are byte-identical with the fast paths on or off;
+    /// `tests/equivalence.rs` holds that equivalence.
+    pub fast_calendar: bool,
+    /// Overrides every node's consistency-condition pair-memo size
+    /// (`Some(0)` disables memoization, `None` keeps the
+    /// [`Node::set_point_memo_slots`] default policy). Purely an evaluation
+    /// cache — reports are byte-identical across settings.
+    pub node_memo: Option<usize>,
 }
 
 impl SimOptions {
@@ -81,7 +102,25 @@ impl SimOptions {
             behaviors: Vec::new(),
             track_all_discovery: false,
             collect_app_events: false,
+            fast_calendar: true,
+            node_memo: None,
         }
+    }
+
+    /// Enables or disables the timer lanes + delivery wheel (see
+    /// [`SimOptions::fast_calendar`]).
+    #[must_use]
+    pub fn fast_calendar(mut self, enabled: bool) -> Self {
+        self.fast_calendar = enabled;
+        self
+    }
+
+    /// Overrides the per-node pair-memo size (see
+    /// [`SimOptions::node_memo`]).
+    #[must_use]
+    pub fn node_memo(mut self, slots: Option<usize>) -> Self {
+        self.node_memo = slots;
+        self
     }
 
     /// Overrides the master seed.
@@ -175,6 +214,123 @@ struct Event {
     at: TimeMs,
     seq: u64,
     kind: EventKind,
+}
+
+/// One constant-delay FIFO timer lane (see [`SimOptions::fast_calendar`]).
+///
+/// Every timer armed with exactly `delay` ahead of the arming instant
+/// lands here; because simulated time never decreases while draining,
+/// entries arrive in nondecreasing `(at, seq)` order and the lane pops
+/// from the front in O(1) — no heap sift. A defensive monotonicity check
+/// at push time falls back to the heap, so the lane is an optimization
+/// that can never reorder events.
+#[derive(Debug)]
+struct TimerLane {
+    delay: avmon::DurMs,
+    queue: std::collections::VecDeque<LaneTimer>,
+}
+
+#[derive(Debug)]
+struct LaneTimer {
+    at: TimeMs,
+    seq: u64,
+    node: NodeId,
+    incarnation: u64,
+    timer: Timer,
+}
+
+/// Where the next event in `(time, seq)` order currently sits.
+#[derive(Debug, Clone, Copy)]
+enum NextEvent {
+    Heap,
+    Lane(usize),
+    Wheel,
+}
+
+/// The hashed timing wheel for short-horizon events (deliveries): one
+/// FIFO bucket per millisecond over a `WHEEL_SPAN`-ms window. Timestamps
+/// are integer milliseconds, every routed delay is strictly below the
+/// span, and pushes carry globally increasing sequence numbers — so a
+/// bucket holds exactly one instant at a time and its FIFO order is
+/// sequence order, making wheel pops bit-compatible with heap pops.
+/// Events at or beyond the span (periodic timers miss the wheel but ride
+/// the lanes; freeze-thaw requeues are rare) fall back to the heap.
+const WHEEL_SPAN: u64 = 1024;
+
+#[derive(Debug)]
+struct DeliveryWheel {
+    buckets: Vec<std::collections::VecDeque<Event>>,
+    len: usize,
+    /// Lower bound on the earliest occupied bucket time (pulled back on
+    /// push, advanced monotonically by scans — amortizes peeks to O(1)).
+    cursor: TimeMs,
+}
+
+impl DeliveryWheel {
+    fn new() -> Self {
+        DeliveryWheel {
+            buckets: (0..WHEEL_SPAN)
+                .map(|_| std::collections::VecDeque::new())
+                .collect(),
+            len: 0,
+            cursor: 0,
+        }
+    }
+
+    #[inline]
+    fn accepts(&self, now: TimeMs, at: TimeMs) -> bool {
+        at >= now && at - now < WHEEL_SPAN
+    }
+
+    fn push(&mut self, event: Event) {
+        self.cursor = self.cursor.min(event.at);
+        self.len += 1;
+        self.buckets[(event.at % WHEEL_SPAN) as usize].push_back(event);
+    }
+
+    /// `(at, seq)` of the earliest event, advancing the cursor past empty
+    /// buckets along the way.
+    fn peek(&mut self) -> Option<(TimeMs, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            if let Some(front) = self.buckets[(self.cursor % WHEEL_SPAN) as usize].front() {
+                if front.at == self.cursor {
+                    return Some((front.at, front.seq));
+                }
+            }
+            self.cursor += 1;
+        }
+    }
+
+    fn pop(&mut self) -> Event {
+        let event = self.buckets[(self.cursor % WHEEL_SPAN) as usize]
+            .pop_front()
+            .expect("peek found this bucket occupied");
+        self.len -= 1;
+        event
+    }
+}
+
+/// Event-calendar traffic counters: how many events were popped from the
+/// binary heap vs the O(1) structures (timer lanes, delivery wheel), and
+/// how many lane-popped expiries were discarded dead (ping already
+/// answered) without touching the node. Not part of [`SimReport`] — the
+/// counters differ across equivalent configurations whose reports are
+/// byte-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CalendarStats {
+    /// Events popped from the binary-heap calendar.
+    pub heap_pops: u64,
+    /// Timers popped from the FIFO lanes (zero with the fast calendar
+    /// disabled).
+    pub lane_pops: u64,
+    /// Deliveries popped from the timing wheel (zero with the fast
+    /// calendar disabled).
+    pub wheel_pops: u64,
+    /// Lane-popped `Expire` timers discarded dead in O(1).
+    pub expire_skips: u64,
 }
 
 impl PartialEq for Event {
@@ -277,6 +433,14 @@ pub struct Simulation {
     /// delivery/timer hot path pays O(1) for the (overwhelmingly common)
     /// unfrozen case.
     freezes: HashMap<NodeId, Vec<(TimeMs, TimeMs)>>,
+    /// FIFO lanes for the constant-delay timers, one per distinct delay
+    /// (ping timeout, protocol period, monitoring period); empty when
+    /// [`SimOptions::fast_calendar`] is off.
+    lanes: Vec<TimerLane>,
+    /// Hashed timing wheel for short-horizon events (idle when
+    /// [`SimOptions::fast_calendar`] is off).
+    wheel: DeliveryWheel,
+    pops: CalendarStats,
     checker: InvariantChecker,
     finished: bool,
 }
@@ -380,6 +544,24 @@ impl Simulation {
             quiescent_from,
             opts.network.faults.loss > 0.0,
         );
+        let lanes = if opts.fast_calendar {
+            let mut delays = vec![
+                opts.config.ping_timeout,
+                opts.config.protocol_period,
+                opts.config.monitoring_period,
+            ];
+            delays.sort_unstable();
+            delays.dedup();
+            delays
+                .into_iter()
+                .map(|delay| TimerLane {
+                    delay,
+                    queue: std::collections::VecDeque::new(),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         Ok(Simulation {
             trace,
             opts,
@@ -399,6 +581,9 @@ impl Simulation {
             app_events: Vec::new(),
             net,
             freezes,
+            lanes,
+            wheel: DeliveryWheel::new(),
+            pops: CalendarStats::default(),
             checker,
             finished: false,
         })
@@ -470,13 +655,30 @@ impl Simulation {
     /// Advances simulated time to `deadline` (capped at the horizon).
     pub fn run_until(&mut self, deadline: TimeMs) {
         let deadline = deadline.min(self.trace.horizon);
-        while let Some(head) = self.queue.peek() {
-            if head.at > deadline {
+        while let Some((at, _, src)) = self.peek_next() {
+            if at > deadline {
                 break;
             }
-            let event = self.queue.pop().expect("peeked");
-            self.now = event.at;
-            self.dispatch(event.kind);
+            match src {
+                NextEvent::Heap => {
+                    let event = self.queue.pop().expect("peeked");
+                    self.pops.heap_pops += 1;
+                    self.now = event.at;
+                    self.dispatch(event.kind);
+                }
+                NextEvent::Lane(i) => {
+                    let lane_timer = self.lanes[i].queue.pop_front().expect("peeked");
+                    self.pops.lane_pops += 1;
+                    self.now = lane_timer.at;
+                    self.dispatch_lane_timer(lane_timer);
+                }
+                NextEvent::Wheel => {
+                    let event = self.wheel.pop();
+                    self.pops.wheel_pops += 1;
+                    self.now = event.at;
+                    self.dispatch(event.kind);
+                }
+            }
         }
         self.now = deadline;
         if deadline == self.trace.horizon && !self.finished {
@@ -496,6 +698,76 @@ impl Simulation {
                     .filter_map(|id| nodes.get(id).and_then(|n| n.proto.as_ref())),
             );
         }
+    }
+
+    /// The `(time, seq)`-least upcoming event across the binary heap,
+    /// every timer lane, and the delivery wheel. Lanes and wheel buckets
+    /// are FIFO in `(time, seq)`, so inspecting each front suffices;
+    /// sequence numbers are globally unique, making the merge a total
+    /// order — the pop sequence is *identical* to the all-heap calendar's.
+    fn peek_next(&mut self) -> Option<(TimeMs, u64, NextEvent)> {
+        let mut best = self.queue.peek().map(|e| (e.at, e.seq, NextEvent::Heap));
+        for (i, lane) in self.lanes.iter().enumerate() {
+            if let Some(front) = lane.queue.front() {
+                if best.is_none_or(|(at, seq, _)| (front.at, front.seq) < (at, seq)) {
+                    best = Some((front.at, front.seq, NextEvent::Lane(i)));
+                }
+            }
+        }
+        if let Some((at, seq)) = self.wheel.peek() {
+            if best.is_none_or(|(bat, bseq, _)| (at, seq) < (bat, bseq)) {
+                best = Some((at, seq, NextEvent::Wheel));
+            }
+        }
+        best
+    }
+
+    /// Dispatches a lane-popped timer: same semantics as a heap
+    /// [`EventKind::Timer`], plus the O(1) dead-expiry discard — a firing
+    /// [`Node::timer_live`] rejects would be a guaranteed no-op inside the
+    /// node, so it is dropped here without the `handle_timer` round-trip.
+    fn dispatch_lane_timer(&mut self, lane_timer: LaneTimer) {
+        let LaneTimer {
+            node,
+            incarnation,
+            timer,
+            ..
+        } = lane_timer;
+        if let Some(thaw) = self.frozen_until(node) {
+            // Frozen: stall on the heap exactly like a heap-popped timer
+            // (the lane's monotonicity no longer holds for a thaw time).
+            self.requeue(
+                thaw,
+                EventKind::Timer {
+                    node,
+                    incarnation,
+                    timer,
+                },
+            );
+            return;
+        }
+        let Some(sim_node) = self.nodes.get_mut(&node) else {
+            return;
+        };
+        if sim_node.incarnation != incarnation {
+            return; // stale timer from a previous incarnation
+        }
+        let now = self.now;
+        let Some(proto) = sim_node.proto.as_mut() else {
+            return;
+        };
+        if !proto.timer_live(timer, now) {
+            self.pops.expire_skips += 1;
+            return;
+        }
+        proto.handle_timer(now, timer);
+        self.drain_node(node);
+    }
+
+    /// Event-calendar traffic counters for this run so far.
+    #[must_use]
+    pub fn calendar_stats(&self) -> CalendarStats {
+        self.pops
     }
 
     /// The thaw time if `node` is inside a freeze window at `self.now`.
@@ -599,6 +871,9 @@ impl Simulation {
                     self.selector.clone(),
                     node_seed,
                 );
+                if let Some(slots) = self.opts.node_memo {
+                    proto.set_point_memo_slots(slots);
+                }
                 proto.set_behavior(sim_node.behavior.clone());
                 if let Some(template) = &self.opts.history_template {
                     proto.set_history_template(template.clone());
@@ -741,6 +1016,8 @@ impl Simulation {
             nodes,
             alive,
             queue,
+            lanes,
+            wheel,
             now,
             seq,
             rng,
@@ -760,11 +1037,25 @@ impl Simulation {
         };
         let now = *now;
 
+        // Fast-calendar routing: short-horizon events land in the wheel,
+        // everything else in the heap. Sequence numbers are assigned in
+        // the same order either way, so pop order is container-agnostic.
+        let fast = opts.fast_calendar;
+        let push_event =
+            |queue: &mut BinaryHeap<Event>, wheel: &mut DeliveryWheel, event: Event| {
+                if fast && wheel.accepts(now, event.at) {
+                    wheel.push(event);
+                } else {
+                    queue.push(event);
+                }
+            };
+
         // Routes one unicast through the network model: lost, delivered,
         // or delivered twice (duplication), each copy independently
         // delayed. Takes the message by value so the fault-free unicast
         // path stays clone-free, exactly like the pre-fault engine.
         let route_to = |queue: &mut BinaryHeap<Event>,
+                        wheel: &mut DeliveryWheel,
                         rng: &mut SmallRng,
                         seq: &mut u64,
                         to: NodeId,
@@ -776,22 +1067,30 @@ impl Simulation {
                     duplicate_delay,
                 } => {
                     if let Some(dup) = duplicate_delay {
-                        queue.push(Event {
-                            at: now + dup,
-                            seq: *seq,
-                            kind: EventKind::Deliver {
-                                from: id,
-                                to,
-                                msg: msg.clone(),
+                        push_event(
+                            queue,
+                            wheel,
+                            Event {
+                                at: now + dup,
+                                seq: *seq,
+                                kind: EventKind::Deliver {
+                                    from: id,
+                                    to,
+                                    msg: msg.clone(),
+                                },
                             },
-                        });
+                        );
                         *seq += 1;
                     }
-                    queue.push(Event {
-                        at: now + delay,
-                        seq: *seq,
-                        kind: EventKind::Deliver { from: id, to, msg },
-                    });
+                    push_event(
+                        queue,
+                        wheel,
+                        Event {
+                            at: now + delay,
+                            seq: *seq,
+                            kind: EventKind::Deliver { from: id, to, msg },
+                        },
+                    );
                     *seq += 1;
                 }
             }
@@ -800,28 +1099,52 @@ impl Simulation {
         while let Some(transmit) = proto.poll_transmit() {
             match transmit.to {
                 Destination::Node(to) => {
-                    route_to(queue, rng, seq, to, transmit.msg);
+                    route_to(queue, wheel, rng, seq, to, transmit.msg);
                 }
                 Destination::AllNodes => {
                     for &to in alive.iter() {
                         if to == id {
                             continue;
                         }
-                        route_to(queue, rng, seq, to, transmit.msg.clone());
+                        route_to(queue, wheel, rng, seq, to, transmit.msg.clone());
                     }
                 }
             }
         }
         while let Some((timer, at)) = proto.poll_timer() {
-            queue.push(Event {
-                at: at.max(now),
-                seq: *seq,
-                kind: EventKind::Timer {
+            let at = at.max(now);
+            // Constant-delay timers ride a FIFO lane; short odd-delay
+            // arms (e.g. the random initial phases under a minute) may
+            // still fit the wheel; everything else (or a push that would
+            // break a lane's monotonicity) takes the heap. The timer
+            // keeps its sequence number either way, so the global pop
+            // order is exactly the all-heap order.
+            let lane = lanes
+                .iter_mut()
+                .find(|lane| now + lane.delay == at)
+                .filter(|lane| lane.queue.back().is_none_or(|back| back.at <= at));
+            match lane {
+                Some(lane) => lane.queue.push_back(LaneTimer {
+                    at,
+                    seq: *seq,
                     node: id,
                     incarnation,
                     timer,
-                },
-            });
+                }),
+                None => push_event(
+                    queue,
+                    wheel,
+                    Event {
+                        at,
+                        seq: *seq,
+                        kind: EventKind::Timer {
+                            node: id,
+                            incarnation,
+                            timer,
+                        },
+                    },
+                ),
+            }
             *seq += 1;
         }
         while let Some(event) = proto.poll_event() {

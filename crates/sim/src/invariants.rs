@@ -97,8 +97,21 @@ pub struct InvariantConfig {
     /// Caps the end-of-run eventual-agreement sweep at roughly this many
     /// ordered pairs by deterministic stride sampling (the sweep is
     /// `O(eligible²)`, which at `N = 100k` is 10¹⁰ pairs). `None` (default)
-    /// checks every pair.
+    /// checks every pair — exactly, via the staged candidate index when
+    /// [`InvariantConfig::exact_sweep`] is on. The cap remains the
+    /// fallback for populations where even the staged full enumeration is
+    /// too slow.
     pub max_agreement_pairs: Option<u64>,
+    /// Run the uncapped agreement sweep through the hash-inverted
+    /// candidate index (default `true`): candidate `(monitor, target)`
+    /// pairs are enumerated with
+    /// [`MonitorSelector::accepted_pairs`](avmon::MonitorSelector::accepted_pairs),
+    /// whose staged prefix-sharing makes the full `O(eligible²)` condition
+    /// scan several times cheaper than per-pair `is_monitor` calls — the
+    /// sweep is *exact again* at large `N` instead of stride-sampled.
+    /// `false` keeps the legacy per-pair enumeration (the equivalence
+    /// baseline: identical violations, warnings and check counts).
+    pub exact_sweep: bool,
     /// How long both endpoints must be continuously up — *and* the network
     /// quiescent — before eventual-agreement is owed. `None` derives a
     /// discovery-scaled default: `max(20, ⌈(ln(N·K) + 2) · N/cvs²⌉)`
@@ -127,6 +140,7 @@ impl Default for InvariantConfig {
             mode: InvariantMode::default(),
             strategy: CheckStrategy::default(),
             max_agreement_pairs: None,
+            exact_sweep: true,
             grace: None,
             check_agreement: true,
             convergence_band: (0.2, 3.0),
@@ -166,6 +180,14 @@ impl InvariantConfig {
     #[must_use]
     pub fn agreement_pair_cap(mut self, cap: u64) -> Self {
         self.max_agreement_pairs = Some(cap);
+        self
+    }
+
+    /// Enables/disables the candidate-index sweep (see
+    /// [`InvariantConfig::exact_sweep`]).
+    #[must_use]
+    pub fn exact_sweep(mut self, enabled: bool) -> Self {
+        self.exact_sweep = enabled;
         self
     }
 }
@@ -616,52 +638,44 @@ impl InvariantChecker {
             .collect();
         eligible.sort_by_key(|n| n.id());
 
-        // The agreement sweep is O(eligible²); an optional cap thins it to
-        // a deterministic stride sample of the ordered pairs, enumerated
-        // directly (pair index k ↦ lexicographic (monitor, target) with
-        // the diagonal removed) so a capped sweep costs O(cap) work, never
-        // O(eligible²) iteration. The memo is deliberately bypassed here:
-        // these pairs are mostly cold, and inserting N² entries would
-        // thrash the cache.
+        // The agreement sweep is O(eligible²) condition evaluations; an
+        // optional cap thins it to a deterministic stride sample of the
+        // ordered pairs, enumerated directly (pair index k ↦ lexicographic
+        // (monitor, target) with the diagonal removed) so a capped sweep
+        // costs O(cap) work, never O(eligible²) iteration. Uncapped, the
+        // default exact path builds a hash-inverted candidate index via
+        // the selector's staged batch enumeration — same pairs, same
+        // order, same check count, several times cheaper per pair — and
+        // only the O(eligible·K) candidates reach the agreement test. The
+        // per-sample memo is deliberately bypassed either way: these pairs
+        // are mostly cold, and inserting N² entries would thrash it.
         let len = eligible.len() as u64;
         let total_pairs = len.saturating_mul(len.saturating_sub(1));
         let stride = match self.config.max_agreement_pairs {
             Some(cap) if cap > 0 && total_pairs > cap => total_pairs.div_ceil(cap),
             _ => 1,
         };
-        let mut k = 0u64;
-        while k < total_pairs {
-            let mi = (k / (len - 1)) as usize;
-            let rem = (k % (len - 1)) as usize;
-            let ti = rem + usize::from(rem >= mi);
-            k += stride;
-            let (m, t) = (eligible[mi], eligible[ti]);
-            self.summary.checks += 1;
-            if !selector.is_monitor(m.id(), t.id()) {
-                continue;
+        if stride == 1 && self.config.exact_sweep && len > 1 {
+            self.summary.checks += total_pairs;
+            let ids: Vec<NodeId> = eligible.iter().map(|n| n.id()).collect();
+            let mut candidates: Vec<(u32, u32)> = Vec::new();
+            selector.accepted_pairs(&ids, &ids, &mut |mi, ti| {
+                candidates.push((mi as u32, ti as u32));
+            });
+            for (mi, ti) in candidates {
+                self.agreement_pair(now, eligible[mi as usize], eligible[ti as usize]);
             }
-            let monitor_knows = m.target_record(t.id()).is_some();
-            let target_knows = t.pinging_set().any(|p| p == m.id());
-            if !(monitor_knows && target_knows) {
-                if self.lossy_base {
-                    // A permanently lossy network only owes agreement
-                    // statistically: forgetful pinging may have dropped
-                    // a target that looked down. Degrade visibly.
-                    self.summary.warnings.push(RecordedWarning {
-                        at: now,
-                        warning: InvariantWarning::SlowAgreement {
-                            monitor: m.id(),
-                            target: t.id(),
-                        },
-                    });
-                } else {
-                    self.record(
-                        now,
-                        InvariantViolation::MissedDiscovery {
-                            monitor: m.id(),
-                            target: t.id(),
-                        },
-                    );
+        } else {
+            let mut k = 0u64;
+            while k < total_pairs {
+                let mi = (k / (len - 1)) as usize;
+                let rem = (k % (len - 1)) as usize;
+                let ti = rem + usize::from(rem >= mi);
+                k += stride;
+                let (m, t) = (eligible[mi], eligible[ti]);
+                self.summary.checks += 1;
+                if selector.is_monitor(m.id(), t.id()) {
+                    self.agreement_pair(now, m, t);
                 }
             }
         }
@@ -685,6 +699,37 @@ impl InvariantChecker {
                     },
                 );
             }
+        }
+    }
+
+    /// The eventual-agreement test for one condition-satisfying pair: both
+    /// endpoints (continuously live through the grace window) must know
+    /// each other — `t ∈ TS(m)` and `m ∈ PS(t)` (Theorem 1 liveness).
+    fn agreement_pair(&mut self, now: TimeMs, m: &Node, t: &Node) {
+        let monitor_knows = m.target_record(t.id()).is_some();
+        let target_knows = t.pinging_set().any(|p| p == m.id());
+        if monitor_knows && target_knows {
+            return;
+        }
+        if self.lossy_base {
+            // A permanently lossy network only owes agreement
+            // statistically: forgetful pinging may have dropped a target
+            // that looked down. Degrade visibly.
+            self.summary.warnings.push(RecordedWarning {
+                at: now,
+                warning: InvariantWarning::SlowAgreement {
+                    monitor: m.id(),
+                    target: t.id(),
+                },
+            });
+        } else {
+            self.record(
+                now,
+                InvariantViolation::MissedDiscovery {
+                    monitor: m.id(),
+                    target: t.id(),
+                },
+            );
         }
     }
 

@@ -81,7 +81,7 @@ pub mod metrics;
 pub mod network;
 pub mod scenario;
 
-pub use engine::{SimOptions, Simulation};
+pub use engine::{CalendarStats, SimOptions, Simulation};
 pub use invariants::{
     CheckStrategy, InvariantChecker, InvariantConfig, InvariantMode, InvariantSummary,
     InvariantViolation,

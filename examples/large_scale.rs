@@ -57,11 +57,17 @@ fn main() {
     );
 
     // Checker stays ON (Record, the default incremental strategy). The
-    // end-of-run eventual-agreement sweep is O(N²) pairs; cap it to a
-    // deterministic 20M-pair stride sample so the finale stays bounded.
-    let opts = SimOptions::new(config)
-        .seed(7)
-        .invariants(InvariantConfig::default().agreement_pair_cap(20_000_000));
+    // end-of-run eventual-agreement sweep runs the exact hash-inverted
+    // candidate index by default (staged prefix-sharing makes the full
+    // O(N²) condition scan a few seconds even at 50k); pass a 4th arg to
+    // re-enable the stride cap for populations where even that is too
+    // slow (e.g. `… 200000 30 10 20000000`).
+    let pair_cap: Option<u64> = args.next().and_then(|a| a.parse().ok());
+    let invariants = match pair_cap {
+        Some(cap) => InvariantConfig::default().agreement_pair_cap(cap),
+        None => InvariantConfig::default(),
+    };
+    let opts = SimOptions::new(config).seed(7).invariants(invariants);
 
     let sim_start = Instant::now();
     let mut sim = Simulation::new(trace, opts);
@@ -80,6 +86,7 @@ fn main() {
         );
     }
     let sim_wall = sim_start.elapsed();
+    let calendar = sim.calendar_stats();
     let report = sim.into_report();
 
     let lat1: Vec<f64> = report
@@ -120,6 +127,13 @@ fn main() {
             format!(
                 "{} checks, {} set scans skipped, {} memo hits",
                 inv.checks, inv.set_scans_skipped, inv.memo_hits
+            ),
+        ),
+        (
+            "calendar",
+            format!(
+                "{} heap pops, {} lane pops, {} wheel pops ({} dead expiries skipped)",
+                calendar.heap_pops, calendar.lane_pops, calendar.wheel_pops, calendar.expire_skips
             ),
         ),
         (

@@ -1,0 +1,238 @@
+//! The differential rig for PR 5's hot-path optimizations: machine-proven
+//! behavioral equivalence, not asserted equivalence.
+//!
+//! Two optimizations claim to change *nothing* about a simulated run:
+//!
+//! * the node-level pair-point memo behind the Fig. 2 view cross-check
+//!   (`SimOptions::node_memo` — a pure-hash evaluation cache), and
+//! * the fast calendar — FIFO timer lanes, the hashed delivery wheel and
+//!   the lazy `Timer::Expire` discard (`SimOptions::fast_calendar` — a
+//!   scheduling-order-preserving container swap).
+//!
+//! This harness runs the *same* `(trace, scenario, seed)` under every
+//! combination of the two switches and asserts the serialized
+//! [`SimReport`]s are **byte-identical** — every counter, discovery
+//! timestamp, float estimate, violation and warning. Any RNG draw, any
+//! reordered event, any decision influenced by either optimization fails
+//! here with a one-bit diff. Scenarios cover the fault machinery from
+//! PR 2 (loss + duplication + jitter + partitions, freezes) and a
+//! protocol-level attacker, not just the happy path.
+//!
+//! A second rig does the same for the end-of-run agreement sweep: the
+//! hash-inverted candidate index (`InvariantConfig::exact_sweep`) must
+//! reproduce the legacy exhaustive enumeration bit for bit, while the
+//! stride cap stays available as the large-`N` fallback.
+
+use avmon::{Behavior, Config, NodeId, MINUTE};
+use avmon_churn::{stat, synthetic, SynthParams, Trace};
+use avmon_sim::{CalendarStats, InvariantConfig, LinkFaults, Scenario, SimOptions, Simulation};
+
+/// Runs `(trace, opts)` to the horizon; returns the serialized report and
+/// the calendar counters.
+fn run(trace: Trace, opts: SimOptions) -> (String, CalendarStats) {
+    let mut sim = Simulation::new(trace, opts);
+    let horizon = sim.trace().horizon;
+    sim.run_until(horizon);
+    let stats = sim.calendar_stats();
+    let json = serde_json::to_string(&sim.into_report()).expect("reports serialize");
+    (json, stats)
+}
+
+/// Asserts all four switch combinations serialize identically, and that
+/// the optimized run actually moved work off the heap. Returns the
+/// baseline report for scenario-specific assertions.
+fn assert_equivalent(mut make: impl FnMut() -> (Trace, SimOptions), label: &str) -> String {
+    let configs: [(&str, bool, Option<usize>); 4] = [
+        ("legacy", false, Some(0)),
+        ("calendar-only", true, Some(0)),
+        ("memo-only", false, None),
+        ("both", true, None),
+    ];
+    let mut baseline: Option<String> = None;
+    for (name, fast, memo) in configs {
+        let (trace, opts) = make();
+        let (report, stats) = run(trace, opts.fast_calendar(fast).node_memo(memo));
+        match &baseline {
+            None => {
+                assert_eq!(
+                    (stats.lane_pops, stats.wheel_pops),
+                    (0, 0),
+                    "{label}: legacy config used the fast calendar"
+                );
+                baseline = Some(report);
+            }
+            Some(base) => assert_eq!(
+                base, &report,
+                "{label}/{name}: optimized report is not byte-identical"
+            ),
+        }
+        if fast {
+            assert!(
+                stats.lane_pops > 0,
+                "{label}/{name}: timer lanes enabled but never popped"
+            );
+            assert!(
+                stats.wheel_pops > 0,
+                "{label}/{name}: delivery wheel enabled but never popped"
+            );
+            assert!(
+                stats.expire_skips > 0,
+                "{label}/{name}: no ponged-ping expiry was ever discarded in O(1)"
+            );
+        }
+    }
+    baseline.expect("at least one config ran")
+}
+
+/// Fault-free churny baseline: births, deaths, rejoins.
+#[test]
+fn optimizations_are_invisible_on_churny_trace() {
+    assert_equivalent(
+        || {
+            let trace = synthetic(SynthParams::synth_bd(90).duration(40 * MINUTE).seed(29));
+            let opts = SimOptions::new(Config::builder(90).build().unwrap()).seed(12);
+            (trace, opts)
+        },
+        "churn",
+    );
+}
+
+/// The PR 2 fault machinery: base-link loss + duplication + jitter, a
+/// healed partition, a loss burst, and a node freeze (the freeze forces
+/// lane-popped timers through the requeue-on-thaw path).
+#[test]
+fn optimizations_are_invisible_under_faults() {
+    assert_equivalent(
+        || {
+            let n = 80;
+            let trace = stat(n, 40 * MINUTE, 0.1, 23);
+            let ids: Vec<NodeId> = trace.identities().into_iter().collect();
+            let scenario = Scenario::builder("equivalence-faults")
+                .partition(
+                    63 * MINUTE,
+                    8 * MINUTE,
+                    ids[..n / 4].to_vec(),
+                    ids[n / 4..].to_vec(),
+                )
+                .loss_burst(75 * MINUTE, 4 * MINUTE, 0.4)
+                .freeze(66 * MINUTE, 3 * MINUTE, ids[1])
+                .freeze(70 * MINUTE, 2 * MINUTE, ids[2])
+                .build()
+                .unwrap();
+            let mut opts = SimOptions::new(Config::builder(n).pr2(true).build().unwrap())
+                .seed(17)
+                .scenario(scenario);
+            opts.network.faults = LinkFaults {
+                loss: 0.10,
+                duplicate: 0.05,
+                jitter: 300,
+            };
+            (trace, opts)
+        },
+        "faults",
+    );
+}
+
+/// A lying monitor (`Behavior::FakeMonitor`) corrupting its target set:
+/// the optimizations must neither mask nor alter the checker's verdict.
+#[test]
+fn optimizations_are_invisible_with_seeded_attacker() {
+    let n = 60;
+    let config = Config::builder(n).build().unwrap();
+    let liar = NodeId::from_index(0);
+    let selector = avmon::HashSelector::from_config_with_kind(&config, avmon::HasherKind::Fast64);
+    let forged: Vec<NodeId> = (1..n as u32)
+        .map(NodeId::from_index)
+        .filter(|&t| !selector.is_monitor(liar, t))
+        .take(3)
+        .collect();
+    assert!(!forged.is_empty());
+    let report = assert_equivalent(
+        || {
+            let trace = stat(n, 30 * MINUTE, 0.1, 3);
+            let opts = SimOptions::new(config.clone()).seed(3).behavior(
+                liar,
+                Behavior::FakeMonitor {
+                    targets: forged.clone(),
+                },
+            );
+            (trace, opts)
+        },
+        "attacker",
+    );
+    assert!(
+        report.contains("GhostTarget"),
+        "the seeded corruption must still be caught in every configuration"
+    );
+}
+
+/// Fuzzed fault timelines: three seed-replayable random scenarios through
+/// the full 4-way differential.
+#[test]
+fn optimizations_are_invisible_on_random_scenarios() {
+    for fuzz_seed in [5u64, 41, 97] {
+        assert_equivalent(
+            || {
+                let trace = synthetic(SynthParams::synth_bd(70).duration(35 * MINUTE).seed(13));
+                let ids: Vec<NodeId> = trace.identities().into_iter().collect();
+                let scenario = Scenario::random(fuzz_seed, &ids, 60 * MINUTE, 75 * MINUTE);
+                let mut opts = SimOptions::new(Config::builder(70).build().unwrap())
+                    .seed(fuzz_seed)
+                    .scenario(scenario);
+                opts.network.faults = LinkFaults {
+                    loss: 0.05,
+                    duplicate: 0.02,
+                    jitter: 200,
+                };
+                (trace, opts)
+            },
+            "fuzz",
+        );
+    }
+}
+
+/// The agreement-sweep index (satellite of ROADMAP bottleneck 3): on the
+/// FakeMonitor scenario, the exact hash-inverted candidate sweep must be
+/// byte-identical to the legacy exhaustive enumeration — same violations,
+/// same warnings, same check counts — and the stride-capped fallback must
+/// agree wherever it samples (identical everything except the agreement
+/// portion it deliberately thins).
+#[test]
+fn exact_and_legacy_agreement_sweeps_agree_on_fake_monitor_scenario() {
+    let n = 60;
+    let config = Config::builder(n).build().unwrap();
+    let liar = NodeId::from_index(0);
+    let selector = avmon::HashSelector::from_config_with_kind(&config, avmon::HasherKind::Fast64);
+    let forged: Vec<NodeId> = (1..n as u32)
+        .map(NodeId::from_index)
+        .filter(|&t| !selector.is_monitor(liar, t))
+        .take(3)
+        .collect();
+    let make = |invariants: InvariantConfig| {
+        let trace = stat(n, 30 * MINUTE, 0.1, 3);
+        let opts = SimOptions::new(config.clone())
+            .seed(3)
+            .invariants(invariants)
+            .behavior(
+                liar,
+                Behavior::FakeMonitor {
+                    targets: forged.clone(),
+                },
+            );
+        run(trace, opts).0
+    };
+    let exact = make(InvariantConfig::default());
+    let legacy = make(InvariantConfig::default().exact_sweep(false));
+    assert_eq!(
+        exact, legacy,
+        "the candidate-index sweep diverged from exhaustive enumeration"
+    );
+    // The capped fallback still flags the seeded per-sample corruption
+    // (GhostTarget is found at sampling time, not by the agreement sweep).
+    let capped = make(InvariantConfig::default().agreement_pair_cap(64));
+    assert!(capped.contains("GhostTarget"));
+    // And a cap comfortably above the pair count degenerates to the same
+    // exact sweep.
+    let wide_cap = make(InvariantConfig::default().agreement_pair_cap(u64::MAX / 2));
+    assert_eq!(exact, wide_cap);
+}
