@@ -43,10 +43,32 @@ pub enum Behavior {
         /// The nodes it pretends to have been assigned.
         targets: Vec<NodeId>,
     },
+    /// A member of a coordinated eclipse/Sybil coalition. Every member
+    /// jointly targets the victims' monitoring relationships: it forges
+    /// membership in each victim's pinging set (adopting the victims as
+    /// targets without the condition selecting it), floods the victims with
+    /// `Notify` messages claiming coalition members as their monitors,
+    /// advertises the coalition as its own monitor list, suppresses honest
+    /// join forwarding and notify propagation that would help the victims,
+    /// and overreports the victims' availability to mask the takeover.
+    /// The receiver-side re-verification (§3.3) means the flood measures
+    /// eclipse *resistance*: only coalition members the hash condition
+    /// genuinely selects can enter an honest victim's sets.
+    EclipseCoalition {
+        /// All members of the coalition (including this node).
+        coalition: Vec<NodeId>,
+        /// The nodes under attack.
+        victims: Vec<NodeId>,
+    },
 }
 
 impl Behavior {
     /// Whether availability answers about `target` are misreported as 1.0.
+    ///
+    /// Collusion is declared per-node, so this check is inherently
+    /// one-sided: a node cannot know whether the peer reciprocates. The
+    /// simulator's measurement layer re-checks the pair symmetrically (§4.3
+    /// assumes mutual friendship) before counting a report as polluted.
     #[must_use]
     pub fn misreports(&self, target: NodeId) -> bool {
         match self {
@@ -55,6 +77,7 @@ impl Behavior {
             | Behavior::FakeMonitor { .. } => false,
             Behavior::OverreportAll => true,
             Behavior::Colluding { friends } => friends.contains(&target),
+            Behavior::EclipseCoalition { victims, .. } => victims.contains(&target),
         }
     }
 
@@ -64,6 +87,7 @@ impl Behavior {
     pub fn fake_report(&self) -> Option<&[NodeId]> {
         match self {
             Behavior::SelfishAdvertiser { fake_monitors } => Some(fake_monitors),
+            Behavior::EclipseCoalition { coalition, .. } => Some(coalition),
             _ => None,
         }
     }
@@ -74,8 +98,62 @@ impl Behavior {
     pub fn fake_targets(&self) -> Option<&[NodeId]> {
         match self {
             Behavior::FakeMonitor { targets } => Some(targets),
+            Behavior::EclipseCoalition { victims, .. } => Some(victims),
             _ => None,
         }
+    }
+
+    /// Whether this behavior knowingly keeps forged entries in its own
+    /// PS/TS. Forging behaviors skip the honest self-stabilization audit
+    /// that purges condition-violating entries each protocol period.
+    #[must_use]
+    pub fn forges_state(&self) -> bool {
+        matches!(
+            self,
+            Behavior::FakeMonitor { .. } | Behavior::EclipseCoalition { .. }
+        )
+    }
+
+    /// Whether a JOIN originated by `origin` is silently dropped instead of
+    /// being absorbed and forwarded (eclipse coalitions starve their
+    /// victims of honest propagation).
+    #[must_use]
+    pub fn suppresses_join(&self, origin: NodeId) -> bool {
+        matches!(self, Behavior::EclipseCoalition { victims, .. } if victims.contains(&origin))
+    }
+
+    /// Whether an honest NOTIFY for the pair `(monitor, target)` is
+    /// suppressed: eclipse members forward notifies touching a victim only
+    /// when the named monitor-side party is in the coalition.
+    #[must_use]
+    pub fn suppresses_notify(&self, monitor: NodeId, target: NodeId) -> bool {
+        match self {
+            Behavior::EclipseCoalition { coalition, victims } => {
+                (victims.contains(&target) && !coalition.contains(&monitor))
+                    || (victims.contains(&monitor) && !coalition.contains(&target))
+            }
+            _ => false,
+        }
+    }
+
+    /// The `(coalition, victims)` sets to flood forged `Notify` traffic
+    /// for, if this behavior runs an eclipse campaign.
+    #[must_use]
+    pub fn eclipse_flood(&self) -> Option<(&[NodeId], &[NodeId])> {
+        match self {
+            Behavior::EclipseCoalition { coalition, victims } => {
+                Some((coalition.as_slice(), victims.as_slice()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this behavior colludes with `peer` under the §4.3 mutual
+    /// friendship model — used by the measurement layer to check the pair
+    /// symmetrically.
+    #[must_use]
+    pub fn colludes_with(&self, peer: NodeId) -> bool {
+        matches!(self, Behavior::Colluding { friends } if friends.contains(&peer))
     }
 }
 
@@ -120,6 +198,69 @@ mod tests {
     #[test]
     fn default_is_honest() {
         assert_eq!(Behavior::default(), Behavior::Honest);
+    }
+
+    #[test]
+    fn eclipse_coalition_targets_victims_and_advertises_itself() {
+        let coalition = vec![NodeId::from_index(1), NodeId::from_index(2)];
+        let victim = NodeId::from_index(9);
+        let outsider = NodeId::from_index(20);
+        let b = Behavior::EclipseCoalition {
+            coalition: coalition.clone(),
+            victims: vec![victim],
+        };
+        // Masks the takeover by overreporting the victim, nobody else.
+        assert!(b.misreports(victim));
+        assert!(!b.misreports(outsider));
+        // Advertises the coalition as its monitors; forges the victims as
+        // its targets.
+        assert_eq!(b.fake_report(), Some(coalition.as_slice()));
+        assert_eq!(b.fake_targets(), Some([victim].as_slice()));
+        assert!(b.forges_state());
+        // Starves the victim of honest propagation.
+        assert!(b.suppresses_join(victim));
+        assert!(!b.suppresses_join(outsider));
+        assert!(b.suppresses_notify(outsider, victim));
+        assert!(!b.suppresses_notify(coalition[0], victim));
+        assert!(b.suppresses_notify(victim, outsider));
+        assert!(!b.suppresses_notify(outsider, NodeId::from_index(21)));
+        let (c, v) = b.eclipse_flood().unwrap();
+        assert_eq!(c, coalition.as_slice());
+        assert_eq!(v, [victim].as_slice());
+    }
+
+    #[test]
+    fn honest_behaviors_have_no_adversarial_hooks() {
+        let x = NodeId::from_index(3);
+        for b in [
+            Behavior::Honest,
+            Behavior::OverreportAll,
+            Behavior::Colluding {
+                friends: BTreeSet::from([x]),
+            },
+            Behavior::SelfishAdvertiser {
+                fake_monitors: vec![x],
+            },
+        ] {
+            assert!(!b.forges_state() || matches!(b, Behavior::FakeMonitor { .. }));
+            assert!(!b.suppresses_join(x));
+            assert!(!b.suppresses_notify(x, NodeId::from_index(4)));
+            assert!(b.eclipse_flood().is_none());
+        }
+        assert!(Behavior::FakeMonitor { targets: vec![x] }.forges_state());
+    }
+
+    #[test]
+    fn collusion_symmetry_is_checked_via_colludes_with() {
+        let a = NodeId::from_index(1);
+        let b = NodeId::from_index(2);
+        let colluder = Behavior::Colluding {
+            friends: BTreeSet::from([b]),
+        };
+        assert!(colluder.colludes_with(b));
+        assert!(!colluder.colludes_with(a));
+        assert!(!Behavior::Honest.colludes_with(b));
+        assert!(!Behavior::OverreportAll.colludes_with(b));
     }
 
     #[test]

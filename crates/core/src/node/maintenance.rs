@@ -20,6 +20,28 @@ impl Node {
             self.adopt_fake_targets(now);
         }
 
+        // Self-stabilization audit (Avatar framing): PS/TS membership is
+        // fully determined by the hash condition, so an honest node can
+        // re-derive the legitimacy of every entry locally. Any entry a
+        // state corruption planted (or that a healed attack left behind)
+        // fails the condition and is purged; on uncorrupted state this
+        // removes nothing, draws no randomness, and sends no messages.
+        // Dropped entries are not recreated here — they re-heal through
+        // ordinary NOTIFY re-discovery, which is what the stabilization
+        // bound is derived from. Forging behaviors skip the audit: they
+        // keep their forged entries on purpose.
+        if !self.behavior.forges_state() {
+            self.audit_sets();
+        }
+
+        // Eclipse campaign: flood each victim with forged NOTIFYs claiming
+        // every coalition member as its monitor. The victim re-verifies
+        // (§3.3), so this measures eclipse *resistance* — only members the
+        // hash condition genuinely selects ever enter the victim's PS.
+        if self.behavior.eclipse_flood().is_some() {
+            self.flood_eclipse_notifies();
+        }
+
         // Age out the notified cache: suppressed NOTIFYs become eligible
         // for retransmission every few periods, so a copy lost to the
         // network (loss, partitions) is eventually replaced. See the field
@@ -99,9 +121,59 @@ impl Node {
         }
     }
 
+    /// Purges every PS/TS entry the consistency condition does not
+    /// actually select — the honest node's self-stabilization step. Uses
+    /// the non-counting [`Node::condition`] so `hash_checks` (and with it
+    /// report byte-identity on clean runs) is unaffected.
+    fn audit_sets(&mut self) {
+        let monitors: Vec<NodeId> = self.ps.iter().copied().collect();
+        for m in monitors {
+            if m == self.id || !self.condition(m, self.id) {
+                self.ps.remove(&m);
+                self.sets_epoch += 1;
+            }
+        }
+        let targets: Vec<NodeId> = self.targets.keys().copied().collect();
+        for t in targets {
+            if t == self.id || !self.condition(self.id, t) {
+                self.targets.remove(&t);
+                self.sets_epoch += 1;
+            }
+        }
+    }
+
+    /// [`crate::Behavior::EclipseCoalition`]: once per protocol period,
+    /// send every victim a forged `NOTIFY(member, victim)` for each
+    /// coalition member, trying to capture the victim's monitor slots.
+    fn flood_eclipse_notifies(&mut self) {
+        let pairs: Vec<(NodeId, NodeId)> = match self.behavior.eclipse_flood() {
+            Some((coalition, victims)) => victims
+                .iter()
+                .flat_map(|&v| coalition.iter().map(move |&c| (c, v)))
+                .filter(|&(c, v)| c != v && v != self.id)
+                .collect(),
+            None => Vec::new(),
+        };
+        for (member, victim) in pairs {
+            self.stats.notifies_sent += 1;
+            self.send(
+                victim,
+                Message::Notify {
+                    monitor: member,
+                    target: victim,
+                },
+            );
+        }
+    }
+
     /// Fig. 1: processing of a `JOIN(origin, c)` message.
     pub(super) fn handle_join(&mut self, _now: TimeMs, origin: NodeId, weight: u32, hops: u32) {
         if weight == 0 || hops >= self.config.join_hop_limit {
+            return;
+        }
+        // Eclipse coalitions starve their victims: a victim's JOIN is
+        // neither absorbed nor forwarded.
+        if self.behavior.suppresses_join(origin) {
             return;
         }
         let mut c = weight;
@@ -166,6 +238,11 @@ impl Node {
                     continue;
                 }
                 for (monitor, target) in [(u, v), (v, u)] {
+                    // Eclipse members drop honest NOTIFYs that would help
+                    // a victim (re)discover non-coalition monitors.
+                    if self.behavior.suppresses_notify(monitor, target) {
+                        continue;
+                    }
                     if self.check(monitor, target) && self.mark_notified(monitor, target) {
                         self.notify_pair(now, monitor, target);
                     }

@@ -201,6 +201,20 @@ pub enum AppEvent {
         /// The peer that failed to answer.
         peer: NodeId,
     },
+    /// A monitored target began an unresponsive streak (local failure-
+    /// detector suspicion — the raw signal behind detection-time and
+    /// mistake-rate QoS scoring).
+    TargetUnresponsive {
+        /// The target that stopped answering monitoring pings.
+        target: NodeId,
+    },
+    /// A previously-unresponsive target answered again (suspicion
+    /// retracted; closes a failure-detector mistake episode if the target
+    /// never actually died).
+    TargetResponsive {
+        /// The target that resumed answering.
+        target: NodeId,
+    },
 }
 
 /// Outstanding request state, keyed by nonce.

@@ -54,29 +54,42 @@ impl Node {
     /// A target answered its monitoring ping.
     pub(super) fn record_pong(&mut self, now: TimeMs, target: NodeId) {
         self.stats.monitor_pongs_received += 1;
+        let mut resumed = false;
         if let Some(rec) = self.targets.get_mut(&target) {
             rec.pongs_received += 1;
             rec.history.record(now, true);
-            if rec.unresponsive_since.take().is_some() || rec.session_start.is_none() {
-                // Either the target just came back, or this is the very
-                // first observation: a new observed up-session begins.
+            if rec.unresponsive_since.take().is_some() {
+                // The target just came back: a new observed up-session
+                // begins and the suspicion is retracted.
+                rec.session_start = Some(now);
+                resumed = true;
+            } else if rec.session_start.is_none() {
+                // The very first observation also opens an up-session.
                 rec.session_start = Some(now);
             }
             rec.last_pong = Some(now);
+        }
+        if resumed {
+            self.emit(super::AppEvent::TargetResponsive { target });
         }
     }
 
     /// A monitoring ping to `target` timed out.
     pub(super) fn record_miss(&mut self, now: TimeMs, target: NodeId) {
+        let mut suspected = false;
         if let Some(rec) = self.targets.get_mut(&target) {
             rec.history.record(now, false);
             if rec.unresponsive_since.is_none() {
                 rec.unresponsive_since = Some(now);
+                suspected = true;
                 // Close the observed up-session: ts(u) := its length.
                 if let (Some(start), Some(last)) = (rec.session_start.take(), rec.last_pong) {
                     rec.last_session = last.saturating_sub(start);
                 }
             }
+        }
+        if suspected {
+            self.emit(super::AppEvent::TargetUnresponsive { target });
         }
     }
 

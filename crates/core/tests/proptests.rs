@@ -338,3 +338,163 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Adversary-pack properties: scenario timelines survive the serde boundary,
+// and state corruption always self-heals without structural violations.
+
+use avmon::TargetRecord;
+use avmon_sim::{Attack, AttackEvent, Corruption, Fault, Scenario, ScenarioEvent};
+
+fn arb_corruption() -> impl Strategy<Value = Corruption> {
+    prop_oneof![
+        Just(Corruption::Ghosts),
+        Just(Corruption::Drops),
+        Just(Corruption::Scramble),
+        Just(Corruption::Full),
+    ]
+}
+
+fn arb_corrupt_event() -> impl Strategy<Value = ScenarioEvent> {
+    (any::<u64>(), arb_node_id(), arb_corruption(), any::<u64>()).prop_map(
+        |(at, node, pattern, seed)| ScenarioEvent {
+            at,
+            fault: Fault::Corrupt {
+                node,
+                pattern,
+                seed,
+            },
+        },
+    )
+}
+
+fn arb_eclipse_event() -> impl Strategy<Value = AttackEvent> {
+    (any::<u64>(), arb_view(6), arb_view(6), 1u64..=avmon::HOUR).prop_map(
+        |(at, coalition, victims, duration)| AttackEvent {
+            at,
+            attack: Attack::Eclipse {
+                coalition,
+                victims,
+                duration,
+            },
+        },
+    )
+}
+
+/// A garbage target record as a botched restore might produce it: nonsense
+/// counters (possibly pongs > pings), a stale discovery stamp.
+fn garbage_record(discovered_at: u64, pings: u64, pongs: u64) -> TargetRecord {
+    TargetRecord {
+        discovered_at,
+        pings_sent: pings,
+        pongs_received: pongs,
+        last_pong: None,
+        session_start: None,
+        last_session: 0,
+        unresponsive_since: None,
+        history: Default::default(),
+    }
+}
+
+proptest! {
+    /// Arbitrary attack/corruption timelines survive the serde boundary
+    /// byte-exactly, so a failing fuzz seed's scenario JSON is a complete,
+    /// replayable bug report. Deliberately built from raw literals rather
+    /// than the validating builder: replay tooling deserializes *before*
+    /// validation, so even degenerate timelines (empty coalitions,
+    /// overlapping sets) must round-trip.
+    #[test]
+    fn adversary_timelines_round_trip_serde(
+        events in proptest::collection::vec(arb_corrupt_event(), 0..6),
+        attacks in proptest::collection::vec(arb_eclipse_event(), 0..6),
+        name_tag in any::<u32>(),
+    ) {
+        let scenario = Scenario {
+            name: format!("fuzz-{name_tag}"),
+            events,
+            attacks,
+        };
+        let json = serde_json::to_string(&scenario).unwrap();
+        prop_assert_eq!(serde_json::from_str::<Scenario>(&json).unwrap(), scenario);
+    }
+
+    /// Corrupting a node's durable PS/TS — ghost identities, duplicates,
+    /// even its own id — and letting it run never breaks the structural
+    /// invariants: the coarse view stays bounded and self-free throughout,
+    /// and after the first protocol period's self-audit every surviving
+    /// PS/TS entry is one the hash condition actually selects (the
+    /// node-local half of the simulator's stabilization proof).
+    #[test]
+    fn corrupted_node_self_heals_without_structural_violations(
+        seed in any::<u64>(),
+        garbage_ps in proptest::collection::vec(any::<u32>(), 0..12),
+        garbage_ts in proptest::collection::vec((any::<u32>(), any::<u64>(), any::<u64>()), 0..12),
+        inject_self in any::<bool>(),
+        view_raw in proptest::collection::vec(any::<u8>(), 1..24),
+    ) {
+        use std::sync::Arc;
+        let config = Config::builder(256).k(24).build().unwrap();
+        let cvs = config.cvs;
+        let fresh = HashSelector::from_config(&config);
+        let me = NodeId::from_index(1);
+        let mut node = avmon::Node::new(
+            me,
+            config.clone(),
+            Arc::new(HashSelector::from_config(&config)),
+            seed,
+        );
+        let drain = |node: &mut avmon::Node| {
+            while node.poll_transmit().is_some() {}
+            while node.poll_timer().is_some() {}
+            while node.poll_event().is_some() {}
+        };
+        // A live-ish node: seeded view, one protocol period of normal life.
+        let view: Vec<NodeId> = view_raw
+            .iter()
+            .map(|&i| NodeId::from_index(u32::from(i)))
+            .filter(|&v| v != me)
+            .collect();
+        node.seed_view(&view);
+        node.handle_timer(1000, avmon::Timer::Protocol);
+        drain(&mut node);
+
+        // Corrupt the durable state in place (what `Fault::Corrupt` does).
+        let mut state = node.snapshot_persistent();
+        for &g in &garbage_ps {
+            state.ps.push(NodeId::from_index(g % (1 << 24)));
+        }
+        for &(g, pings, pongs) in &garbage_ts {
+            state
+                .targets
+                .push((NodeId::from_index(g % (1 << 24)), garbage_record(0, pings, pongs)));
+        }
+        if inject_self {
+            state.ps.push(me);
+            state.targets.push((me, garbage_record(0, 0, 0)));
+        }
+        node.restore_persistent(state);
+
+        // Drive a few periods; the first audit purges every illegitimate
+        // entry, and nothing structural ever breaks along the way.
+        for step in 0..4u64 {
+            node.handle_timer(60_000 * (step + 1), avmon::Timer::Protocol);
+            drain(&mut node);
+            prop_assert!(node.view().len() <= cvs, "view overflow");
+            prop_assert!(!node.view().contains(me), "self in view");
+        }
+        for monitor in node.pinging_set() {
+            prop_assert!(monitor != me, "self left in PS");
+            prop_assert!(
+                fresh.is_monitor(monitor, me),
+                "audit left ghost monitor {monitor}"
+            );
+        }
+        for target in node.target_set() {
+            prop_assert!(target != me, "self left in TS");
+            prop_assert!(
+                fresh.is_monitor(me, target),
+                "audit left ghost target {target}"
+            );
+        }
+    }
+}

@@ -25,9 +25,12 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::invariants::{InvariantChecker, InvariantConfig};
-use crate::metrics::{AvailabilityMeasure, DiscoveryLog, EstimateIndex, NodeSeries, SimReport};
+use crate::metrics::{
+    AvailabilityMeasure, DetectionDistribution, DiscoveryLog, EclipseScore, EstimateIndex, FdQos,
+    NodeSeries, SimReport,
+};
 use crate::network::{LatencyModel, NetworkModel, NetworkState, Route};
-use crate::scenario::Scenario;
+use crate::scenario::{Attack, Corruption, Fault, Scenario};
 
 /// Simulation options beyond the protocol [`Config`].
 #[derive(Debug, Clone)]
@@ -207,6 +210,19 @@ enum EventKind {
     /// first sample doesn't absorb the whole warm-up.
     Baseline,
     Sample,
+    /// A [`Fault::Corrupt`] injection: overwrite the node's PS/TS with
+    /// seed-deterministic garbage (see [`Simulation::on_corrupt`]).
+    Corrupt {
+        node: NodeId,
+        pattern: Corruption,
+        seed: u64,
+    },
+    /// A scenario-scheduled behavior switch: attack campaigns flip the
+    /// coalition's behavior at the window edges.
+    SetBehavior {
+        node: NodeId,
+        behavior: Behavior,
+    },
 }
 
 #[derive(Debug)]
@@ -391,6 +407,25 @@ impl SimNode {
     }
 }
 
+/// Streaming failure-detector QoS accumulators (the integer half of
+/// [`FdQos`]): suspicion transitions fold into episode counters as the
+/// nodes emit them, so report assembly never replays the run. Everything
+/// here is integer bookkeeping over a deterministic event order —
+/// serialized QoS is byte-identical across same-seed runs.
+#[derive(Debug, Default)]
+struct QosAccumulator {
+    /// Open wrongful-suspicion episodes, keyed by `(monitor, target)` with
+    /// the suspicion start time. Only iterated for commutative sums, so
+    /// hash order never leaks into the report.
+    open_mistakes: HashMap<(NodeId, NodeId), TimeMs>,
+    /// Wrongful-suspicion episodes opened inside the measurement window.
+    episodes: u64,
+    /// Total time spent in (closed) mistake episodes.
+    mistake_time: avmon::DurMs,
+    /// True-failure detection latencies, from the target's actual death.
+    detection: DetectionDistribution,
+}
+
 /// The discrete-event simulator.
 ///
 /// # Example
@@ -442,6 +477,8 @@ pub struct Simulation {
     wheel: DeliveryWheel,
     pops: CalendarStats,
     checker: InvariantChecker,
+    /// Streaming FD QoS counters (see [`QosAccumulator`]).
+    qos: QosAccumulator,
     finished: bool,
 }
 
@@ -520,6 +557,63 @@ impl Simulation {
             .map(|(i, &id)| (id, i))
             .collect();
         let behaviors: HashMap<NodeId, Behavior> = opts.behaviors.iter().cloned().collect();
+        if let Some(scenario) = &opts.scenario {
+            // Corruption injections are ordinary calendar events (after
+            // same-instant churn, by sequence number).
+            for e in &scenario.events {
+                if let Fault::Corrupt {
+                    node,
+                    pattern,
+                    seed: fault_seed,
+                } = e.fault
+                {
+                    queue.push(Event {
+                        at: e.at,
+                        seq,
+                        kind: EventKind::Corrupt {
+                            node,
+                            pattern,
+                            seed: fault_seed,
+                        },
+                    });
+                    seq += 1;
+                }
+            }
+            // Attack campaigns compile to paired behavior switches: every
+            // coalition member turns coat at the window start and reverts
+            // to its statically-assigned behavior (default honest) at the
+            // end.
+            for e in &scenario.attacks {
+                let Attack::Eclipse {
+                    coalition,
+                    victims,
+                    duration,
+                } = &e.attack;
+                for &member in coalition {
+                    queue.push(Event {
+                        at: e.at,
+                        seq,
+                        kind: EventKind::SetBehavior {
+                            node: member,
+                            behavior: Behavior::EclipseCoalition {
+                                coalition: coalition.clone(),
+                                victims: victims.clone(),
+                            },
+                        },
+                    });
+                    seq += 1;
+                    queue.push(Event {
+                        at: e.at + duration,
+                        seq,
+                        kind: EventKind::SetBehavior {
+                            node: member,
+                            behavior: behaviors.get(&member).cloned().unwrap_or_default(),
+                        },
+                    });
+                    seq += 1;
+                }
+            }
+        }
         let mut nodes = HashMap::with_capacity(trace.identities().len());
         for id in trace.identities() {
             let behavior = behaviors.get(&id).cloned().unwrap_or_default();
@@ -537,13 +631,16 @@ impl Simulation {
             .as_ref()
             .map(Scenario::quiescent_after)
             .unwrap_or(0);
-        let checker = InvariantChecker::new(
+        let mut checker = InvariantChecker::new(
             opts.invariants.clone(),
             selector.clone(),
             &opts.config,
             quiescent_from,
             opts.network.faults.loss > 0.0,
         );
+        if let Some(scenario) = &opts.scenario {
+            checker.set_adversary_windows(&scenario.adversary_windows());
+        }
         let lanes = if opts.fast_calendar {
             let mut delays = vec![
                 opts.config.ping_timeout,
@@ -585,6 +682,7 @@ impl Simulation {
             wheel: DeliveryWheel::new(),
             pops: CalendarStats::default(),
             checker,
+            qos: QosAccumulator::default(),
             finished: false,
         })
     }
@@ -683,6 +781,18 @@ impl Simulation {
         self.now = deadline;
         if deadline == self.trace.horizon && !self.finished {
             self.finished = true;
+            // Close every still-open mistake episode at the horizon so the
+            // QoS totals cover the whole measurement window. (HashMap drain
+            // order only feeds a commutative integer sum.)
+            let now = self.now;
+            let QosAccumulator {
+                open_mistakes,
+                mistake_time,
+                ..
+            } = &mut self.qos;
+            for (_, start) in open_mistakes.drain() {
+                *mistake_time += now.saturating_sub(start);
+            }
             // End-of-run invariant sweep (Theorem 1 liveness, convergence).
             let Simulation {
                 checker,
@@ -839,6 +949,121 @@ impl Simulation {
                 }
             }
             EventKind::Sample => self.on_sample(),
+            // Both apply even inside a freeze window: they reconfigure the
+            // node rather than make it process anything, and the checker's
+            // adversary windows are anchored to the scheduled instants.
+            EventKind::Corrupt {
+                node,
+                pattern,
+                seed,
+            } => self.on_corrupt(node, pattern, seed),
+            EventKind::SetBehavior { node, behavior } => self.on_set_behavior(node, behavior),
+        }
+    }
+
+    /// Applies a scenario-scheduled behavior switch to both the engine's
+    /// record (governs future incarnations) and the live node, if any.
+    fn on_set_behavior(&mut self, node: NodeId, behavior: Behavior) {
+        let Some(sim_node) = self.nodes.get_mut(&node) else {
+            return;
+        };
+        sim_node.behavior = behavior.clone();
+        if let Some(proto) = sim_node.proto.as_mut() {
+            proto.set_behavior(behavior);
+        }
+    }
+
+    /// Injects seed-deterministic garbage into `node`'s persistent PS/TS
+    /// (the [`Fault::Corrupt`] semantics): ghost entries the hash condition
+    /// never selected, dropped entries, and/or scrambled monitoring
+    /// counters. A live node's state is corrupted in place via
+    /// snapshot/restore; a dead node's persistent snapshot is corrupted so
+    /// the damage surfaces on rejoin. The corruption RNG is its own stream
+    /// (mixed from the master seed and the per-event seed), so runs without
+    /// `Corrupt` events draw exactly the RNG they always did.
+    fn on_corrupt(&mut self, node: NodeId, pattern: Corruption, seed: u64) {
+        let mut rng =
+            SmallRng::seed_from_u64(mix64(self.opts.seed ^ mix64(seed) ^ 0xc0de_dead_5eed_0bad));
+        let Some(sim_node) = self.nodes.get_mut(&node) else {
+            return;
+        };
+        let mut state = match sim_node.proto.as_ref() {
+            Some(proto) => proto.snapshot_persistent(),
+            None => std::mem::take(&mut sim_node.persistent),
+        };
+        let ghosts = matches!(pattern, Corruption::Ghosts | Corruption::Full);
+        let drops = matches!(pattern, Corruption::Drops | Corruption::Full);
+        let scramble = matches!(pattern, Corruption::Scramble | Corruption::Full);
+        if drops {
+            state.ps.retain(|_| rng.gen_bool(0.5));
+            state.targets.retain(|_| rng.gen_bool(0.5));
+        }
+        if scramble {
+            for (_, rec) in &mut state.targets {
+                // As if restored from another incarnation's snapshot: the
+                // counters are garbled but stay internally consistent
+                // (pongs ≤ pings), so only the *estimates* go wrong.
+                rec.pings_sent = rng.gen_range(0..=rec.pings_sent * 2 + 8);
+                rec.pongs_received = rng.gen_range(0..=rec.pings_sent);
+                rec.last_session = rng.gen_range(0..=rec.last_session + avmon::MINUTE);
+            }
+        }
+        if ghosts {
+            let history = self.opts.history_template.clone().unwrap_or_default();
+            // Identities from the 192/8 block (disjoint from the 10/8
+            // space `NodeId::from_index` populates traces with), rejected
+            // until the consistency condition fails in the corrupted
+            // direction — each ghost is a guaranteed GhostMonitor /
+            // GhostTarget violation at the next sample.
+            let draw_ghost = |rng: &mut SmallRng, as_monitor: bool| loop {
+                let g = NodeId::new([192, rng.gen(), rng.gen(), rng.gen()], 4000);
+                let selected = if as_monitor {
+                    self.selector.is_monitor(g, node)
+                } else {
+                    self.selector.is_monitor(node, g)
+                };
+                if !selected {
+                    return g;
+                }
+            };
+            for _ in 0..rng.gen_range(1..=3) {
+                let g = draw_ghost(&mut rng, true);
+                if !state.ps.contains(&g) {
+                    state.ps.push(g);
+                }
+            }
+            for _ in 0..rng.gen_range(1..=3) {
+                let g = draw_ghost(&mut rng, false);
+                if !state.targets.iter().any(|(t, _)| *t == g) {
+                    state.targets.push((
+                        g,
+                        TargetRecord {
+                            discovered_at: self.now,
+                            pings_sent: 0,
+                            pongs_received: 0,
+                            last_pong: None,
+                            session_start: None,
+                            last_session: 0,
+                            unresponsive_since: None,
+                            history: history.clone(),
+                        },
+                    ));
+                }
+            }
+        }
+        let sim_node = self.nodes.get_mut(&node).expect("checked above");
+        match sim_node.proto.as_mut() {
+            Some(proto) => {
+                proto.restore_persistent(state);
+                // Show the checker the corrupted state *now*: the node's own
+                // per-period `audit_sets` pass purges condition-failing
+                // entries, usually before the next periodic sample would run
+                // — detection (and the window's `detected_after_ms`) must be
+                // pinned to the injection, not race the self-repair.
+                self.checker.on_sample(self.now, std::iter::once(&*proto));
+                self.drain_node(node);
+            }
+            None => sim_node.persistent = state,
         }
     }
 
@@ -927,6 +1152,10 @@ impl Simulation {
             }
             ChurnEventKind::Leave | ChurnEventKind::Death => {
                 self.checker.node_down(id);
+                // A departing monitor's open mistakes end here; so do open
+                // mistakes *about* it — suspecting a node that just died
+                // stops being a mistake at the instant of death.
+                self.close_open_mistakes(id);
                 let sim_node = self.nodes.get_mut(&id).expect("identity known");
                 if let Some(proto) = sim_node.proto.take() {
                     // Fold the unsampled tail of this incarnation's counters.
@@ -1015,6 +1244,7 @@ impl Simulation {
         let Simulation {
             nodes,
             alive,
+            alive_index,
             queue,
             lanes,
             wheel,
@@ -1026,6 +1256,8 @@ impl Simulation {
             tracked: _,
             discovery,
             app_events,
+            trace,
+            qos,
             ..
         } = self;
         let Some(sim_node) = nodes.get_mut(&id) else {
@@ -1147,16 +1379,65 @@ impl Simulation {
             }
             *seq += 1;
         }
+        // Suspicion transitions are buffered and folded into the QoS
+        // accumulators after the drain loop releases the node borrow (the
+        // wrongful/true classification needs to look up the *target*).
+        let mut suspicions: Vec<(bool, NodeId)> = Vec::new();
         while let Some(event) = proto.poll_event() {
-            if let AppEvent::MonitorDiscovered { .. } = &event {
-                if let Some(log) = discovery.get_mut(&id) {
-                    log.monitor_times.push(now);
+            match &event {
+                AppEvent::MonitorDiscovered { .. } => {
+                    if let Some(log) = discovery.get_mut(&id) {
+                        log.monitor_times.push(now);
+                    }
                 }
+                AppEvent::TargetUnresponsive { target } => suspicions.push((true, *target)),
+                AppEvent::TargetResponsive { target } => suspicions.push((false, *target)),
+                _ => {}
             }
             if opts.collect_app_events {
                 app_events.push((id, event));
             }
         }
+        for (down, target) in suspicions {
+            if down {
+                if alive_index.contains_key(&target) {
+                    // Wrongful suspicion: the target is alive right now.
+                    if now >= trace.measure_from {
+                        qos.episodes += 1;
+                        qos.open_mistakes.insert((id, target), now);
+                    }
+                } else if now >= trace.measure_from {
+                    // True detection: latency from the target's departure.
+                    // (Ghost targets that never existed have no departure
+                    // time and score nowhere.)
+                    if let Some(left) = nodes.get(&target).and_then(|n| n.left_at) {
+                        qos.detection.record(now.saturating_sub(left));
+                    }
+                }
+            } else if let Some(start) = qos.open_mistakes.remove(&(id, target)) {
+                qos.mistake_time += now.saturating_sub(start);
+            }
+        }
+    }
+
+    /// Closes every open mistake episode that `node` participates in (as
+    /// suspecting monitor or as suspected target), folding the elapsed
+    /// wrongful-suspicion time into the QoS totals.
+    fn close_open_mistakes(&mut self, node: NodeId) {
+        let now = self.now;
+        let QosAccumulator {
+            open_mistakes,
+            mistake_time,
+            ..
+        } = &mut self.qos;
+        open_mistakes.retain(|&(monitor, target), start| {
+            if monitor == node || target == node {
+                *mistake_time += now.saturating_sub(*start);
+                false
+            } else {
+                true
+            }
+        });
     }
 
     /// Picks a uniformly random live contact for `joiner`, in O(1) and
@@ -1206,6 +1487,26 @@ impl Simulation {
         }
     }
 
+    /// Whether `monitor`'s inflated report for `target` actually takes
+    /// effect. [`Behavior::Colluding`] declares friendship one-sidedly, so
+    /// wherever the simulator scores reports it re-verifies the pair
+    /// symmetrically: an asymmetric "coalition" (A lists B, B does not
+    /// list A) lies for nobody. Coalition behaviors that forge regardless
+    /// of reciprocity ([`Behavior::FakeMonitor`],
+    /// [`Behavior::EclipseCoalition`]) pass through unchanged.
+    fn misreport_in_effect(&self, monitor: NodeId, behavior: &Behavior, target: NodeId) -> bool {
+        if !behavior.misreports(target) {
+            return false;
+        }
+        if matches!(behavior, Behavior::Colluding { .. }) {
+            return self
+                .nodes
+                .get(&target)
+                .is_some_and(|t| t.behavior.colludes_with(monitor));
+        }
+        true
+    }
+
     /// Collects every monitor's availability estimate for `target`,
     /// applying each monitor's (possibly adversarial) reporting behavior —
     /// i.e. the values `target`'s pinging set would report if queried.
@@ -1229,7 +1530,7 @@ impl Simulation {
             if record.pings_sent == 0 {
                 continue;
             }
-            if sim_node.behavior.misreports(target) {
+            if self.misreport_in_effect(mid, &sim_node.behavior, target) {
                 estimates.push(1.0);
             } else if let Some(est) = record.availability_estimate() {
                 estimates.push(est);
@@ -1281,7 +1582,7 @@ impl Simulation {
                 if target == mid || rec.pings_sent == 0 {
                     return;
                 }
-                let estimate = if sim_node.behavior.misreports(target) {
+                let estimate = if self.misreport_in_effect(mid, &sim_node.behavior, target) {
                     Some(1.0)
                 } else {
                     rec.availability_estimate()
@@ -1339,6 +1640,57 @@ impl Simulation {
             });
         }
         availability.sort_by_key(|m| m.node);
+        // FD QoS assembly: the streaming integer accumulators plus the
+        // checker's per-window stabilization verdicts and the end-of-run
+        // eclipse capture census. Derived floats come from deterministic
+        // integers, so serialized QoS stays byte-identical across runs.
+        let mut qos = FdQos {
+            detection: self.qos.detection.clone(),
+            mistake_episodes: self.qos.episodes,
+            mistake_time_ms: self.qos.mistake_time,
+            mistake_rate_per_hour: 0.0,
+            mistake_duration_ms: 0.0,
+            windows: self.checker.stabilization(),
+            eclipse: Vec::new(),
+        };
+        let window_ms = self.trace.horizon.saturating_sub(self.trace.measure_from);
+        if window_ms > 0 {
+            qos.mistake_rate_per_hour =
+                qos.mistake_episodes as f64 * avmon::HOUR as f64 / window_ms as f64;
+        }
+        if qos.mistake_episodes > 0 {
+            qos.mistake_duration_ms = qos.mistake_time_ms as f64 / qos.mistake_episodes as f64;
+        }
+        if let Some(scenario) = &self.opts.scenario {
+            let mut coalition_union: HashSet<NodeId> = HashSet::new();
+            let mut victims: Vec<NodeId> = Vec::new();
+            for event in &scenario.attacks {
+                let Attack::Eclipse {
+                    coalition,
+                    victims: v,
+                    ..
+                } = &event.attack;
+                coalition_union.extend(coalition.iter().copied());
+                victims.extend(v.iter().copied());
+            }
+            victims.sort_unstable();
+            victims.dedup();
+            for victim in victims {
+                let Some(sim_node) = self.nodes.get(&victim) else {
+                    continue;
+                };
+                let ps: Vec<NodeId> = match sim_node.proto.as_ref() {
+                    Some(proto) => proto.pinging_set().collect(),
+                    None => sim_node.persistent.ps.clone(),
+                };
+                let captured = ps.iter().filter(|m| coalition_union.contains(m)).count();
+                qos.eclipse.push(EclipseScore {
+                    victim,
+                    captured,
+                    slots: ps.len(),
+                });
+            }
+        }
         let mut series = BTreeMap::new();
         for (&id, sim_node) in &self.nodes {
             if sim_node.series_touched {
@@ -1357,6 +1709,7 @@ impl Simulation {
             totals,
             alive_at_end: self.alive.len(),
             invariants,
+            qos,
         }
     }
 }

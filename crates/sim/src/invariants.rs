@@ -244,6 +244,17 @@ pub enum InvariantViolation {
         /// Number of nodes the mean was taken over.
         eligible: usize,
     },
+    /// Self-stabilization failure: a node whose state was corrupted (or
+    /// that ran a declared attack) still violated the consistency
+    /// condition *after* its derived re-convergence deadline passed. The
+    /// node and deadline pin exactly which recovery obligation was broken;
+    /// the raw post-deadline violation is recorded alongside.
+    StabilizationFailure {
+        /// The node that failed to re-converge.
+        node: NodeId,
+        /// The simulated time by which re-convergence was owed.
+        deadline: TimeMs,
+    },
 }
 
 impl core::fmt::Display for InvariantViolation {
@@ -279,6 +290,13 @@ impl core::fmt::Display for InvariantViolation {
                     f,
                     "monitor-set convergence: mean |PS| = {mean:.2} over {eligible} \
                      long-lived nodes, outside the accepted band around K = {k}"
+                )
+            }
+            InvariantViolation::StabilizationFailure { node, deadline } => {
+                write!(
+                    f,
+                    "self-stabilization failure: {node} still violates the consistency \
+                     condition after its re-convergence deadline t={deadline}ms"
                 )
             }
         }
@@ -349,6 +367,14 @@ pub struct InvariantSummary {
     pub memo_hits: u64,
     /// Hard violations (empty ⇔ the run upheld every checked property).
     pub violations: Vec<RecordedViolation>,
+    /// Violations *expected* under a declared adversary window (an active
+    /// attack campaign, or corruption still inside its re-convergence
+    /// bound). Recorded for scoring — the earliest entry per window is the
+    /// checker's detection time — but never failing [`Self::passed`]:
+    /// a scenario-declared adversary corrupting state is the experiment,
+    /// not a protocol bug. Undeclared liars (behaviors assigned directly
+    /// via `SimOptions::behavior`) still land in `violations`.
+    pub expected_violations: Vec<RecordedViolation>,
     /// Soft degradations worth looking at.
     pub warnings: Vec<RecordedWarning>,
 }
@@ -401,6 +427,10 @@ pub struct InvariantChecker {
     /// incarnation, not once per sampling tick, so long runs don't bloat
     /// the report while the first-corruption timestamp stays sharp.
     reported: HashSet<(u8, NodeId, NodeId)>,
+    /// Declared adversary windows (attacks, corruptions) under
+    /// stabilization tracking. Tiny in practice (a handful per scenario),
+    /// so linear scans beat an index.
+    stab: Vec<StabState>,
     summary: InvariantSummary,
 }
 
@@ -412,9 +442,79 @@ fn dedup_key(violation: &InvariantViolation) -> Option<(u8, NodeId, NodeId)> {
         InvariantViolation::GhostTarget { node, target } => Some((1, node, target)),
         InvariantViolation::SelfReference { node } => Some((2, node, node)),
         InvariantViolation::ViewOverflow { node, .. } => Some((3, node, node)),
+        InvariantViolation::StabilizationFailure { node, .. } => Some((4, node, node)),
         InvariantViolation::MissedDiscovery { .. }
         | InvariantViolation::MonitorConvergence { .. } => None,
     }
+}
+
+/// The node whose *state* a per-sample violation lives in — the offender a
+/// declared adversary window can excuse. Finalize-time violations (missed
+/// discovery, convergence, stabilization failure itself) have no single
+/// excusable offender.
+fn offender(violation: &InvariantViolation) -> Option<NodeId> {
+    match *violation {
+        InvariantViolation::GhostMonitor { node, .. }
+        | InvariantViolation::GhostTarget { node, .. }
+        | InvariantViolation::SelfReference { node }
+        | InvariantViolation::ViewOverflow { node, .. } => Some(node),
+        InvariantViolation::MissedDiscovery { .. }
+        | InvariantViolation::MonitorConvergence { .. }
+        | InvariantViolation::StabilizationFailure { .. } => None,
+    }
+}
+
+/// One declared adversary window handed to the checker by the engine:
+/// during `[opened_at, heals_at]` the node is an active attacker or was
+/// just corrupted, and after `heals_at` it owes re-convergence within the
+/// checker's derived bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdversaryWindow {
+    /// The attacker / corrupted node.
+    pub node: NodeId,
+    /// When the adversary condition begins.
+    pub opened_at: TimeMs,
+    /// When it ends (equals `opened_at` for instantaneous corruption).
+    pub heals_at: TimeMs,
+}
+
+/// The scored outcome of one adversary window, surfaced in the report's
+/// failure-detector QoS section.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowOutcome {
+    /// The attacker / corrupted node.
+    pub node: NodeId,
+    /// When the adversary condition began.
+    pub opened_at: TimeMs,
+    /// When it ended.
+    pub heals_at: TimeMs,
+    /// When re-convergence was owed (`heals_at` + derived bound, extended
+    /// over downtime).
+    pub deadline: TimeMs,
+    /// How long after `opened_at` the checker first flagged the node's
+    /// state, if it ever did (the checker's detection time).
+    pub detected_after_ms: Option<DurMs>,
+    /// Whether re-convergence within the bound was proven: the deadline
+    /// passed with the node live and its state clean ever after.
+    pub proven: bool,
+    /// Whether the node violated the condition *after* its deadline — the
+    /// hard [`InvariantViolation::StabilizationFailure`].
+    pub failed: bool,
+}
+
+/// Internal per-window tracking state.
+#[derive(Debug, Clone)]
+struct StabState {
+    window: AdversaryWindow,
+    /// Re-convergence deadline; extended when the node spends part of the
+    /// window down (a dead node cannot heal).
+    deadline: TimeMs,
+    /// First detection of the adversary's footprint, if any.
+    detected_at: Option<TimeMs>,
+    /// The deadline passed with the node live and clean: proven.
+    closed: bool,
+    /// A post-deadline violation surfaced: failed.
+    failed: bool,
 }
 
 impl InvariantChecker {
@@ -454,10 +554,81 @@ impl InvariantChecker {
             memo: PointMemo::new(1 << 22),
             threshold,
             reported: HashSet::new(),
+            stab: Vec::new(),
             summary: InvariantSummary {
                 enabled,
                 ..InvariantSummary::default()
             },
+        }
+    }
+
+    /// Declares the scenario's adversary windows (attack campaigns and
+    /// corruption events). Violations by these nodes inside their windows
+    /// become *expected* (scored, not failing); each window then owes
+    /// re-convergence within [`Self::grace`] of healing — the same
+    /// discovery-scaled bound eventual agreement uses, because dropped
+    /// entries re-heal through the very same NOTIFY discovery path.
+    pub fn set_adversary_windows(&mut self, windows: &[(NodeId, TimeMs, TimeMs)]) {
+        let bound = self.grace();
+        self.stab = windows
+            .iter()
+            .map(|&(node, opened_at, heals_at)| StabState {
+                window: AdversaryWindow {
+                    node,
+                    opened_at,
+                    heals_at,
+                },
+                deadline: heals_at + bound,
+                detected_at: None,
+                closed: false,
+                failed: false,
+            })
+            .collect();
+    }
+
+    /// The scored outcome of every declared adversary window.
+    #[must_use]
+    pub fn stabilization(&self) -> Vec<WindowOutcome> {
+        self.stab
+            .iter()
+            .map(|s| WindowOutcome {
+                node: s.window.node,
+                opened_at: s.window.opened_at,
+                heals_at: s.window.heals_at,
+                deadline: s.deadline,
+                detected_after_ms: s
+                    .detected_at
+                    .map(|at| at.saturating_sub(s.window.opened_at)),
+                proven: s.closed && !s.failed,
+                failed: s.failed,
+            })
+            .collect()
+    }
+
+    /// Closes every window whose deadline has passed with its node live:
+    /// from here on the node's state must stay clean (re-convergence is
+    /// treated as proven unless a later violation flips the window to
+    /// failed). Windows of currently-dead nodes stay open — a dead node
+    /// cannot heal, and its deadline is re-extended on rejoin.
+    fn expire_windows(&mut self, now: TimeMs) {
+        let mut healed: Vec<NodeId> = Vec::new();
+        for s in &mut self.stab {
+            if !s.closed
+                && !s.failed
+                && now > s.deadline
+                && self.up_since.contains_key(&s.window.node)
+            {
+                s.closed = true;
+                healed.push(s.window.node);
+            }
+        }
+        for node in healed {
+            // Force a full re-verification of the healed node this very
+            // sample: any still-persisting ghost must land on the *hard*
+            // path (stabilization failure), not be masked by dedup or the
+            // incremental skip.
+            self.reported.retain(|&(_, n, _)| n != node);
+            self.verified_at.remove(&node);
         }
     }
 
@@ -506,6 +677,15 @@ impl InvariantChecker {
     pub fn node_up(&mut self, node: NodeId, now: TimeMs) {
         self.up_since.insert(node, now);
         self.warned_slow.remove(&node);
+        // A node that spent part of its adversary window down could not
+        // heal while dead: every still-open window gets a full bound of
+        // live time from the rejoin before re-convergence is owed.
+        let bound = self.grace();
+        for s in &mut self.stab {
+            if s.window.node == node && !s.closed && !s.failed && now >= s.window.opened_at {
+                s.deadline = s.deadline.max(now.saturating_add(bound));
+            }
+        }
         // A fresh incarnation gets a fresh dedup slate: corruption that
         // survives a leave + rejoin is flagged again.
         self.reported.retain(|&(_, n, _)| n != node);
@@ -533,6 +713,7 @@ impl InvariantChecker {
         if !self.enabled() {
             return;
         }
+        self.expire_windows(now);
         let Some(selector) = self.selector.clone() else {
             return;
         };
@@ -617,7 +798,14 @@ impl InvariantChecker {
     /// monitor-set convergence, over nodes continuously live through the
     /// whole post-quiescence grace window.
     pub fn finalize<'a>(&mut self, now: TimeMs, nodes: impl Iterator<Item = &'a Node>) {
-        if !self.enabled() || !self.config.check_agreement {
+        if !self.enabled() {
+            return;
+        }
+        // Settle adversary windows at the horizon too, so a deadline
+        // falling between the last sample and the run end still closes
+        // (windows of still-dead nodes stay open: unproven, not failed).
+        self.expire_windows(now);
+        if !self.config.check_agreement {
             return;
         }
         let Some(selector) = self.selector.clone() else {
@@ -734,6 +922,48 @@ impl InvariantChecker {
     }
 
     fn record(&mut self, at: TimeMs, violation: InvariantViolation) {
+        if let Some(node) = offender(&violation) {
+            // Inside an open declared adversary window the violation is
+            // the experiment working: record it as expected (its earliest
+            // instance is the window's detection time) and move on.
+            if let Some(s) = self
+                .stab
+                .iter_mut()
+                .find(|s| s.window.node == node && !s.closed && at >= s.window.opened_at)
+            {
+                if s.detected_at.is_none() {
+                    s.detected_at = Some(at);
+                }
+                if let Some(key) = dedup_key(&violation) {
+                    if !self.reported.insert(key) {
+                        return;
+                    }
+                }
+                self.summary
+                    .expected_violations
+                    .push(RecordedViolation { at, violation });
+                return;
+            }
+            // A violation after the window closed breaks the re-convergence
+            // obligation: surface the stabilization failure first (it pins
+            // the node and the missed deadline), then the raw violation.
+            if let Some(idx) = self
+                .stab
+                .iter()
+                .position(|s| s.window.node == node && s.closed && !s.failed)
+            {
+                let deadline = self.stab[idx].deadline;
+                self.stab[idx].failed = true;
+                self.record_hard(
+                    at,
+                    InvariantViolation::StabilizationFailure { node, deadline },
+                );
+            }
+        }
+        self.record_hard(at, violation);
+    }
+
+    fn record_hard(&mut self, at: TimeMs, violation: InvariantViolation) {
         if self.config.mode == InvariantMode::Strict {
             panic!("invariant violated at t={at}ms: {violation}");
         }
@@ -958,6 +1188,13 @@ mod tests {
                     eligible: 20,
                 },
             }],
+            expected_violations: vec![RecordedViolation {
+                at: 41,
+                violation: InvariantViolation::StabilizationFailure {
+                    node: NodeId::from_index(9),
+                    deadline: 40,
+                },
+            }],
             warnings: vec![RecordedWarning {
                 at: 43,
                 warning: InvariantWarning::SlowDiscovery {
@@ -970,5 +1207,124 @@ mod tests {
         let back: InvariantSummary = serde_json::from_str(&json).unwrap();
         assert_eq!(summary, back);
         assert!(!back.passed());
+    }
+
+    /// Builds a node with a ghost PS entry, as corruption would leave it.
+    fn ghosted_node(config: &Config) -> (Node, NodeId) {
+        let mut node = live_node(config, 1);
+        let selector = HashSelector::from_config_with_kind(config, HasherKind::Fast64);
+        let ghost = (100..)
+            .map(NodeId::from_index)
+            .find(|&g| !selector.is_monitor(g, node.id()))
+            .unwrap();
+        let mut persistent = node.snapshot_persistent();
+        persistent.ps.push(ghost);
+        node.restore_persistent(persistent);
+        (node, ghost)
+    }
+
+    #[test]
+    fn windowed_violations_are_expected_not_hard_even_in_strict_mode() {
+        let (mut checker, config) = checker(InvariantMode::Strict);
+        let (node, ghost) = ghosted_node(&config);
+        checker.node_up(node.id(), 0);
+        checker.set_adversary_windows(&[(node.id(), 500, 500)]);
+        // Inside the window + bound: detected, scored, no panic.
+        checker.on_sample(1000, std::iter::once(&node));
+        assert!(checker.summary().passed());
+        assert!(matches!(
+            checker.summary().expected_violations[0].violation,
+            InvariantViolation::GhostMonitor { claimed, .. } if claimed == ghost
+        ));
+        let outcomes = checker.stabilization();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].detected_after_ms, Some(500));
+        assert!(!outcomes[0].proven, "deadline not reached yet");
+    }
+
+    #[test]
+    fn healed_window_is_proven_after_its_deadline() {
+        let (mut checker, config) = checker(InvariantMode::Strict);
+        let (mut node, _) = ghosted_node(&config);
+        checker.node_up(node.id(), 0);
+        checker.set_adversary_windows(&[(node.id(), 500, 500)]);
+        checker.on_sample(1000, std::iter::once(&node));
+        // The node heals (the audit would do this in a real run).
+        let mut persistent = node.snapshot_persistent();
+        persistent.ps.clear();
+        node.restore_persistent(persistent);
+        let after = 500 + checker.grace() + 1;
+        checker.on_sample(after, std::iter::once(&node));
+        let outcomes = checker.stabilization();
+        assert!(outcomes[0].proven, "clean past the deadline: proven");
+        assert!(!outcomes[0].failed);
+        assert!(checker.summary().passed());
+    }
+
+    #[test]
+    fn unhealed_window_fails_with_node_and_deadline_pinned() {
+        let (mut checker, config) = checker(InvariantMode::Record);
+        let (node, _) = ghosted_node(&config);
+        checker.node_up(node.id(), 0);
+        checker.set_adversary_windows(&[(node.id(), 500, 500)]);
+        checker.on_sample(1000, std::iter::once(&node));
+        assert!(checker.summary().passed(), "inside the bound: expected");
+        // Past the deadline the ghost is still there: hard failure.
+        let deadline = 500 + checker.grace();
+        checker.on_sample(deadline + 1, std::iter::once(&node));
+        assert!(!checker.summary().passed());
+        assert!(matches!(
+            checker.summary().violations[0].violation,
+            InvariantViolation::StabilizationFailure { node: n, deadline: d }
+                if n == node.id() && d == deadline
+        ));
+        assert!(checker.stabilization()[0].failed);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-stabilization failure")]
+    fn strict_mode_panics_past_the_stabilization_deadline() {
+        let (mut checker, config) = checker(InvariantMode::Strict);
+        let (node, _) = ghosted_node(&config);
+        checker.node_up(node.id(), 0);
+        checker.set_adversary_windows(&[(node.id(), 500, 500)]);
+        checker.on_sample(1000, std::iter::once(&node));
+        checker.on_sample(500 + checker.grace() + 1, std::iter::once(&node));
+    }
+
+    #[test]
+    fn rejoin_extends_the_recovery_deadline() {
+        let (mut checker, config) = checker(InvariantMode::Record);
+        let node = live_node(&config, 1);
+        checker.node_up(node.id(), 0);
+        checker.set_adversary_windows(&[(node.id(), 500, 500)]);
+        // The node dies inside its window and stays down past the original
+        // deadline: the window must not close while it is dead.
+        checker.node_down(node.id());
+        let original_deadline = 500 + checker.grace();
+        checker.on_sample(original_deadline + 1000, std::iter::once(&node));
+        assert!(!checker.stabilization()[0].proven, "dead node can't heal");
+        // Rejoin: a full bound of live time is granted from here.
+        let rejoin = original_deadline + 2000;
+        checker.node_up(node.id(), rejoin);
+        assert_eq!(
+            checker.stabilization()[0].deadline,
+            rejoin + checker.grace()
+        );
+        checker.on_sample(rejoin + checker.grace() + 1, std::iter::once(&node));
+        assert!(checker.stabilization()[0].proven);
+        assert!(checker.summary().passed());
+    }
+
+    #[test]
+    fn undeclared_liars_stay_hard_violations() {
+        let (mut checker, config) = checker(InvariantMode::Record);
+        let (node, _) = ghosted_node(&config);
+        checker.node_up(node.id(), 0);
+        // A window for a DIFFERENT node excuses nothing here.
+        checker.set_adversary_windows(&[(NodeId::from_index(99), 0, 1000)]);
+        checker.on_sample(1000, std::iter::once(&node));
+        assert!(!checker.summary().passed());
+        assert!(checker.summary().expected_violations.is_empty());
     }
 }

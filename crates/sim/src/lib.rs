@@ -74,6 +74,23 @@
 //! assert!(report.invariants.passed(), "{:?}", report.invariants.violations);
 //! # Ok::<(), avmon::Error>(())
 //! ```
+//!
+//! ## Adversaries and self-stabilization
+//!
+//! Beyond link faults, a scenario can declare coordinated *attack
+//! campaigns* ([`Attack::Eclipse`] — coalition NOTIFY forgery, join and
+//! notify suppression, victim overreporting) and instantaneous *state
+//! corruption* ([`Fault::Corrupt`] — ghost PS/TS entries, dropped
+//! entries, scrambled monitoring counters). Declared adversary windows
+//! are scored rather than fatal: violations by a node inside its window
+//! land in [`InvariantSummary::expected_violations`], and the checker
+//! then *proves re-convergence* — a node still violating the consistency
+//! condition past its derived recovery deadline is a hard
+//! [`InvariantViolation::StabilizationFailure`], even in
+//! [`InvariantMode::Strict`]. Every run additionally produces
+//! failure-detector QoS scores ([`SimReport::qos`]): detection-time
+//! distribution, mistake rate and duration, per-window stabilization
+//! verdicts, and eclipse-resistance.
 
 pub mod engine;
 pub mod invariants;
@@ -83,9 +100,14 @@ pub mod scenario;
 
 pub use engine::{CalendarStats, SimOptions, Simulation};
 pub use invariants::{
-    CheckStrategy, InvariantChecker, InvariantConfig, InvariantMode, InvariantSummary,
-    InvariantViolation,
+    AdversaryWindow, CheckStrategy, InvariantChecker, InvariantConfig, InvariantMode,
+    InvariantSummary, InvariantViolation, WindowOutcome,
 };
-pub use metrics::{AvailabilityMeasure, DiscoveryLog, NodeSeries, SimReport};
+pub use metrics::{
+    AvailabilityMeasure, DetectionDistribution, DiscoveryLog, EclipseScore, FdQos, NodeSeries,
+    SimReport,
+};
 pub use network::{LatencyModel, LinkFaults, NetworkModel};
-pub use scenario::{Fault, Scenario, ScenarioBuilder, ScenarioEvent};
+pub use scenario::{
+    Attack, AttackEvent, Corruption, Fault, Scenario, ScenarioBuilder, ScenarioEvent,
+};

@@ -14,7 +14,7 @@ use std::collections::{BTreeMap, HashMap};
 use avmon::{DurMs, NodeId, NodeStats, TimeMs};
 use serde::{Deserialize, Serialize};
 
-use crate::invariants::InvariantSummary;
+use crate::invariants::{InvariantSummary, WindowOutcome};
 
 /// Streaming per-target aggregation of availability estimates.
 ///
@@ -116,6 +116,94 @@ pub struct AvailabilityMeasure {
     pub monitors: usize,
 }
 
+/// Streaming distribution of failure-detection times, in deterministic
+/// integer arithmetic (counts, sums, power-of-two bucket bounds) so the
+/// serialized distribution is byte-identical across same-seed runs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct DetectionDistribution {
+    /// Detections recorded.
+    pub count: u64,
+    /// Sum of detection times, ms.
+    pub sum_ms: u64,
+    /// Largest detection time, ms.
+    pub max_ms: u64,
+    /// Log₂-second histogram: `buckets[i]` counts detections with
+    /// `time < 2^i` seconds (first matching bucket only); times of
+    /// `2^15` s (~9 h) or more land in the last bucket.
+    pub buckets: [u64; 16],
+}
+
+impl DetectionDistribution {
+    /// Records one detection `ms` after the target actually died.
+    pub fn record(&mut self, ms: DurMs) {
+        self.count += 1;
+        self.sum_ms += ms;
+        self.max_ms = self.max_ms.max(ms);
+        let secs = ms / 1_000;
+        let bucket = ((64 - secs.leading_zeros()).min(15)) as usize;
+        self.buckets[bucket] += 1;
+    }
+
+    /// Mean detection time in ms (`None` before the first detection).
+    #[must_use]
+    pub fn mean_ms(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum_ms as f64 / self.count as f64)
+    }
+}
+
+/// How well one eclipse victim resisted the coalition: what fraction of
+/// its monitor slots (PS entries) the attackers captured by the end of the
+/// run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EclipseScore {
+    /// The attacked node.
+    pub victim: NodeId,
+    /// PS entries held by coalition members at the end of the run.
+    pub captured: usize,
+    /// Total PS entries at the end of the run.
+    pub slots: usize,
+}
+
+impl EclipseScore {
+    /// `1 − captured/slots`: 1.0 is full resistance (no slot captured, or
+    /// no slots to capture), 0.0 a completely eclipsed victim.
+    #[must_use]
+    pub fn resistance(&self) -> f64 {
+        if self.slots == 0 {
+            1.0
+        } else {
+            1.0 - self.captured as f64 / self.slots as f64
+        }
+    }
+}
+
+/// Failure-detector quality-of-service scores (Duarte et al.'s diagnosis
+/// metrics): detection time, mistake rate, mistake duration — plus the
+/// adversary-pack scores (stabilization window outcomes and
+/// eclipse-resistance). Computed streaming during the run, so every
+/// scenario — including each fuzz-sweep seed — yields a score vector, not
+/// just a pass/fail bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FdQos {
+    /// Distribution of true-failure detection times (suspicion raised
+    /// after the target actually left), measured from the target's death.
+    pub detection: DetectionDistribution,
+    /// Suspicions raised against targets that were actually alive
+    /// (mistakes, in the FD QoS sense).
+    pub mistake_episodes: u64,
+    /// Total simulated time spent in mistake episodes, ms (episodes still
+    /// open when the target dies or the run ends are closed there).
+    pub mistake_time_ms: u64,
+    /// Mistakes per measurement hour (0 when the window is empty).
+    pub mistake_rate_per_hour: f64,
+    /// Mean mistake duration, ms (0 before the first mistake).
+    pub mistake_duration_ms: f64,
+    /// Scored outcome of every declared adversary window.
+    pub windows: Vec<WindowOutcome>,
+    /// Per-victim eclipse-resistance scores, one per declared victim.
+    pub eclipse: Vec<EclipseScore>,
+}
+
 /// Everything measured during one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimReport {
@@ -142,6 +230,8 @@ pub struct SimReport {
     /// What the always-on protocol invariant checker observed
     /// (`invariants.passed()` ⇔ no hard violation all run).
     pub invariants: InvariantSummary,
+    /// Failure-detector QoS scores.
+    pub qos: FdQos,
 }
 
 impl SimReport {
@@ -316,6 +406,64 @@ mod tests {
     }
 
     #[test]
+    fn detection_distribution_buckets_and_mean() {
+        let mut d = DetectionDistribution::default();
+        assert_eq!(d.mean_ms(), None);
+        d.record(500); // < 1 s → bucket 0
+        d.record(1_500); // 1 s → bucket 1
+        d.record(70_000); // 70 s → bucket 7 (< 128 s)
+        d.record(40_000_000); // 40 000 s, past the ~9 h cap → last bucket
+        assert_eq!(d.count, 4);
+        assert_eq!(d.buckets[0], 1);
+        assert_eq!(d.buckets[1], 1);
+        assert_eq!(d.buckets[7], 1);
+        assert_eq!(d.buckets[15], 1);
+        assert_eq!(d.max_ms, 40_000_000);
+        let mean = d.mean_ms().unwrap();
+        assert!((mean - (500.0 + 1_500.0 + 70_000.0 + 40_000_000.0) / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eclipse_resistance_bounds() {
+        let full = EclipseScore {
+            victim: NodeId::from_index(1),
+            captured: 0,
+            slots: 8,
+        };
+        assert_eq!(full.resistance(), 1.0);
+        let eclipsed = EclipseScore {
+            victim: NodeId::from_index(1),
+            captured: 8,
+            slots: 8,
+        };
+        assert_eq!(eclipsed.resistance(), 0.0);
+        let empty = EclipseScore {
+            victim: NodeId::from_index(1),
+            captured: 0,
+            slots: 0,
+        };
+        assert_eq!(empty.resistance(), 1.0, "no slots: nothing was captured");
+    }
+
+    #[test]
+    fn qos_serializes_round_trip() {
+        let mut qos = FdQos::default();
+        qos.detection.record(30_000);
+        qos.mistake_episodes = 2;
+        qos.mistake_time_ms = 90_000;
+        qos.mistake_rate_per_hour = 2.0;
+        qos.mistake_duration_ms = 45_000.0;
+        qos.eclipse.push(EclipseScore {
+            victim: NodeId::from_index(4),
+            captured: 1,
+            slots: 5,
+        });
+        let json = serde_json::to_string(&qos).unwrap();
+        let back: FdQos = serde_json::from_str(&json).unwrap();
+        assert_eq!(qos, back);
+    }
+
+    #[test]
     fn report_rate_helpers() {
         let mut series = BTreeMap::new();
         series.insert(
@@ -342,6 +490,7 @@ mod tests {
             totals: NodeStats::default(),
             alive_at_end: 1,
             invariants: InvariantSummary::default(),
+            qos: FdQos::default(),
         };
         // 240 checks over 2 minutes = 2 checks/second.
         assert_eq!(report.comps_per_second(), vec![2.0]);

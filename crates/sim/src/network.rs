@@ -336,7 +336,7 @@ impl NetworkState {
                         until: event.at + duration,
                         loss: *loss,
                     }),
-                    Fault::Freeze { .. } => {} // handled by the engine
+                    Fault::Freeze { .. } | Fault::Corrupt { .. } => {} // handled by the engine
                 }
             }
         }

@@ -80,6 +80,37 @@ pub enum Fault {
         /// Pause length.
         duration: DurMs,
     },
+    /// The node's protocol state (coarse view, PS, TS) is overwritten with
+    /// seed-deterministic garbage at the event instant — the arbitrary-
+    /// state-corruption start of a self-stabilization argument (disk
+    /// corruption, a bad restore, a bit-flipped snapshot). Instantaneous:
+    /// the fault's "duration" is the re-convergence window the
+    /// stabilization checker derives, not part of the event.
+    Corrupt {
+        /// The corrupted node.
+        node: NodeId,
+        /// What kind of garbage is written.
+        pattern: Corruption,
+        /// Per-event corruption seed (mixed with the sim seed, so the
+        /// garbage is deterministic yet independent of every other stream).
+        seed: u64,
+    },
+}
+
+/// What [`Fault::Corrupt`] writes over a node's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Corruption {
+    /// Ghost entries: PS/TS/view members the hash condition never selected
+    /// (including identities outside the population).
+    Ghosts,
+    /// Each PS/TS entry is independently dropped with probability ½.
+    Drops,
+    /// Monitoring counters are scrambled as if restored from another
+    /// incarnation's snapshot (pings/pongs/session bookkeeping garbled;
+    /// membership intact).
+    Scramble,
+    /// All of the above.
+    Full,
 }
 
 impl Fault {
@@ -130,6 +161,10 @@ impl Fault {
                     return err("freeze duration must be positive".into());
                 }
             }
+            Fault::Corrupt { .. } => {
+                // Any node, pattern and seed are valid: corruption is
+                // arbitrary-state by definition.
+            }
         }
         Ok(())
     }
@@ -140,6 +175,9 @@ impl Fault {
             | Fault::Degrade { duration, .. }
             | Fault::LossBurst { duration, .. }
             | Fault::Freeze { duration, .. } => *duration,
+            // Instantaneous; re-convergence time is owned by the
+            // stabilization checker's derived bound.
+            Fault::Corrupt { .. } => 0,
         }
     }
 }
@@ -153,13 +191,74 @@ pub struct ScenarioEvent {
     pub fault: Fault,
 }
 
-/// A named, validated timeline of faults.
+/// One coordinated adversary campaign, active from its event's `at` for
+/// `duration` ms; when the window closes the attackers revert to the
+/// behavior they had before (honest, unless `SimOptions::behavior`
+/// assigned them something else).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Attack {
+    /// The coalition jointly tries to capture the victims' monitor slots:
+    /// every member adopts [`avmon::Behavior::EclipseCoalition`] for the
+    /// window (forged NOTIFY floods, join/notify suppression, coalition
+    /// self-advertisement, victim overreporting).
+    Eclipse {
+        /// The attacker nodes.
+        coalition: Vec<NodeId>,
+        /// The nodes under attack.
+        victims: Vec<NodeId>,
+        /// How long the campaign runs before the coalition reverts.
+        duration: DurMs,
+    },
+}
+
+impl Attack {
+    fn validate(&self) -> Result<(), avmon::Error> {
+        let err = |msg: String| Err(avmon::Error::InvalidConfig(msg));
+        match self {
+            Attack::Eclipse {
+                coalition,
+                victims,
+                duration,
+            } => {
+                if coalition.is_empty() || victims.is_empty() {
+                    return err("eclipse coalition and victim sets must be non-empty".into());
+                }
+                if coalition.iter().any(|id| victims.contains(id)) {
+                    return err("eclipse coalition and victims must be disjoint".into());
+                }
+                if *duration == 0 {
+                    return err("eclipse duration must be positive".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn duration(&self) -> DurMs {
+        match self {
+            Attack::Eclipse { duration, .. } => *duration,
+        }
+    }
+}
+
+/// A timestamped attack campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackEvent {
+    /// When the campaign begins.
+    pub at: TimeMs,
+    /// The campaign.
+    pub attack: Attack,
+}
+
+/// A named, validated timeline of faults and attack campaigns.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct Scenario {
     /// Human-readable scenario name (embeds the seed for generated ones).
     pub name: String,
     /// The fault timeline, sorted by start time.
     pub events: Vec<ScenarioEvent>,
+    /// The attack timeline, sorted by start time.
+    pub attacks: Vec<AttackEvent>,
 }
 
 impl Scenario {
@@ -169,23 +268,27 @@ impl Scenario {
         ScenarioBuilder {
             name: name.into(),
             events: Vec::new(),
+            attacks: Vec::new(),
         }
     }
 
-    /// Checks every fault in the timeline.
+    /// Checks every fault and attack in the timeline.
     ///
     /// # Errors
     ///
     /// Returns [`avmon::Error::InvalidConfig`] describing the first
-    /// invalid fault.
+    /// invalid fault or attack.
     pub fn validate(&self) -> Result<(), avmon::Error> {
         for event in &self.events {
             event.fault.validate()?;
         }
+        for event in &self.attacks {
+            event.attack.validate()?;
+        }
         Ok(())
     }
 
-    /// The first instant after which no fault is active any more
+    /// The first instant after which no fault or attack is active any more
     /// (0 for an empty scenario). Invariant grace windows are measured
     /// from here: guarantees are only owed once the network has healed.
     #[must_use]
@@ -193,8 +296,39 @@ impl Scenario {
         self.events
             .iter()
             .map(|e| e.at + e.fault.duration())
+            .chain(self.attacks.iter().map(|e| e.at + e.attack.duration()))
             .max()
             .unwrap_or(0)
+    }
+
+    /// Per-node adversary windows `(node, opened_at, heals_at)` for the
+    /// stabilization checker: during `[opened_at, heals_at]` the node's
+    /// state is *expected* to violate the consistency condition (it is an
+    /// active attacker, or was just corrupted), and after `heals_at` it
+    /// owes re-convergence within the checker's derived bound.
+    pub(crate) fn adversary_windows(&self) -> Vec<(NodeId, TimeMs, TimeMs)> {
+        let mut windows = Vec::new();
+        for event in &self.attacks {
+            match &event.attack {
+                Attack::Eclipse {
+                    coalition,
+                    duration,
+                    ..
+                } => {
+                    for &member in coalition {
+                        windows.push((member, event.at, event.at + duration));
+                    }
+                }
+            }
+        }
+        for event in &self.events {
+            if let Fault::Corrupt { node, .. } = event.fault {
+                // Instantaneous injection: the recovery clock starts at
+                // the event itself.
+                windows.push((node, event.at, event.at));
+            }
+        }
+        windows
     }
 
     /// Freeze windows per node, for the engine.
@@ -286,10 +420,53 @@ impl Scenario {
                 },
             });
         }
+        // Adversary riders, drawn strictly after every fault draw so the
+        // fault timeline a given seed produced before the adversary pack
+        // is unchanged. Half the scenarios get an eclipse campaign …
+        let mut attacks = Vec::new();
+        if identities.len() >= 4 && rng.gen_range(0..2u8) == 0 {
+            let coalition_size = rng.gen_range(2..=3usize.min(identities.len() - 1));
+            let victim_count = rng.gen_range(1..=2usize.min(identities.len() - coalition_size));
+            let mut pool: Vec<NodeId> = identities.to_vec();
+            for i in 0..coalition_size + victim_count {
+                let j = rng.gen_range(i..pool.len());
+                pool.swap(i, j);
+            }
+            let coalition = pool[..coalition_size].to_vec();
+            let victims = pool[coalition_size..coalition_size + victim_count].to_vec();
+            attacks.push(AttackEvent {
+                at: window_from + rng.gen_range(0..span.max(1)),
+                attack: Attack::Eclipse {
+                    coalition,
+                    victims,
+                    duration: (span / 50 + rng.gen_range(0..=span / 4)).max(1),
+                },
+            });
+        }
+        // … and half get a state corruption.
+        if rng.gen_range(0..2u8) == 0 {
+            let node = identities[rng.gen_range(0..identities.len())];
+            let pattern = match rng.gen_range(0..4u8) {
+                0 => Corruption::Ghosts,
+                1 => Corruption::Drops,
+                2 => Corruption::Scramble,
+                _ => Corruption::Full,
+            };
+            events.push(ScenarioEvent {
+                at: window_from + rng.gen_range(0..span.max(1)),
+                fault: Fault::Corrupt {
+                    node,
+                    pattern,
+                    seed: rng.gen(),
+                },
+            });
+        }
         events.sort_by_key(|e| e.at);
+        attacks.sort_by_key(|e| e.at);
         let scenario = Scenario {
             name: format!("random-{seed}"),
             events,
+            attacks,
         };
         debug_assert!(scenario.validate().is_ok());
         scenario
@@ -316,6 +493,7 @@ fn random_split<R: Rng>(rng: &mut R, identities: &[NodeId]) -> (Vec<NodeId>, Vec
 pub struct ScenarioBuilder {
     name: String,
     events: Vec<ScenarioEvent>,
+    attacks: Vec<AttackEvent>,
 }
 
 impl ScenarioBuilder {
@@ -389,6 +567,47 @@ impl ScenarioBuilder {
         self.push(at, Fault::Freeze { node, duration })
     }
 
+    /// Corrupts `node`'s protocol state at `at` with the given pattern and
+    /// corruption seed (instantaneous — see [`Fault::Corrupt`]).
+    #[must_use]
+    pub fn corrupt(self, at: TimeMs, node: NodeId, pattern: Corruption, seed: u64) -> Self {
+        self.push(
+            at,
+            Fault::Corrupt {
+                node,
+                pattern,
+                seed,
+            },
+        )
+    }
+
+    /// Runs an eclipse campaign by `coalition` against `victims` during
+    /// the window.
+    #[must_use]
+    pub fn eclipse(
+        self,
+        at: TimeMs,
+        duration: DurMs,
+        coalition: Vec<NodeId>,
+        victims: Vec<NodeId>,
+    ) -> Self {
+        self.attack(
+            at,
+            Attack::Eclipse {
+                coalition,
+                victims,
+                duration,
+            },
+        )
+    }
+
+    /// Appends an arbitrary attack campaign.
+    #[must_use]
+    pub fn attack(mut self, at: TimeMs, attack: Attack) -> Self {
+        self.attacks.push(AttackEvent { at, attack });
+        self
+    }
+
     /// Appends an arbitrary fault.
     #[must_use]
     pub fn fault(self, at: TimeMs, fault: Fault) -> Self {
@@ -408,9 +627,11 @@ impl ScenarioBuilder {
     /// groups, out-of-range probabilities, or zero durations.
     pub fn build(mut self) -> Result<Scenario, avmon::Error> {
         self.events.sort_by_key(|e| e.at);
+        self.attacks.sort_by_key(|e| e.at);
         let scenario = Scenario {
             name: self.name,
             events: self.events,
+            attacks: self.attacks,
         };
         scenario.validate()?;
         Ok(scenario)
@@ -494,11 +715,98 @@ mod tests {
             .degrade(2 * MINUTE, MINUTE, ids(0..1), ids(1..2), 0.25)
             .loss_burst(3 * MINUTE, MINUTE, 0.1)
             .freeze(4 * MINUTE, MINUTE, NodeId::from_index(9))
+            .corrupt(5 * MINUTE, NodeId::from_index(2), Corruption::Full, 77)
+            .eclipse(6 * MINUTE, MINUTE, ids(0..2), ids(2..3))
             .build()
             .unwrap();
         let json = serde_json::to_string(&s).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn attack_free_scenarios_round_trip_with_empty_attacks() {
+        // Attack-free scenarios carry an explicit empty `attacks` list (the
+        // vendored serde derive has no default-field support) and still
+        // round-trip exactly.
+        let s = Scenario::builder("old")
+            .loss_burst(MINUTE, MINUTE, 0.1)
+            .build()
+            .unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"attacks\":[]"), "{json}");
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn invalid_attacks_rejected() {
+        // Overlapping coalition/victims.
+        assert!(Scenario::builder("bad")
+            .eclipse(0, MINUTE, ids(0..3), ids(2..4))
+            .build()
+            .is_err());
+        // Empty victim set.
+        assert!(Scenario::builder("bad")
+            .eclipse(0, MINUTE, ids(0..3), vec![])
+            .build()
+            .is_err());
+        // Zero duration.
+        assert!(Scenario::builder("bad")
+            .eclipse(0, 0, ids(0..3), ids(3..4))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn adversary_windows_cover_attacks_and_corruptions() {
+        let s = Scenario::builder("w")
+            .eclipse(2 * MINUTE, 3 * MINUTE, ids(0..2), ids(2..3))
+            .corrupt(MINUTE, NodeId::from_index(7), Corruption::Drops, 1)
+            .build()
+            .unwrap();
+        let mut windows = s.adversary_windows();
+        windows.sort();
+        assert_eq!(
+            windows,
+            vec![
+                (NodeId::from_index(0), 2 * MINUTE, 5 * MINUTE),
+                (NodeId::from_index(1), 2 * MINUTE, 5 * MINUTE),
+                (NodeId::from_index(7), MINUTE, MINUTE),
+            ]
+        );
+        // Quiescence waits for the slowest adversary window too.
+        assert_eq!(s.quiescent_after(), 5 * MINUTE);
+    }
+
+    #[test]
+    fn random_scenarios_draw_adversaries() {
+        let pop = ids(0..50);
+        let mut with_attack = 0;
+        let mut with_corrupt = 0;
+        for seed in 0..40u64 {
+            let s = Scenario::random(seed, &pop, 10 * MINUTE, 60 * MINUTE);
+            s.validate().unwrap();
+            if !s.attacks.is_empty() {
+                with_attack += 1;
+                for e in &s.attacks {
+                    assert!(e.at >= 10 * MINUTE && e.at < 60 * MINUTE);
+                }
+            }
+            if s.events
+                .iter()
+                .any(|e| matches!(e.fault, Fault::Corrupt { .. }))
+            {
+                with_corrupt += 1;
+            }
+        }
+        // Each rider fires with probability ½ per seed; over 40 seeds both
+        // appearing fewer than 8 times would be a broken draw.
+        assert!(with_attack >= 8, "only {with_attack}/40 eclipse riders");
+        assert!(
+            with_corrupt >= 8,
+            "only {with_corrupt}/40 corruption riders"
+        );
     }
 
     #[test]

@@ -1,12 +1,36 @@
 //! Adversarial behaviour end-to-end: verifiability defeats selfish
 //! advertising; collusion pollution matches §4.3; overreporting has the
-//! bounded effect of Fig. 20.
+//! bounded effect of Fig. 20; coalition eclipse campaigns and state
+//! corruption are detected, scored, and provably recovered from.
 
 use std::collections::BTreeSet;
 
 use avmon::{verify_report, Behavior, Config, HashSelector, MonitorSelector, NodeId, MINUTE};
-use avmon_churn::{stat, synthetic, SynthParams};
-use avmon_sim::{SimOptions, Simulation};
+use avmon_churn::{stat, synthetic, ChurnEvent, ChurnEventKind, SynthParams, Trace};
+use avmon_sim::{
+    Corruption, InvariantConfig, InvariantViolation, Scenario, SimOptions, Simulation,
+};
+
+/// A churn-free population: `n` births at t = 0, nothing else. Keeps the
+/// adversary-window outcomes deterministic — no node can be down at its
+/// recovery deadline.
+fn cohort(n: u32, horizon: avmon::TimeMs, measure_from: avmon::TimeMs) -> Trace {
+    let events: Vec<ChurnEvent> = (0..n)
+        .map(|i| ChurnEvent {
+            at: 0,
+            node: NodeId::from_index(i),
+            kind: ChurnEventKind::Birth,
+        })
+        .collect();
+    Trace::new(
+        "ADVCOHORT",
+        n as usize,
+        horizon,
+        measure_from,
+        vec![],
+        events,
+    )
+}
 
 #[test]
 fn selfish_advertiser_cannot_fake_monitors_end_to_end() {
@@ -109,6 +133,185 @@ fn overreporting_fraction_has_bounded_effect() {
         frac < 0.20,
         "affected fraction {frac:.3}, paper's worst case is 3.5%"
     );
+}
+
+/// The coalition-eclipse scenario end to end: the campaign is *detected*
+/// (checker violations inside the declared window, stamped as the
+/// detection time), *scored* (eclipse-resistance in [`avmon_sim::FdQos`]),
+/// and *recovered from* (every coalition member's re-convergence is proven
+/// before its derived deadline) — in Record mode and, because expected
+/// violations never panic, in Strict mode too.
+#[test]
+fn coalition_eclipse_is_detected_scored_and_recovered_from() {
+    let n = 120u32;
+    let config = Config::builder(n as usize).build().unwrap();
+    let selector = HashSelector::from_config(&config);
+    let victim = NodeId::from_index(7);
+    // Coalition members the hash condition never selected as the victim's
+    // monitors: every forged TS entry is a guaranteed GhostTarget
+    // violation, and the victim's receiver-side NOTIFY re-verification
+    // rejects the whole flood — the campaign *measures* resistance.
+    let coalition: Vec<NodeId> = (0..n)
+        .map(NodeId::from_index)
+        .filter(|&c| c != victim && !selector.is_monitor(c, victim))
+        .take(3)
+        .collect();
+    assert_eq!(coalition.len(), 3);
+    let scenario = Scenario::builder("eclipse-e2e")
+        .eclipse(30 * MINUTE, 10 * MINUTE, coalition.clone(), vec![victim])
+        .build()
+        .unwrap();
+    let trace = cohort(n, 90 * MINUTE, 10 * MINUTE);
+    let run = |invariants: InvariantConfig| {
+        Simulation::new(
+            trace.clone(),
+            SimOptions::new(config.clone())
+                .seed(11)
+                .scenario(scenario.clone())
+                .invariants(invariants),
+        )
+        .run()
+    };
+
+    let report = run(InvariantConfig::default());
+    assert!(
+        report.invariants.passed(),
+        "a declared campaign must never be a hard violation: {:?}",
+        report.invariants.violations
+    );
+    assert!(
+        report
+            .invariants
+            .expected_violations
+            .iter()
+            .any(|v| matches!(
+                v.violation,
+                InvariantViolation::GhostTarget { node, .. } if coalition.contains(&node)
+            )),
+        "the forged coalition state went undetected: {:?}",
+        report.invariants.expected_violations
+    );
+    let windows = &report.qos.windows;
+    assert_eq!(windows.len(), coalition.len(), "one window per member");
+    for w in windows {
+        assert!(coalition.contains(&w.node));
+        assert!(
+            w.detected_after_ms.is_some(),
+            "campaign undetected for {}",
+            w.node
+        );
+        assert!(w.proven, "re-convergence unproven for {}", w.node);
+        assert!(!w.failed);
+    }
+    assert_eq!(report.qos.eclipse.len(), 1);
+    let score = &report.qos.eclipse[0];
+    assert_eq!(score.victim, victim);
+    assert_eq!(
+        score.captured, 0,
+        "re-verification must reject every forged NOTIFY"
+    );
+    assert!(score.slots > 0, "the victim has real monitors to defend");
+    assert!((score.resistance() - 1.0).abs() < 1e-12);
+
+    // Strict mode completes — the run itself is the proof that only
+    // expected violations occurred and stabilization held.
+    let strict = run(InvariantConfig::strict());
+    assert!(strict.invariants.passed());
+    assert!(strict.qos.windows.iter().all(|w| w.proven));
+}
+
+/// `Fault::Corrupt` recovery, proven in Strict mode on a fault-free base
+/// network: the seeded garbage is detected inside the declared window
+/// (expected, scored), the node purges it, and the checker certifies
+/// re-convergence before the derived deadline — any violation past the
+/// deadline would have panicked the run.
+#[test]
+fn corruption_recovery_is_proven_in_strict_mode() {
+    let n = 80u32;
+    let config = Config::builder(n as usize).build().unwrap();
+    let node = NodeId::from_index(5);
+    let scenario = Scenario::builder("corrupt-recovery")
+        .corrupt(30 * MINUTE, node, Corruption::Full, 0xfeed)
+        .build()
+        .unwrap();
+    let trace = cohort(n, 80 * MINUTE, 10 * MINUTE);
+    let report = Simulation::new(
+        trace,
+        SimOptions::new(config)
+            .seed(7)
+            .scenario(scenario)
+            .invariants(InvariantConfig::strict()),
+    )
+    .run();
+    assert!(report.invariants.passed());
+    assert!(
+        !report.invariants.expected_violations.is_empty(),
+        "the injected garbage went undetected"
+    );
+    assert_eq!(report.qos.windows.len(), 1);
+    let w = &report.qos.windows[0];
+    assert_eq!(w.node, node);
+    assert!(w.detected_after_ms.is_some(), "corruption undetected");
+    assert!(w.proven && !w.failed, "re-convergence unproven: {w:?}");
+}
+
+/// The symmetric-collusion regression: [`Behavior::Colluding`] declares
+/// friendship one-sidedly, and the simulator re-verifies the pair wherever
+/// it scores reports. An asymmetric "coalition" (A lists its targets, the
+/// targets don't list A) therefore inflates *nothing* — its report is
+/// byte-identical to the all-honest run — while the mutual coalition
+/// actually moves the estimates.
+#[test]
+fn asymmetric_collusion_inflates_nothing() {
+    let n = 100usize;
+    let config = Config::builder(n).build().unwrap();
+    let selector = HashSelector::from_config(&config);
+    let a = NodeId::from_index(0);
+    let friends: BTreeSet<NodeId> = (1..n as u32)
+        .map(NodeId::from_index)
+        .filter(|&t| selector.is_monitor(a, t))
+        .collect();
+    assert!(!friends.is_empty(), "node 0 monitors nobody at n = 100");
+    let trace = stat(n, 40 * MINUTE, 0.1, 4);
+    let run = |behaviors: Vec<(NodeId, Behavior)>| {
+        let mut opts = SimOptions::new(config.clone()).seed(4);
+        // Lossy links keep honest estimates below 1.0, so an inflated
+        // report is visible in the serialized bytes.
+        opts.network.faults.loss = 0.2;
+        for (id, b) in behaviors {
+            opts = opts.behavior(id, b);
+        }
+        serde_json::to_string(&Simulation::new(trace.clone(), opts).run()).unwrap()
+    };
+    let honest = run(vec![]);
+    let asym = run(vec![(
+        a,
+        Behavior::Colluding {
+            friends: friends.clone(),
+        },
+    )]);
+    assert_eq!(
+        honest, asym,
+        "a one-sided coalition must be re-verified away entirely"
+    );
+    let sym = run(friends
+        .iter()
+        .map(|&f| {
+            (
+                f,
+                Behavior::Colluding {
+                    friends: BTreeSet::from([a]),
+                },
+            )
+        })
+        .chain([(
+            a,
+            Behavior::Colluding {
+                friends: friends.clone(),
+            },
+        )])
+        .collect());
+    assert_ne!(honest, sym, "the mutual coalition must actually inflate");
 }
 
 #[test]

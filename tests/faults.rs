@@ -242,13 +242,42 @@ fn invalid_options_rejected_at_construction() {
                 duration: MINUTE,
             },
         }],
+        attacks: Vec::new(),
+    });
+    assert!(Simulation::try_new(trace.clone(), opts).is_err());
+
+    // Malformed attacks are rejected the same way: coalition ∩ victims ≠ ∅.
+    let mut opts = SimOptions::new(Config::builder(20).build().unwrap());
+    opts.scenario = Some(Scenario {
+        name: "raw-bad-attack".into(),
+        events: Vec::new(),
+        attacks: vec![avmon_sim::AttackEvent {
+            at: 0,
+            attack: avmon_sim::Attack::Eclipse {
+                coalition: vec![NodeId::from_index(1)],
+                victims: vec![NodeId::from_index(1)],
+                duration: MINUTE,
+            },
+        }],
     });
     assert!(Simulation::try_new(trace, opts).is_err());
+}
+
+/// One row of the sweep's QoS artifact: which seed, which generated
+/// scenario, and the full failure-detector scorecard it produced.
+#[derive(serde::Serialize)]
+struct SweepQos {
+    seed: u64,
+    scenario: String,
+    qos: avmon_sim::FdQos,
 }
 
 /// Seed-driven random-scenario sweep (fuzz-style). Expensive, so opt-in:
 /// set `AVMON_FUZZ_SWEEP=1` (CI runs it in a dedicated job). Every failing
 /// seed is replayable: the scenario embeds it, and this test prints it.
+/// The per-seed failure-detector QoS scorecards are written to
+/// `FUZZ_fdqos.json` at the repo root, which CI uploads as an artifact —
+/// the sweep doubles as a QoS regression corpus.
 #[test]
 fn random_scenario_fuzz_sweep() {
     if std::env::var("AVMON_FUZZ_SWEEP").is_err() {
@@ -256,6 +285,7 @@ fn random_scenario_fuzz_sweep() {
         return;
     }
     let n = 60;
+    let mut scorecards: Vec<SweepQos> = Vec::new();
     for seed in 0..24u64 {
         let trace = stat(n, 60 * MINUTE, 0.1, seed);
         let ids: Vec<NodeId> = trace.identities().into_iter().collect();
@@ -281,5 +311,28 @@ fn random_scenario_fuzz_sweep() {
             serde_json::to_string(&replay).unwrap(),
             "seed {seed} not reproducible"
         );
+        eprintln!(
+            "seed {seed} [{}]: detections={} mean_detect={:.0}ms mistakes={} \
+             mistake_rate={:.3}/h windows={}",
+            scenario.name,
+            report.qos.detection.count,
+            report.qos.detection.mean_ms().unwrap_or(0.0),
+            report.qos.mistake_episodes,
+            report.qos.mistake_rate_per_hour,
+            report.qos.windows.len(),
+        );
+        scorecards.push(SweepQos {
+            seed,
+            scenario: scenario.name.clone(),
+            qos: report.qos,
+        });
     }
+    let artifact = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../FUZZ_fdqos.json");
+    std::fs::write(&artifact, serde_json::to_string(&scorecards).unwrap())
+        .expect("write QoS artifact");
+    eprintln!(
+        "wrote {} scorecards to {}",
+        scorecards.len(),
+        artifact.display()
+    );
 }
