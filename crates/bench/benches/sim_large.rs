@@ -1,7 +1,9 @@
 //! Large-N benchmarks: the invariant-checker sampling sweep (full-rescan
 //! vs incremental), the PR 5 protocol hot paths — the memoized Fig. 2
-//! view cross-check and the lane/wheel fast calendar — plus an
-//! end-to-end N = 10k smoke run with the fast calendar on and off.
+//! view cross-check and the lane/wheel fast calendar — an end-to-end
+//! N = 10k smoke run with the fast calendar on and off and under the
+//! sharded engine at 1/2/8 workers, and the N = 50k scale run the
+//! sharding targets (all cores, checker on).
 //!
 //! Besides the criterion output, the binary records its measurements in
 //! `BENCH_sim_large.json` at the workspace root — the large-N perf
@@ -199,21 +201,37 @@ fn crosscheck_period_ns(hasher: HasherKind, memo_slots: usize, iters: u64) -> f6
 }
 
 /// End-to-end N = 10k smoke: the CI-sized large-N run (short measurement
-/// window, checker in Record mode), with or without the fast calendar.
-fn smoke_10k(fast_calendar: bool) -> (f64, u64, CalendarStats) {
-    let n = 10_000;
+/// window, checker in Record mode), with or without the fast calendar,
+/// at the given sharded-engine worker count (1 = sequential engine).
+fn smoke_10k(fast_calendar: bool, workers: usize) -> (f64, u64, CalendarStats) {
+    let (wall, checks, stats) = smoke_run(10_000, 10, 5, fast_calendar, workers);
+    (wall, checks, stats)
+}
+
+/// One end-to-end run at arbitrary scale; returns (wall ms, checker
+/// checks, calendar counters).
+fn smoke_run(
+    n: usize,
+    warmup_min: u64,
+    duration_min: u64,
+    fast_calendar: bool,
+    workers: usize,
+) -> (f64, u64, CalendarStats) {
     let params = SynthParams {
         n,
         churn_per_hour: 0.0,
         birth_death_per_day: 0.0,
-        warmup: 10 * MINUTE,
-        duration: 5 * MINUTE,
+        warmup: warmup_min * MINUTE,
+        duration: duration_min * MINUTE,
         control_fraction: 0.01,
         seed: 7,
     };
     let trace = synthetic(params);
     let config = Config::builder(n).build().expect("valid config");
-    let opts = SimOptions::new(config).seed(7).fast_calendar(fast_calendar);
+    let opts = SimOptions::new(config)
+        .seed(7)
+        .fast_calendar(fast_calendar)
+        .workers(workers);
     let start = Instant::now();
     let mut sim = Simulation::new(trace, opts);
     let horizon = sim.trace().horizon;
@@ -221,7 +239,10 @@ fn smoke_10k(fast_calendar: bool) -> (f64, u64, CalendarStats) {
     let stats = sim.calendar_stats();
     let report = sim.into_report();
     let wall = start.elapsed().as_secs_f64() * 1_000.0;
-    assert!(report.invariants.passed(), "10k smoke violated invariants");
+    assert!(
+        report.invariants.passed(),
+        "{n}-node smoke violated invariants"
+    );
     (wall, report.invariants.checks, stats)
 }
 
@@ -251,12 +272,27 @@ fn record_trajectory() {
     // the delivery wheel must take at least 30% of the pops off the
     // binary heap (measured: >99% — the heap retains only the
     // construction-time schedule and odd-delay arms).
-    let (smoke_legacy_ms, _, legacy_stats) = smoke_10k(false);
-    let (smoke_ms, smoke_checks, fast_stats) = smoke_10k(true);
+    let (smoke_legacy_ms, _, legacy_stats) = smoke_10k(false, 1);
+    let (smoke_ms, smoke_checks, fast_stats) = smoke_10k(true, 1);
     let pop_reduction = 1.0 - fast_stats.heap_pops as f64 / legacy_stats.heap_pops as f64;
 
+    // The sharded engine at N = 10k: same run at 2 and 8 workers (the
+    // equivalence rig proves the reports byte-identical, so only the
+    // wall changes). Recorded per worker count with the core count, so
+    // the CI gate can require the >=2x win only where the cores exist —
+    // on a 1-core box these land at rough parity by design.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let (w2_ms, _, _) = smoke_10k(true, 2);
+    let (w8_ms, _, _) = smoke_10k(true, 8);
+    let sharded_speedup = smoke_ms / smoke_ms.min(w2_ms).min(w8_ms).max(1.0);
+
+    // The scale trajectory the sharding targets: N = 50k end-to-end with
+    // the checker on, all cores (ROADMAP item 1 tracked this at 9.1 min
+    // before the trace interval index and the flat node tables).
+    let (scale_50k_ms, scale_50k_checks, _) = smoke_run(50_000, 10, 5, true, 0);
+
     let json = format!(
-        "{{\n  \"bench\": \"sim_large\",\n  \"checker_per_sample\": {{\n    \"n\": {BENCH_N},\n    \"full_rescan_ns\": {full_ns:.0},\n    \"incremental_ns\": {incremental_ns:.0},\n    \"speedup\": {speedup:.1}\n  }},\n  \"view_crosscheck_per_period\": {{\n    \"cvs\": 60,\n    \"md5_unmemoized_ns\": {md5_plain_ns:.0},\n    \"md5_memoized_ns\": {md5_memo_ns:.0},\n    \"md5_speedup\": {md5_speedup:.1},\n    \"fast64_unmemoized_ns\": {fast_plain_ns:.0},\n    \"fast64_memoized_ns\": {fast_memo_ns:.0},\n    \"fast64_speedup\": {fast_speedup:.2}\n  }},\n  \"calendar_10k\": {{\n    \"heap_pops_legacy\": {},\n    \"heap_pops_fast\": {},\n    \"lane_pops\": {},\n    \"wheel_pops\": {},\n    \"expire_skips\": {},\n    \"heap_pop_reduction\": {pop_reduction:.3},\n    \"wall_ms_legacy\": {smoke_legacy_ms:.0},\n    \"wall_ms_fast\": {smoke_ms:.0}\n  }},\n  \"smoke_end_to_end\": {{\n    \"n\": 10000,\n    \"simulated_minutes\": 15,\n    \"wall_ms\": {smoke_ms:.0},\n    \"checker_checks\": {smoke_checks}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"sim_large\",\n  \"checker_per_sample\": {{\n    \"n\": {BENCH_N},\n    \"full_rescan_ns\": {full_ns:.0},\n    \"incremental_ns\": {incremental_ns:.0},\n    \"speedup\": {speedup:.1}\n  }},\n  \"view_crosscheck_per_period\": {{\n    \"cvs\": 60,\n    \"md5_unmemoized_ns\": {md5_plain_ns:.0},\n    \"md5_memoized_ns\": {md5_memo_ns:.0},\n    \"md5_speedup\": {md5_speedup:.1},\n    \"fast64_unmemoized_ns\": {fast_plain_ns:.0},\n    \"fast64_memoized_ns\": {fast_memo_ns:.0},\n    \"fast64_speedup\": {fast_speedup:.2}\n  }},\n  \"calendar_10k\": {{\n    \"heap_pops_legacy\": {},\n    \"heap_pops_fast\": {},\n    \"lane_pops\": {},\n    \"wheel_pops\": {},\n    \"expire_skips\": {},\n    \"heap_pop_reduction\": {pop_reduction:.3},\n    \"wall_ms_legacy\": {smoke_legacy_ms:.0},\n    \"wall_ms_fast\": {smoke_ms:.0}\n  }},\n  \"sharded_10k\": {{\n    \"cores\": {cores},\n    \"wall_ms_workers_1\": {smoke_ms:.0},\n    \"wall_ms_workers_2\": {w2_ms:.0},\n    \"wall_ms_workers_8\": {w8_ms:.0},\n    \"best_speedup\": {sharded_speedup:.2}\n  }},\n  \"scale_50k\": {{\n    \"n\": 50000,\n    \"simulated_minutes\": 15,\n    \"workers\": \"all-cores\",\n    \"wall_ms\": {scale_50k_ms:.0},\n    \"checker_checks\": {scale_50k_checks}\n  }},\n  \"smoke_end_to_end\": {{\n    \"n\": 10000,\n    \"simulated_minutes\": 15,\n    \"wall_ms\": {smoke_ms:.0},\n    \"checker_checks\": {smoke_checks}\n  }}\n}}\n",
         legacy_stats.heap_pops,
         fast_stats.heap_pops,
         fast_stats.lane_pops,

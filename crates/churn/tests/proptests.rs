@@ -56,7 +56,7 @@ proptest! {
             let a = trace.availability_of(node, 0, trace.horizon);
             prop_assert!((0.0..=1.0).contains(&a), "availability {}", a);
         }
-        for (_, ups) in trace.up_intervals() {
+        for (_, ups) in trace.up_intervals().iter() {
             for w in ups.windows(2) {
                 prop_assert!(w[0].1 <= w[1].0, "overlapping up intervals");
             }

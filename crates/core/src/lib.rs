@@ -89,6 +89,7 @@ pub mod node;
 pub mod query;
 pub mod selector;
 pub mod stats;
+pub mod table;
 pub mod time;
 pub mod view;
 
@@ -100,7 +101,8 @@ pub use history::{AvailabilityStore, HistoryStore};
 pub use id::{NodeId, ParseNodeIdError};
 pub use message::{Message, MessageKind, Nonce};
 pub use node::{
-    Action, AppEvent, Destination, JoinKind, Node, PersistentState, TargetRecord, Timer, Transmit,
+    Action, AppEvent, Destination, JoinKind, MemoPolicy, Node, PersistentState, TargetRecord,
+    Timer, Transmit,
 };
 pub use query::{AvailabilityQuery, QueryOutcome};
 pub use selector::{
@@ -108,6 +110,7 @@ pub use selector::{
     ReportVerification, SelfReportSelector, SharedSelector,
 };
 pub use stats::NodeStats;
+pub use table::{FlatMap, FlatSet, TableKey};
 pub use time::{DurMs, TimeMs, HOUR, MINUTE, SECOND};
 pub use view::CoarseView;
 

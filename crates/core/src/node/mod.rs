@@ -28,7 +28,9 @@ mod monitoring;
 #[cfg(test)]
 mod tests;
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::table::{FlatMap, FlatSet};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -217,8 +219,10 @@ pub enum AppEvent {
     },
 }
 
-/// Outstanding request state, keyed by nonce.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Outstanding request state, keyed by nonce. `Copy`: every variant is
+/// a couple of 6-byte identities, so entries live inline in the flat
+/// pending table with no heap indirection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Pending {
     ViewPing { peer: NodeId },
     ViewFetch { peer: NodeId },
@@ -232,7 +236,7 @@ enum Pending {
 /// was armed for — the stamp behind the lazy-expiry contract (see
 /// [`Timer::Expire`]): a firing earlier than `deadline` is a stale timer
 /// from a previous arming of a reused nonce and is discarded.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct PendingEntry {
     state: Pending,
     deadline: TimeMs,
@@ -330,7 +334,7 @@ pub struct Node {
     view: CoarseView,
     ps: BTreeSet<NodeId>,
     targets: BTreeMap<NodeId, TargetRecord>,
-    pending: HashMap<Nonce, PendingEntry>,
+    pending: FlatMap<Nonce, PendingEntry>,
     /// Pair-point memo serving repeat consistency-condition checks in O(1)
     /// when the selector is a pure pair hash (`memo_threshold` is `Some`).
     /// Purely an evaluation cache: it changes no protocol decision and
@@ -347,7 +351,7 @@ pub struct Node {
     /// retransmit. Bounded: cleared wholesale when it reaches capacity, so
     /// notifications are eventually retransmitted and Theorem 1 (eventual
     /// discovery) is preserved even if an endpoint was down the first time.
-    notified: std::collections::HashSet<(NodeId, NodeId)>,
+    notified: FlatSet<(NodeId, NodeId)>,
     notified_cap: usize,
     /// When the notified cache was last aged out wholesale. Clearing on a
     /// time cadence (not only at capacity) bounds NOTIFY suppression in
@@ -389,6 +393,23 @@ pub struct Node {
     eventbox: VecDeque<AppEvent>,
 }
 
+/// The effective pair-point memo policy in force for a run: how many
+/// slots each node's memo gets, whether memoization actually engages,
+/// and a human-readable reason — computed by [`Node::memo_policy`] and
+/// surfaced by drivers (the simulator embeds it in its invariant
+/// summary) so a disabled memo is a reported fact, not a silent
+/// performance cliff.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct MemoPolicy {
+    /// Slots per node's memo (0 = disabled).
+    pub slots: usize,
+    /// Whether memoization engages (slots > 0 *and* the selector is a
+    /// pure pair hash).
+    pub enabled: bool,
+    /// Why this policy is in force.
+    pub reason: String,
+}
+
 impl Node {
     /// Creates a node with the given identity, configuration, selection
     /// scheme, and RNG seed (all protocol randomness derives from `seed`).
@@ -410,10 +431,10 @@ impl Node {
             view: CoarseView::new(id, cvs),
             ps: BTreeSet::new(),
             targets: BTreeMap::new(),
-            pending: HashMap::new(),
+            pending: FlatMap::new(),
             memo: PointMemo::new(memo_slots),
             memo_threshold,
-            notified: std::collections::HashSet::new(),
+            notified: FlatSet::new(),
             notified_cap: (8 * cvs * cvs).max(1024),
             notified_cleared_at: 0,
             contact: None,
@@ -438,10 +459,56 @@ impl Node {
     /// deployments that pay for an expensive hasher (the paper's MD5)
     /// should opt back in via [`Node::set_point_memo_slots`].
     fn default_memo_slots(config: &Config) -> usize {
-        if config.system_size > 8192 {
-            0
-        } else {
-            (2 * (config.cvs + 2) * (config.cvs + 2)).clamp(1024, 16384)
+        Node::memo_policy(config, None, true).slots
+    }
+
+    /// The effective pair-point memo policy for a deployment — the one
+    /// place the sizing rule lives, so drivers can *report* it instead of
+    /// leaving large-N `hash_checks` cliffs unexplained (the default
+    /// silently disables the memo above 8 192 nodes). `override_slots` is
+    /// a driver-level override (the simulator's `node_memo` option);
+    /// `memoizable` is whether the selector is a pure pair hash
+    /// ([`crate::MonitorSelector::selection_threshold`] is `Some`) —
+    /// membership-dependent selectors can never engage the memo no matter
+    /// how many slots it has.
+    #[must_use]
+    pub fn memo_policy(
+        config: &Config,
+        override_slots: Option<usize>,
+        memoizable: bool,
+    ) -> MemoPolicy {
+        let (slots, reason) = match override_slots {
+            Some(0) => (0, "explicitly disabled (node_memo = 0)".to_string()),
+            Some(slots) => (slots, format!("explicit override (node_memo = {slots})")),
+            None if config.system_size > 8192 => (
+                0,
+                format!(
+                    "default policy disables the memo above 8192 nodes \
+                     (system_size = {}); opt in via node_memo / set_point_memo_slots",
+                    config.system_size
+                ),
+            ),
+            None => (
+                (2 * (config.cvs + 2) * (config.cvs + 2)).clamp(1024, 16384),
+                format!(
+                    "default working-set sizing 2*(cvs+2)^2 for cvs = {}, \
+                     clamped to [1024, 16384]",
+                    config.cvs
+                ),
+            ),
+        };
+        if !memoizable && slots > 0 {
+            return MemoPolicy {
+                slots,
+                enabled: false,
+                reason: "selector is not a pure pair hash; every check calls is_monitor directly"
+                    .to_string(),
+            };
+        }
+        MemoPolicy {
+            slots,
+            enabled: slots > 0,
+            reason,
         }
     }
 

@@ -1,0 +1,394 @@
+//! Open-addressed flat tables for the per-node hot maps.
+//!
+//! `Node` keeps two maps on its hottest paths: the pending-request table
+//! (`Nonce → PendingEntry`, touched by every request/response/expiry) and
+//! the re-advertisement dedup set (`(monitor, target)` pairs). Both are
+//! pure membership structures — they are **never iterated**, only probed,
+//! inserted into, removed from, and cleared — so nothing about them can
+//! leak ordering into the protocol, and the general-purpose `HashMap`
+//! (SipHash, separate control metadata, per-resize reallocation churn)
+//! is pure overhead. At 100k+ simulated nodes those two maps dominate
+//! resident memory after the views themselves.
+//!
+//! This module provides the minimal replacement: a linear-probe table
+//! over one contiguous slot array, keyed by a caller-supplied 64-bit
+//! mix ([`TableKey`], built on `fast64::mix64`). The wins are exactly
+//! the honest ones: no SipHash per probe, one cache line per cluster,
+//! one allocation per table, and a deliberately *absent* iteration API
+//! so no future caller can make protocol behavior depend on slot order.
+
+use avmon_hash::fast64::mix64;
+
+use crate::id::NodeId;
+use crate::message::Nonce;
+
+/// Keys usable in [`FlatMap`]/[`FlatSet`]: cheap to copy, with a
+/// caller-vouched well-mixed 64-bit image. The low bits index the
+/// power-of-two slot array directly, so the mix must diffuse (identity
+/// hashing of dense indices would cluster catastrophically).
+pub trait TableKey: Copy + Eq {
+    /// A well-mixed 64-bit image of the key.
+    fn mix(&self) -> u64;
+}
+
+impl TableKey for u64 {
+    fn mix(&self) -> u64 {
+        mix64(*self)
+    }
+}
+
+impl TableKey for Nonce {
+    fn mix(&self) -> u64 {
+        mix64(self.0)
+    }
+}
+
+impl TableKey for NodeId {
+    fn mix(&self) -> u64 {
+        mix64(self.to_u64())
+    }
+}
+
+/// Pairs mix each half separately before combining, so `(a, b)` and
+/// `(b, a)` land apart even though `to_u64` images are small integers.
+impl TableKey for (NodeId, NodeId) {
+    fn mix(&self) -> u64 {
+        mix64(self.0.to_u64() ^ mix64(self.1.to_u64()))
+    }
+}
+
+/// One slot of the table. The discriminant doubles as the control byte
+/// of a classic open-addressed scheme: `Empty` terminates probe chains,
+/// `Tomb` (tombstone) keeps them alive across removals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Slot<K, V> {
+    Empty,
+    Tomb,
+    Full(K, V),
+}
+
+/// A linear-probe open-addressed map with `Copy` keys and values and no
+/// iteration API. See the module docs for why iteration is deliberately
+/// unsupported.
+#[derive(Debug, Clone)]
+pub struct FlatMap<K, V> {
+    slots: Vec<Slot<K, V>>,
+    /// Live entries.
+    len: usize,
+    /// Live entries plus tombstones — the quantity that governs probe
+    /// length and therefore triggers rebuilds.
+    used: usize,
+}
+
+const INITIAL_CAPACITY: usize = 16;
+
+impl<K: TableKey, V: Copy> Default for FlatMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: TableKey, V: Copy> FlatMap<K, V> {
+    /// Creates an empty map. Does not allocate until the first insert.
+    #[must_use]
+    pub fn new() -> Self {
+        FlatMap {
+            slots: Vec::new(),
+            len: 0,
+            used: 0,
+        }
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map holds no live entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops every entry but keeps the allocation (the per-node tables
+    /// are cleared on restart and immediately refilled to similar size).
+    pub fn clear(&mut self) {
+        self.slots.fill(Slot::Empty);
+        self.len = 0;
+        self.used = 0;
+    }
+
+    /// Index of the slot holding `key`, if present.
+    fn find(&self, key: &K) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (key.mix() as usize) & mask;
+        loop {
+            match &self.slots[i] {
+                Slot::Empty => return None,
+                Slot::Full(k, _) if k == key => return Some(i),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    #[must_use]
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.find(key).is_some()
+    }
+
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.find(key).map(|i| match &self.slots[i] {
+            Slot::Full(_, v) => v,
+            _ => unreachable!("find returned a non-full slot"),
+        })
+    }
+
+    #[must_use]
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.find(key).map(|i| match &mut self.slots[i] {
+            Slot::Full(_, v) => v,
+            _ => unreachable!("find returned a non-full slot"),
+        })
+    }
+
+    /// Inserts `key → value`, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        // Rebuild at 7/8 occupancy of live-plus-tombstone slots: linear
+        // probing degrades sharply past that, and rebuilding also
+        // reclaims tombstones left by heavy remove traffic.
+        if self.slots.is_empty() || (self.used + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (key.mix() as usize) & mask;
+        // First pass may land on a tombstone; remember it but keep
+        // probing to `Empty` in case the key already exists further on.
+        let mut reuse: Option<usize> = None;
+        loop {
+            match &mut self.slots[i] {
+                Slot::Full(k, v) if *k == key => return Some(std::mem::replace(v, value)),
+                Slot::Tomb => {
+                    if reuse.is_none() {
+                        reuse = Some(i);
+                    }
+                    i = (i + 1) & mask;
+                }
+                Slot::Empty => {
+                    let target = reuse.unwrap_or(i);
+                    if reuse.is_none() {
+                        self.used += 1;
+                    }
+                    self.slots[target] = Slot::Full(key, value);
+                    self.len += 1;
+                    return None;
+                }
+                Slot::Full(..) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let i = self.find(key)?;
+        match std::mem::replace(&mut self.slots[i], Slot::Tomb) {
+            Slot::Full(_, v) => {
+                self.len -= 1;
+                Some(v)
+            }
+            _ => unreachable!("find returned a non-full slot"),
+        }
+    }
+
+    /// Doubles capacity (or allocates the initial table) and re-places
+    /// every live entry, dropping tombstones.
+    fn grow(&mut self) {
+        let new_cap = if self.slots.is_empty() {
+            INITIAL_CAPACITY
+        } else if self.len * 2 >= self.slots.len() {
+            self.slots.len() * 2
+        } else {
+            // Mostly tombstones: same capacity, just compact.
+            self.slots.len()
+        };
+        let old = std::mem::replace(&mut self.slots, vec![Slot::Empty; new_cap]);
+        let mask = new_cap - 1;
+        self.used = self.len;
+        for slot in old {
+            if let Slot::Full(k, v) = slot {
+                let mut i = (k.mix() as usize) & mask;
+                while !matches!(self.slots[i], Slot::Empty) {
+                    i = (i + 1) & mask;
+                }
+                self.slots[i] = Slot::Full(k, v);
+            }
+        }
+    }
+}
+
+/// A membership set over [`TableKey`]s — a [`FlatMap`] with unit values
+/// and the same deliberate absence of iteration.
+#[derive(Debug, Clone)]
+pub struct FlatSet<K> {
+    map: FlatMap<K, ()>,
+}
+
+impl<K: TableKey> Default for FlatSet<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: TableKey> FlatSet<K> {
+    #[must_use]
+    pub fn new() -> Self {
+        FlatSet {
+            map: FlatMap::new(),
+        }
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    #[must_use]
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts `key`; returns `true` if it was not already present
+    /// (mirroring `HashSet::insert`).
+    pub fn insert(&mut self, key: K) -> bool {
+        self.map.insert(key, ()).is_none()
+    }
+
+    /// Removes `key`; returns `true` if it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        self.map.remove(key).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t: FlatMap<u64, u32> = FlatMap::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(7, 70), None);
+        assert_eq!(t.insert(9, 90), None);
+        assert_eq!(t.insert(7, 71), Some(70));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&7), Some(&71));
+        assert!(t.contains_key(&9));
+        assert!(!t.contains_key(&8));
+        assert_eq!(t.remove(&7), Some(71));
+        assert_eq!(t.remove(&7), None);
+        assert_eq!(t.len(), 1);
+        *t.get_mut(&9).unwrap() += 1;
+        assert_eq!(t.get(&9), Some(&91));
+    }
+
+    #[test]
+    fn clear_keeps_working() {
+        let mut t: FlatMap<u64, u64> = FlatMap::new();
+        for i in 0..100 {
+            t.insert(i, i * 2);
+        }
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.get(&4), None);
+        t.insert(4, 8);
+        assert_eq!(t.get(&4), Some(&8));
+        assert_eq!(t.len(), 1);
+    }
+
+    /// Differential check against `HashMap` through a scripted mix of
+    /// inserts, updates, and removes — including dense sequential keys,
+    /// the clustering worst case identity hashing would fail.
+    #[test]
+    fn agrees_with_std_hashmap() {
+        let mut flat: FlatMap<u64, u64> = FlatMap::new();
+        let mut std_map: HashMap<u64, u64> = HashMap::new();
+        // A deterministic pseudo-random walk over a small key universe
+        // keeps collision pressure and tombstone churn high.
+        let mut x = 0x9e37_79b9_u64;
+        for step in 0..20_000u64 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let key = x % 512;
+            match x >> 62 {
+                0 | 1 => {
+                    assert_eq!(flat.insert(key, step), std_map.insert(key, step));
+                }
+                2 => {
+                    assert_eq!(flat.remove(&key), std_map.remove(&key));
+                }
+                _ => {
+                    assert_eq!(flat.get(&key), std_map.get(&key));
+                    assert_eq!(flat.contains_key(&key), std_map.contains_key(&key));
+                }
+            }
+            assert_eq!(flat.len(), std_map.len());
+        }
+        for key in 0..512 {
+            assert_eq!(flat.get(&key), std_map.get(&key), "key {key}");
+        }
+    }
+
+    /// Heavy remove/insert cycling at constant size must not degrade the
+    /// table into an all-tombstone state where probes never terminate.
+    #[test]
+    fn tombstone_churn_stays_bounded() {
+        let mut t: FlatMap<u64, u64> = FlatMap::new();
+        for round in 0..200u64 {
+            for i in 0..64 {
+                t.insert(round * 64 + i, i);
+            }
+            for i in 0..64 {
+                assert_eq!(t.remove(&(round * 64 + i)), Some(i));
+            }
+        }
+        assert!(t.is_empty());
+        // Capacity stayed proportional to the live population, not to
+        // the total insert traffic.
+        assert!(
+            t.slots.len() <= 1024,
+            "table ballooned to {} slots",
+            t.slots.len()
+        );
+    }
+
+    #[test]
+    fn set_semantics_match_hashset() {
+        let mut s: FlatSet<(NodeId, NodeId)> = FlatSet::new();
+        let a = NodeId::from_index(1);
+        let b = NodeId::from_index(2);
+        assert!(s.insert((a, b)));
+        assert!(!s.insert((a, b)));
+        // Ordered pairs are directional: (a, b) ≠ (b, a).
+        assert!(s.insert((b, a)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&(a, b)));
+        assert!(s.remove(&(a, b)));
+        assert!(!s.remove(&(a, b)));
+        assert_eq!(s.len(), 1);
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

@@ -14,10 +14,12 @@
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
+use std::sync::mpsc;
 
 use avmon::{
     AppEvent, Behavior, Config, Destination, HashSelector, HasherKind, HistoryStore, JoinKind,
     Message, Node, NodeId, NodeStats, PersistentState, SharedSelector, TargetRecord, TimeMs, Timer,
+    Transmit,
 };
 use avmon_churn::{ChurnEventKind, Trace};
 use avmon_hash::fast64::mix64;
@@ -86,6 +88,18 @@ pub struct SimOptions {
     /// [`Node::set_point_memo_slots`] default policy). Purely an evaluation
     /// cache — reports are byte-identical across settings.
     pub node_memo: Option<usize>,
+    /// Worker threads for node event processing (default `1` =
+    /// single-threaded; `0` = one per available core). With more than one
+    /// worker the engine batches independent node events inside a
+    /// conservative safe-horizon window (the minimum of the network's
+    /// smallest delivery delay and every periodic timer delay), fans the
+    /// node handlers out across the pool, and replays their outputs
+    /// sequentially in the original `(time, seq)` pop order — so RNG
+    /// draws, sequence allocation, metric folds, and invariant epochs
+    /// happen in exactly the single-threaded order and same-seed reports
+    /// are **byte-identical at any worker count**
+    /// (`tests/equivalence.rs` holds this across scenario families).
+    pub workers: usize,
 }
 
 impl SimOptions {
@@ -107,7 +121,16 @@ impl SimOptions {
             collect_app_events: false,
             fast_calendar: true,
             node_memo: None,
+            workers: 1,
         }
+    }
+
+    /// Sets the worker-thread count (see [`SimOptions::workers`]; `0`
+    /// means one per available core).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
     }
 
     /// Enables or disables the timer lanes + delivery wheel (see
@@ -327,6 +350,13 @@ impl DeliveryWheel {
         self.len -= 1;
         event
     }
+
+    /// The earliest event itself (not just its key) — what batch
+    /// collection classifies on before deciding whether to pop.
+    fn front(&mut self) -> Option<&Event> {
+        self.peek()?;
+        self.buckets[(self.cursor % WHEEL_SPAN) as usize].front()
+    }
 }
 
 /// Event-calendar traffic counters: how many events were popped from the
@@ -426,6 +456,122 @@ struct QosAccumulator {
     detection: DetectionDistribution,
 }
 
+/// One input to a node's handler inside a parallel batch, in that node's
+/// pop order. Lane-origin timers are distinguished so the O(1) dead-expiry
+/// discard (and its `expire_skips` accounting) happens exactly where the
+/// sequential engine does it; heap- and wheel-origin timers are always
+/// delivered (a dead firing is a no-op inside the node).
+#[derive(Debug)]
+enum ShardInput {
+    Msg { from: NodeId, msg: Message },
+    LaneTimer(Timer),
+    HeapTimer(Timer),
+}
+
+/// Everything one batched input made a node produce, drained node-locally
+/// by a worker and replayed by the main thread in the original pop order
+/// — the replay is where all sequence numbers are allocated and all
+/// network RNG draws happen, so they occur in exactly the sequential
+/// engine's order.
+#[derive(Debug, Default)]
+struct ItemOutput {
+    transmits: Vec<Transmit>,
+    timers: Vec<(Timer, TimeMs)>,
+    events: Vec<AppEvent>,
+    /// Lane-origin timer discarded dead without touching the handler.
+    expire_skip: bool,
+}
+
+/// One node's share of a batch: its protocol state moved out of the
+/// engine plus its inputs in pop order. Owning the `Node` is what makes
+/// the fan-out safe without locks — nothing borrows the engine.
+#[derive(Debug)]
+struct ShardJob {
+    index: usize,
+    node: NodeId,
+    incarnation: u64,
+    proto: Node,
+    items: Vec<(TimeMs, ShardInput)>,
+}
+
+/// A completed [`ShardJob`]: the node comes home with per-item outputs.
+#[derive(Debug)]
+struct ShardDone {
+    index: usize,
+    node: NodeId,
+    incarnation: u64,
+    proto: Node,
+    outputs: Vec<ItemOutput>,
+}
+
+/// Phase 1 of a batch for one node: apply each input at its own
+/// timestamp and capture the outputs. Pure node-local computation — the
+/// node's own state and RNG, nothing shared — so any number of these run
+/// concurrently with no observable ordering.
+fn run_shard(job: ShardJob) -> ShardDone {
+    let ShardJob {
+        index,
+        node,
+        incarnation,
+        mut proto,
+        items,
+    } = job;
+    let mut outputs = Vec::with_capacity(items.len());
+    for (at, input) in items {
+        let mut out = ItemOutput::default();
+        match input {
+            ShardInput::Msg { from, msg } => proto.handle_message(at, from, msg),
+            ShardInput::LaneTimer(timer) => {
+                // Evaluated *here*, after this node's earlier batch inputs
+                // — an earlier pong in the same window may have retired
+                // the request, exactly as in the sequential engine.
+                if proto.timer_live(timer, at) {
+                    proto.handle_timer(at, timer);
+                } else {
+                    out.expire_skip = true;
+                    outputs.push(out);
+                    continue;
+                }
+            }
+            ShardInput::HeapTimer(timer) => proto.handle_timer(at, timer),
+        }
+        while let Some(transmit) = proto.poll_transmit() {
+            out.transmits.push(transmit);
+        }
+        while let Some(timer) = proto.poll_timer() {
+            out.timers.push(timer);
+        }
+        while let Some(event) = proto.poll_event() {
+            out.events.push(event);
+        }
+        outputs.push(out);
+    }
+    ShardDone {
+        index,
+        node,
+        incarnation,
+        proto,
+        outputs,
+    }
+}
+
+/// How batch collection treats the calendar head (see
+/// [`Simulation::classify_head`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HeadClass {
+    /// Ends the batch *before* this event; it then runs sequentially.
+    /// Anything that touches shared state (churn, sampling, corruption,
+    /// behavior switches) or needs a pop-time requeue (frozen nodes).
+    Cut,
+    /// Node-local processing for a live node: joins the batch.
+    Batch,
+    /// Guaranteed not to touch any live node (dead/unknown destination,
+    /// stale incarnation): dispatched on the spot during collection —
+    /// the sequential dispatch path already reduces to the right side
+    /// effects (useless-ping accounting, silent drops).
+    Inline,
+}
+
 /// The discrete-event simulator.
 ///
 /// # Example
@@ -480,6 +626,16 @@ pub struct Simulation {
     /// Streaming FD QoS counters (see [`QosAccumulator`]).
     qos: QosAccumulator,
     finished: bool,
+    /// Resolved worker-thread count (≥ 1; see [`SimOptions::workers`]).
+    workers: usize,
+    /// The conservative safe-horizon window width for parallel batching:
+    /// the minimum of the network's smallest delivery delay and every
+    /// handler-armed timer delay (ping timeout, protocol period,
+    /// monitoring period), floored at 1 ms. Nothing a node handler does
+    /// inside a window `[t0, t0 + lookahead)` can schedule work before
+    /// the window's end — except at the exact same instant with a larger
+    /// sequence number, which the `(time, seq)` order already puts last.
+    lookahead: avmon::DurMs,
 }
 
 impl Simulation {
@@ -641,6 +797,22 @@ impl Simulation {
         if let Some(scenario) = &opts.scenario {
             checker.set_adversary_windows(&scenario.adversary_windows());
         }
+        // Pin the effective node memo policy into the report, and say so
+        // up front when the default large-N policy switched the memo off —
+        // otherwise that decision surfaces only as an unexplained
+        // `hash_checks` cliff.
+        let memo_policy = Node::memo_policy(
+            &opts.config,
+            opts.node_memo,
+            selector.selection_threshold().is_some(),
+        );
+        if !memo_policy.enabled && opts.node_memo.is_none() {
+            eprintln!(
+                "avmon-sim: pair-point memo disabled for this run: {}",
+                memo_policy.reason
+            );
+        }
+        checker.set_memo_policy(memo_policy);
         let lanes = if opts.fast_calendar {
             let mut delays = vec![
                 opts.config.ping_timeout,
@@ -659,6 +831,25 @@ impl Simulation {
         } else {
             Vec::new()
         };
+        let workers = match opts.workers {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        };
+        // Safe-horizon width: handlers only ever schedule at least this
+        // far ahead (deliveries pay the network's minimum latency plus
+        // only-additive jitter; handler-armed timers use the three
+        // constant protocol delays — the random short phases of `start`
+        // happen exclusively at churn events, which cut batches).
+        let lookahead = opts
+            .network
+            .latency
+            .min_delay()
+            .min(opts.config.ping_timeout)
+            .min(opts.config.protocol_period)
+            .min(opts.config.monitoring_period)
+            .max(1);
         Ok(Simulation {
             trace,
             opts,
@@ -684,6 +875,8 @@ impl Simulation {
             checker,
             qos: QosAccumulator::default(),
             finished: false,
+            workers,
+            lookahead,
         })
     }
 
@@ -751,34 +944,53 @@ impl Simulation {
     }
 
     /// Advances simulated time to `deadline` (capped at the horizon).
+    ///
+    /// With [`SimOptions::workers`] > 1 this routes through the batched
+    /// parallel path ([`Simulation::run_window_batches`]); the event
+    /// outcome — and the serialized report — is byte-identical either way.
     pub fn run_until(&mut self, deadline: TimeMs) {
         let deadline = deadline.min(self.trace.horizon);
-        while let Some((at, _, src)) = self.peek_next() {
-            if at > deadline {
-                break;
-            }
-            match src {
-                NextEvent::Heap => {
-                    let event = self.queue.pop().expect("peeked");
-                    self.pops.heap_pops += 1;
-                    self.now = event.at;
-                    self.dispatch(event.kind);
+        if self.workers > 1 {
+            self.run_window_batches(deadline);
+        } else {
+            while let Some((at, _, src)) = self.peek_next() {
+                if at > deadline {
+                    break;
                 }
-                NextEvent::Lane(i) => {
-                    let lane_timer = self.lanes[i].queue.pop_front().expect("peeked");
-                    self.pops.lane_pops += 1;
-                    self.now = lane_timer.at;
-                    self.dispatch_lane_timer(lane_timer);
-                }
-                NextEvent::Wheel => {
-                    let event = self.wheel.pop();
-                    self.pops.wheel_pops += 1;
-                    self.now = event.at;
-                    self.dispatch(event.kind);
-                }
+                self.pop_and_dispatch(src);
             }
         }
         self.now = deadline;
+        self.finish_if_horizon(deadline);
+    }
+
+    /// Pops the event `peek_next` found at `src` and dispatches it
+    /// sequentially (the single-step primitive both engine paths share).
+    fn pop_and_dispatch(&mut self, src: NextEvent) {
+        match src {
+            NextEvent::Heap => {
+                let event = self.queue.pop().expect("peeked");
+                self.pops.heap_pops += 1;
+                self.now = event.at;
+                self.dispatch(event.kind);
+            }
+            NextEvent::Lane(i) => {
+                let lane_timer = self.lanes[i].queue.pop_front().expect("peeked");
+                self.pops.lane_pops += 1;
+                self.now = lane_timer.at;
+                self.dispatch_lane_timer(lane_timer);
+            }
+            NextEvent::Wheel => {
+                let event = self.wheel.pop();
+                self.pops.wheel_pops += 1;
+                self.now = event.at;
+                self.dispatch(event.kind);
+            }
+        }
+    }
+
+    /// End-of-run bookkeeping, once, when the horizon is reached.
+    fn finish_if_horizon(&mut self, deadline: TimeMs) {
         if deadline == self.trace.horizon && !self.finished {
             self.finished = true;
             // Close every still-open mistake episode at the horizon so the
@@ -832,6 +1044,444 @@ impl Simulation {
         best
     }
 
+    /// The parallel engine loop (active when [`SimOptions::workers`] > 1).
+    ///
+    /// Repeatedly carves a conservative window `[t0, t0 + lookahead)` off
+    /// the calendar head, classifies each event in pop order —
+    /// shared-state events **cut** the batch and run sequentially,
+    /// no-op-on-live-nodes events run **inline**, and live-node
+    /// deliveries/timers **batch** — then executes the batch in two
+    /// phases: workers apply the node-local handlers concurrently on
+    /// nodes moved out of the engine (phase 1), and the main thread
+    /// replays every captured output in the original pop order (phase 2),
+    /// which is where all sequence numbers are allocated and all shared
+    /// RNG draws happen. The pop/replay sequence is therefore *identical*
+    /// to the sequential engine's, making same-seed reports byte-identical
+    /// at any worker count.
+    fn run_window_batches(&mut self, deadline: TimeMs) {
+        let (res_tx, res_rx) = mpsc::channel::<Vec<ShardDone>>();
+        std::thread::scope(|scope| {
+            // One job channel per worker, spawned once for the whole call;
+            // jobs own their nodes, so the workers borrow nothing.
+            let mut job_txs: Vec<mpsc::Sender<Vec<ShardJob>>> = Vec::with_capacity(self.workers);
+            for _ in 0..self.workers {
+                let (job_tx, job_rx) = mpsc::channel::<Vec<ShardJob>>();
+                job_txs.push(job_tx);
+                let res_tx = res_tx.clone();
+                scope.spawn(move || {
+                    while let Ok(jobs) = job_rx.recv() {
+                        let done: Vec<ShardDone> = jobs.into_iter().map(run_shard).collect();
+                        if res_tx.send(done).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            while let Some((t0, _, _)) = self.peek_next() {
+                if t0 > deadline {
+                    break;
+                }
+                let window_end = t0.saturating_add(self.lookahead);
+                let (order, groups, cut) = self.collect_batch(window_end, deadline);
+                if !groups.is_empty() {
+                    self.execute_batch(order, groups, window_end, &job_txs, &res_rx);
+                }
+                if cut {
+                    // The cut event is still the calendar head: everything
+                    // scheduled by the batch lands at or beyond the window
+                    // end, or at the same instant with a larger sequence.
+                    if let Some((at, _, src)) = self.peek_next() {
+                        if at <= deadline {
+                            self.pop_and_dispatch(src);
+                        }
+                    }
+                }
+            }
+            // Hang up the job channels so the workers drain and exit.
+            drop(job_txs);
+        });
+    }
+
+    /// Collects one batch in pop order, consuming batchable and inline
+    /// heads and stopping at the window end or the first cut event.
+    /// Returns the replay order as `(group, time)` pairs, the per-node
+    /// jobs (each owning its `Node`), and whether a cut event is pending.
+    fn collect_batch(
+        &mut self,
+        window_end: TimeMs,
+        deadline: TimeMs,
+    ) -> (Vec<(usize, TimeMs)>, Vec<ShardJob>, bool) {
+        let mut order: Vec<(usize, TimeMs)> = Vec::new();
+        let mut groups: Vec<ShardJob> = Vec::new();
+        let mut index: HashMap<NodeId, usize> = HashMap::new();
+        let mut cut = false;
+        while let Some((at, _, src)) = self.peek_next() {
+            if at >= window_end || at > deadline {
+                break;
+            }
+            match self.classify_head(src, at, &index) {
+                HeadClass::Cut => {
+                    cut = true;
+                    break;
+                }
+                // Inline events never touch a live node, so the ordinary
+                // dispatch path is exact: dead-destination deliveries do
+                // their useless-ping accounting, stale timers fall
+                // through the incarnation check, nothing else happens.
+                HeadClass::Inline => self.pop_and_dispatch(src),
+                HeadClass::Batch => {
+                    let (node, input) = self.pop_batchable(src);
+                    let gi = match index.get(&node) {
+                        Some(&gi) => gi,
+                        None => {
+                            let sim_node = self.nodes.get_mut(&node).expect("classified live");
+                            let gi = groups.len();
+                            groups.push(ShardJob {
+                                index: gi,
+                                node,
+                                incarnation: sim_node.incarnation,
+                                proto: sim_node.proto.take().expect("classified live"),
+                                items: Vec::new(),
+                            });
+                            index.insert(node, gi);
+                            gi
+                        }
+                    };
+                    groups[gi].items.push((at, input));
+                    order.push((gi, at));
+                }
+            }
+        }
+        (order, groups, cut)
+    }
+
+    /// Classifies the calendar head for batch collection. `batched` maps
+    /// nodes already in this batch (whose `proto` is temporarily moved
+    /// out) — they are still live, their liveness just isn't visible in
+    /// `self.nodes` right now.
+    fn classify_head(
+        &mut self,
+        src: NextEvent,
+        at: TimeMs,
+        batched: &HashMap<NodeId, usize>,
+    ) -> HeadClass {
+        // Summarize the head by value first: the wheel's front needs
+        // `&mut self`, which must end before the `&self` lookups below.
+        enum HeadView {
+            Shared,
+            Deliver { to: NodeId },
+            Timer { node: NodeId, incarnation: u64 },
+        }
+        let view = |event: &Event| match event.kind {
+            EventKind::Deliver { to, .. } => HeadView::Deliver { to },
+            EventKind::Timer {
+                node, incarnation, ..
+            } => HeadView::Timer { node, incarnation },
+            _ => HeadView::Shared,
+        };
+        let head = match src {
+            NextEvent::Heap => view(self.queue.peek().expect("peeked")),
+            NextEvent::Lane(i) => {
+                let front = self.lanes[i].queue.front().expect("peeked");
+                HeadView::Timer {
+                    node: front.node,
+                    incarnation: front.incarnation,
+                }
+            }
+            NextEvent::Wheel => view(self.wheel.front().expect("peeked")),
+        };
+        match head {
+            HeadView::Shared => HeadClass::Cut,
+            HeadView::Deliver { to } => {
+                if self.frozen_at(to, at).is_some() {
+                    // Frozen destinations requeue at pop time with a fresh
+                    // sequence number — that allocation must happen at the
+                    // sequential position, so the event cuts the batch.
+                    HeadClass::Cut
+                } else if batched.contains_key(&to)
+                    || self.nodes.get(&to).is_some_and(|n| n.proto.is_some())
+                {
+                    HeadClass::Batch
+                } else {
+                    HeadClass::Inline
+                }
+            }
+            HeadView::Timer { node, incarnation } => {
+                if self.frozen_at(node, at).is_some() {
+                    HeadClass::Cut
+                } else if self.nodes.get(&node).is_some_and(|n| {
+                    n.incarnation == incarnation
+                        && (n.proto.is_some() || batched.contains_key(&node))
+                }) {
+                    HeadClass::Batch
+                } else {
+                    HeadClass::Inline
+                }
+            }
+        }
+    }
+
+    /// Pops a batch-classified head and converts it to a shard input.
+    fn pop_batchable(&mut self, src: NextEvent) -> (NodeId, ShardInput) {
+        fn input_of(kind: EventKind) -> (NodeId, ShardInput) {
+            match kind {
+                EventKind::Deliver { from, to, msg } => (to, ShardInput::Msg { from, msg }),
+                EventKind::Timer { node, timer, .. } => (node, ShardInput::HeapTimer(timer)),
+                other => unreachable!("unbatchable event classified as batch: {other:?}"),
+            }
+        }
+        match src {
+            NextEvent::Heap => {
+                let event = self.queue.pop().expect("peeked");
+                self.pops.heap_pops += 1;
+                self.now = event.at;
+                input_of(event.kind)
+            }
+            NextEvent::Lane(i) => {
+                let lane_timer = self.lanes[i].queue.pop_front().expect("peeked");
+                self.pops.lane_pops += 1;
+                self.now = lane_timer.at;
+                (lane_timer.node, ShardInput::LaneTimer(lane_timer.timer))
+            }
+            NextEvent::Wheel => {
+                let event = self.wheel.pop();
+                self.pops.wheel_pops += 1;
+                self.now = event.at;
+                input_of(event.kind)
+            }
+        }
+    }
+
+    /// Executes a collected batch: phase 1 fans the per-node jobs out to
+    /// the worker pool (inline for tiny batches, where the channel
+    /// round-trip would dominate), phase 2 restores the nodes and replays
+    /// every output strictly in the original pop order.
+    fn execute_batch(
+        &mut self,
+        order: Vec<(usize, TimeMs)>,
+        groups: Vec<ShardJob>,
+        window_end: TimeMs,
+        job_txs: &[mpsc::Sender<Vec<ShardJob>>],
+        res_rx: &mpsc::Receiver<Vec<ShardDone>>,
+    ) {
+        let n_groups = groups.len();
+        let mut slots: Vec<Option<ShardDone>> = (0..n_groups).map(|_| None).collect();
+        if n_groups < 2 || order.len() < 16 {
+            for job in groups {
+                let gi = job.index;
+                slots[gi] = Some(run_shard(job));
+            }
+        } else {
+            let mut per_worker: Vec<Vec<ShardJob>> =
+                (0..job_txs.len()).map(|_| Vec::new()).collect();
+            for job in groups {
+                per_worker[job.index % job_txs.len()].push(job);
+            }
+            let mut outstanding = 0;
+            for (tx, jobs) in job_txs.iter().zip(per_worker) {
+                if !jobs.is_empty() {
+                    tx.send(jobs).expect("worker alive");
+                    outstanding += 1;
+                }
+            }
+            for _ in 0..outstanding {
+                for done in res_rx.recv().expect("worker alive") {
+                    let gi = done.index;
+                    slots[gi] = Some(done);
+                }
+            }
+        }
+        // Bring every node home before replaying: replay routes messages
+        // and folds metrics but never touches protocol state.
+        let mut meta: Vec<(NodeId, u64)> = Vec::with_capacity(n_groups);
+        let mut outputs: Vec<std::vec::IntoIter<ItemOutput>> = Vec::with_capacity(n_groups);
+        for slot in slots {
+            let done = slot.expect("every group completes");
+            let sim_node = self.nodes.get_mut(&done.node).expect("known node");
+            debug_assert_eq!(sim_node.incarnation, done.incarnation);
+            sim_node.proto = Some(done.proto);
+            meta.push((done.node, done.incarnation));
+            outputs.push(done.outputs.into_iter());
+        }
+        // With a window wider than one instant, nothing a handler did may
+        // schedule inside the window; width-1 windows may schedule at the
+        // same instant, which the fresh (larger) sequence numbers order
+        // correctly.
+        let barrier = if self.lookahead > 1 { window_end } else { 0 };
+        for (gi, at) in order {
+            let out = outputs[gi].next().expect("one output per item");
+            self.now = at;
+            if out.expire_skip {
+                self.pops.expire_skips += 1;
+                continue;
+            }
+            let (node, incarnation) = meta[gi];
+            self.replay_output(node, incarnation, out, barrier);
+        }
+    }
+
+    /// Phase 2 for one batched input: routes its transmits, schedules its
+    /// timers, and folds its app events — a line-for-line mirror of
+    /// [`Simulation::drain_node`]'s post-handler logic, operating on the
+    /// captured outputs instead of polling the node. `tests/equivalence.rs`
+    /// holds the two paths byte-identical.
+    fn replay_output(&mut self, id: NodeId, incarnation: u64, out: ItemOutput, barrier: TimeMs) {
+        let Simulation {
+            nodes,
+            alive,
+            alive_index,
+            queue,
+            lanes,
+            wheel,
+            now,
+            seq,
+            rng,
+            opts,
+            net,
+            discovery,
+            app_events,
+            trace,
+            qos,
+            ..
+        } = self;
+        let now = *now;
+        let fast = opts.fast_calendar;
+        let push_event =
+            |queue: &mut BinaryHeap<Event>, wheel: &mut DeliveryWheel, event: Event| {
+                debug_assert!(
+                    event.at >= barrier,
+                    "phase-2 output scheduled inside the safe-horizon window"
+                );
+                if fast && wheel.accepts(now, event.at) {
+                    wheel.push(event);
+                } else {
+                    queue.push(event);
+                }
+            };
+        let route_to = |queue: &mut BinaryHeap<Event>,
+                        wheel: &mut DeliveryWheel,
+                        rng: &mut SmallRng,
+                        seq: &mut u64,
+                        to: NodeId,
+                        msg: Message| {
+            match net.route(rng, now, id, to) {
+                Route::Drop => {}
+                Route::Deliver {
+                    delay,
+                    duplicate_delay,
+                } => {
+                    if let Some(dup) = duplicate_delay {
+                        push_event(
+                            queue,
+                            wheel,
+                            Event {
+                                at: now + dup,
+                                seq: *seq,
+                                kind: EventKind::Deliver {
+                                    from: id,
+                                    to,
+                                    msg: msg.clone(),
+                                },
+                            },
+                        );
+                        *seq += 1;
+                    }
+                    push_event(
+                        queue,
+                        wheel,
+                        Event {
+                            at: now + delay,
+                            seq: *seq,
+                            kind: EventKind::Deliver { from: id, to, msg },
+                        },
+                    );
+                    *seq += 1;
+                }
+            }
+        };
+        for transmit in out.transmits {
+            match transmit.to {
+                Destination::Node(to) => {
+                    route_to(queue, wheel, rng, seq, to, transmit.msg);
+                }
+                Destination::AllNodes => {
+                    for &to in alive.iter() {
+                        if to == id {
+                            continue;
+                        }
+                        route_to(queue, wheel, rng, seq, to, transmit.msg.clone());
+                    }
+                }
+            }
+        }
+        for (timer, at) in out.timers {
+            let at = at.max(now);
+            debug_assert!(
+                at >= barrier,
+                "phase-2 timer armed inside the safe-horizon window"
+            );
+            let lane = lanes
+                .iter_mut()
+                .find(|lane| now + lane.delay == at)
+                .filter(|lane| lane.queue.back().is_none_or(|back| back.at <= at));
+            match lane {
+                Some(lane) => lane.queue.push_back(LaneTimer {
+                    at,
+                    seq: *seq,
+                    node: id,
+                    incarnation,
+                    timer,
+                }),
+                None => push_event(
+                    queue,
+                    wheel,
+                    Event {
+                        at,
+                        seq: *seq,
+                        kind: EventKind::Timer {
+                            node: id,
+                            incarnation,
+                            timer,
+                        },
+                    },
+                ),
+            }
+            *seq += 1;
+        }
+        let mut suspicions: Vec<(bool, NodeId)> = Vec::new();
+        for event in out.events {
+            match &event {
+                AppEvent::MonitorDiscovered { .. } => {
+                    if let Some(log) = discovery.get_mut(&id) {
+                        log.monitor_times.push(now);
+                    }
+                }
+                AppEvent::TargetUnresponsive { target } => suspicions.push((true, *target)),
+                AppEvent::TargetResponsive { target } => suspicions.push((false, *target)),
+                _ => {}
+            }
+            if opts.collect_app_events {
+                app_events.push((id, event));
+            }
+        }
+        for (down, target) in suspicions {
+            if down {
+                if alive_index.contains_key(&target) {
+                    if now >= trace.measure_from {
+                        qos.episodes += 1;
+                        qos.open_mistakes.insert((id, target), now);
+                    }
+                } else if now >= trace.measure_from {
+                    if let Some(left) = nodes.get(&target).and_then(|n| n.left_at) {
+                        qos.detection.record(now.saturating_sub(left));
+                    }
+                }
+            } else if let Some(start) = qos.open_mistakes.remove(&(id, target)) {
+                qos.mistake_time += now.saturating_sub(start);
+            }
+        }
+    }
+
     /// Dispatches a lane-popped timer: same semantics as a heap
     /// [`EventKind::Timer`], plus the O(1) dead-expiry discard — a firing
     /// [`Node::timer_live`] rejects would be a guaranteed no-op inside the
@@ -882,10 +1532,15 @@ impl Simulation {
 
     /// The thaw time if `node` is inside a freeze window at `self.now`.
     fn frozen_until(&self, node: NodeId) -> Option<TimeMs> {
+        self.frozen_at(node, self.now)
+    }
+
+    /// The thaw time if `node` is inside a freeze window at `at`.
+    fn frozen_at(&self, node: NodeId, at: TimeMs) -> Option<TimeMs> {
         let windows = self.freezes.get(&node)?;
         windows
             .iter()
-            .find(|&&(from, until)| self.now >= from && self.now < until)
+            .find(|&&(from, until)| at >= from && at < until)
             .map(|&(_, until)| until)
     }
 
@@ -1729,6 +2384,47 @@ mod tests {
             })
             .collect();
         Trace::new("COHORT", n as usize, horizon, 0, vec![], events)
+    }
+
+    /// The effective memo policy is pinned into the report: enabled with
+    /// the working-set sizing at small N, disabled-with-reason when the
+    /// large-N default kicks in, and honoring an explicit override.
+    #[test]
+    fn memo_policy_is_surfaced_in_the_report() {
+        let run = |config: Config, memo: Option<usize>| {
+            let mut sim = Simulation::new(
+                cohort_trace(8, avmon::MINUTE),
+                SimOptions::new(config).node_memo(memo),
+            );
+            sim.run_until(avmon::MINUTE);
+            sim.report().invariants.memo_policy.clone()
+        };
+
+        let small = run(Config::builder(100).build().unwrap(), None);
+        assert!(small.enabled);
+        assert!(small.slots >= 1024);
+        assert!(small.reason.contains("default working-set sizing"));
+
+        let large = run(Config::builder(20_000).build().unwrap(), None);
+        assert!(!large.enabled);
+        assert_eq!(large.slots, 0);
+        assert!(large.reason.contains("above 8192 nodes"));
+        assert!(large.reason.contains("20000"));
+
+        let pinned = run(Config::builder(20_000).build().unwrap(), Some(4096));
+        assert!(pinned.enabled);
+        assert_eq!(pinned.slots, 4096);
+        assert!(pinned.reason.contains("explicit override"));
+
+        // And the policy is part of the serialized report bytes.
+        let mut sim = Simulation::new(
+            cohort_trace(8, avmon::MINUTE),
+            SimOptions::new(Config::builder(100).build().unwrap()),
+        );
+        sim.run_until(avmon::MINUTE);
+        let json = serde_json::to_string(&sim.report()).unwrap();
+        assert!(json.contains("memo_policy"));
+        assert!(json.contains("default working-set sizing"));
     }
 
     /// The starvation regression: with ≥ 2 alive nodes, `pick_contact`

@@ -57,7 +57,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use avmon::{Config, DurMs, Node, NodeId, SharedSelector, TimeMs};
+use avmon::{Config, DurMs, MemoPolicy, Node, NodeId, SharedSelector, TimeMs};
 use avmon_hash::{PointMemo, Threshold};
 use serde::{Deserialize, Serialize};
 
@@ -377,6 +377,12 @@ pub struct InvariantSummary {
     pub expected_violations: Vec<RecordedViolation>,
     /// Soft degradations worth looking at.
     pub warnings: Vec<RecordedWarning>,
+    /// The pair-point memo policy the run's nodes were built under
+    /// ([`avmon::Node::memo_policy`]): slots, whether memoization
+    /// engaged, and why. Surfaced because the default policy silently
+    /// disables the memo above 8 192 nodes, which otherwise shows up
+    /// only as an unexplained `hash_checks` cliff in large-N runs.
+    pub memo_policy: MemoPolicy,
 }
 
 impl InvariantSummary {
@@ -518,6 +524,12 @@ struct StabState {
 }
 
 impl InvariantChecker {
+    /// Records the node memo policy in force for the run (reported in
+    /// the summary; see [`InvariantSummary::memo_policy`]).
+    pub fn set_memo_policy(&mut self, policy: MemoPolicy) {
+        self.summary.memo_policy = policy;
+    }
+
     /// Builds a checker for one run.
     #[must_use]
     pub fn new(
@@ -1180,6 +1192,11 @@ mod tests {
             checks: 7,
             set_scans_skipped: 2,
             memo_hits: 3,
+            memo_policy: avmon::Node::memo_policy(
+                &Config::builder(100).build().unwrap(),
+                None,
+                true,
+            ),
             violations: vec![RecordedViolation {
                 at: 42,
                 violation: InvariantViolation::MonitorConvergence {

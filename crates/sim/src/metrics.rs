@@ -149,6 +149,30 @@ impl DetectionDistribution {
     pub fn mean_ms(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum_ms as f64 / self.count as f64)
     }
+
+    /// Conservative upper bound on the `pct`-th percentile detection
+    /// time, in whole seconds, read off the log₂ histogram (`None`
+    /// before the first detection).
+    ///
+    /// The true percentile lies inside the returned bucket, so the bound
+    /// overshoots by at most 2× — too coarse for tuning, exactly right
+    /// for regression gates ("p99 must stay under a minute" style), and
+    /// computable from the serialized scorecard alone.
+    #[must_use]
+    pub fn percentile_upper_bound_secs(&self, pct: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((self.count as f64 * pct / 100.0).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return Some(1u64 << i);
+            }
+        }
+        Some(1u64 << 15)
+    }
 }
 
 /// How well one eclipse victim resisted the coalition: what fraction of
@@ -498,5 +522,24 @@ mod tests {
         assert_eq!(report.bandwidth_bps(), vec![10.0]);
         assert_eq!(report.memory_entries(), vec![40.0]);
         assert_eq!(report.useless_pings_per_minute(), vec![2.0]);
+    }
+
+    #[test]
+    fn percentile_bound_reads_the_histogram_conservatively() {
+        let mut dist = DetectionDistribution::default();
+        assert_eq!(dist.percentile_upper_bound_secs(99.0), None);
+        // 99 detections at ~3 s (bucket 2: [2, 4) s), one at ~100 s
+        // (bucket 7: [64, 128) s).
+        for _ in 0..99 {
+            dist.record(3_000);
+        }
+        dist.record(100_000);
+        // p50 and p90 sit in the 3 s bucket; p99 straddles its top; the
+        // outlier only surfaces at p100.
+        assert_eq!(dist.percentile_upper_bound_secs(50.0), Some(4));
+        assert_eq!(dist.percentile_upper_bound_secs(99.0), Some(4));
+        assert_eq!(dist.percentile_upper_bound_secs(100.0), Some(128));
+        // The bound never undershoots the true value.
+        assert!(dist.percentile_upper_bound_secs(100.0).unwrap() >= 100);
     }
 }

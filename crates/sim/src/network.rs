@@ -81,6 +81,18 @@ impl LatencyModel {
     /// simulator validates at construction, so this is unreachable there.
     /// Valid models (including `min == max`) always draw exactly one
     /// value, keeping RNG streams seed-stable.
+    /// The smallest delay this model can ever produce — the network half
+    /// of the parallel engine's conservative lookahead: no message sent
+    /// at `t` can be delivered before `t + min_delay()` (jitter and
+    /// duplication only ever *add* delay on top of a fresh sample).
+    #[must_use]
+    pub fn min_delay(&self) -> DurMs {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { min, .. } => min,
+        }
+    }
+
     pub fn sample<R: Rng>(&self, rng: &mut R) -> DurMs {
         match *self {
             LatencyModel::Constant(d) => d,

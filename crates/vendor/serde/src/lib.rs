@@ -97,6 +97,21 @@ pub trait Deserialize: Sized {
     fn from_value(value: &Value) -> Result<Self, DeError>;
 }
 
+// A `Value` serializes as itself, so callers can round-trip arbitrary
+// JSON through `serde_json::from_str::<Value>` / `to_string`, inspect or
+// edit the tree, and re-emit it.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
 // ------------------------------------------------------------- primitives
 
 macro_rules! ser_uint {

@@ -67,7 +67,14 @@ fn main() {
         Some(cap) => InvariantConfig::default().agreement_pair_cap(cap),
         None => InvariantConfig::default(),
     };
-    let opts = SimOptions::new(config).seed(7).invariants(invariants);
+    // 5th arg: worker threads for the sharded engine (0 = one per core;
+    // default 0). Reports are byte-identical at any worker count, so this
+    // only trades wall-clock for cores.
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
+    let opts = SimOptions::new(config)
+        .seed(7)
+        .invariants(invariants)
+        .workers(workers);
 
     let sim_start = Instant::now();
     let mut sim = Simulation::new(trace, opts);

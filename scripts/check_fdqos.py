@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Regression gates for the fuzz sweep's failure-detector QoS artifact.
+
+The sweep itself (`tests/faults.rs`, `AVMON_FUZZ_SWEEP=1`) asserts these
+same bounds in-process; this script re-checks the *uploaded artifact* so a
+sweep binary that silently stopped recording (zero scorecards, empty
+distributions) fails CI instead of green-lighting a stale corpus.
+
+Gates, derived from the measured corpus:
+
+* every seed's wrongful-suspicion rate stays <= 1200/h (worst observed
+  under the deliberately hostile random scenarios: 967/h);
+* the sweep-wide p99 detection time, read conservatively off the summed
+  log2-second histograms, stays <= 512 s for the 60 s monitoring period
+  (vacuously true while the corpus records no true-death detections).
+
+Usage: check_fdqos.py [path-to-FUZZ_fdqos.json]
+"""
+
+import json
+import math
+import sys
+
+MAX_MISTAKE_RATE_PER_HOUR = 1_200.0
+MAX_P99_DETECTION_SECS = 512
+EXPECTED_SEEDS = 24
+
+
+def p99_upper_bound_secs(buckets, count):
+    """Conservative p99 bound: 2^i seconds for the bucket holding rank."""
+    if count == 0:
+        return None
+    rank = max(1, min(count, math.ceil(count * 0.99)))
+    seen = 0
+    for i, bucket in enumerate(buckets):
+        seen += bucket
+        if seen >= rank:
+            return 2**i
+    return 2 ** (len(buckets) - 1)
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "FUZZ_fdqos.json"
+    with open(path) as fh:
+        scorecards = json.load(fh)
+    if len(scorecards) < EXPECTED_SEEDS:
+        sys.exit(
+            f"FAIL: only {len(scorecards)} scorecards recorded "
+            f"(the sweep runs {EXPECTED_SEEDS} seeds)"
+        )
+    total = [0] * 16
+    count = 0
+    worst_rate = 0.0
+    for card in scorecards:
+        qos = card["qos"]
+        rate = qos["mistake_rate_per_hour"]
+        worst_rate = max(worst_rate, rate)
+        if rate > MAX_MISTAKE_RATE_PER_HOUR:
+            sys.exit(
+                f"FAIL: seed {card['seed']} ({card['scenario']}) mistake "
+                f"rate regressed to {rate:.1f}/h "
+                f"(gate: {MAX_MISTAKE_RATE_PER_HOUR}/h)"
+            )
+        detection = qos["detection"]
+        count += detection["count"]
+        for i, bucket in enumerate(detection["buckets"]):
+            total[i] += bucket
+    p99 = p99_upper_bound_secs(total, count)
+    if p99 is not None and p99 > MAX_P99_DETECTION_SECS:
+        sys.exit(
+            f"FAIL: sweep-wide detection p99 regressed to <= {p99} s "
+            f"(gate: {MAX_P99_DETECTION_SECS} s)"
+        )
+    print(
+        f"OK: {len(scorecards)} scorecards, worst mistake rate "
+        f"{worst_rate:.1f}/h (gate {MAX_MISTAKE_RATE_PER_HOUR}/h), "
+        f"{count} detections"
+        + (f", p99 <= {p99} s (gate {MAX_P99_DETECTION_SECS} s)" if p99 else "")
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -234,6 +234,59 @@ fn same_seed_bit_identical_with_attacks_corruption_and_partition() {
     assert_ne!(a, c);
 }
 
+/// The sharded engine (`SimOptions::workers` > 1) on the nastiest fixture
+/// we have — eclipse campaign, state corruption, healed partition, lossy
+/// duplicating jittery links — must serialize byte-identically to the
+/// sequential engine at every worker count. The safe-horizon batches only
+/// parallelize the node-local handlers; every sequence number and every
+/// shared RNG draw still happens on the main thread in sequential pop
+/// order, so thread scheduling cannot leak into the report.
+#[test]
+fn sharded_engine_is_bit_identical_across_worker_counts() {
+    let n = 80;
+    let trace = stat(n, 40 * MINUTE, 0.1, 23);
+    let ids: Vec<NodeId> = trace.identities().into_iter().collect();
+    let scenario = Scenario::builder("det-sharded")
+        .partition(
+            63 * MINUTE,
+            8 * MINUTE,
+            ids[..n / 4].to_vec(),
+            ids[n / 4..].to_vec(),
+        )
+        .eclipse(
+            70 * MINUTE,
+            8 * MINUTE,
+            ids[..3].to_vec(),
+            ids[3..5].to_vec(),
+        )
+        .corrupt(75 * MINUTE, ids[5], Corruption::Full, 99)
+        .freeze(66 * MINUTE, 3 * MINUTE, ids[1])
+        .build()
+        .unwrap();
+    let run = |workers: usize| {
+        let mut opts = SimOptions::new(Config::builder(n).build().unwrap())
+            .seed(17)
+            .scenario(scenario.clone())
+            .fast_calendar(true)
+            .workers(workers);
+        opts.network.faults = LinkFaults {
+            loss: 0.10,
+            duplicate: 0.05,
+            jitter: 300,
+        };
+        serde_json::to_string(&Simulation::new(trace.clone(), opts).run()).unwrap()
+    };
+    let sequential = run(1);
+    for workers in [2, 8] {
+        assert_eq!(
+            sequential,
+            run(workers),
+            "{workers}-worker run diverged from the sequential engine"
+        );
+    }
+    assert!(sequential.len() > 100, "the report actually carries data");
+}
+
 /// Negative control for the invariant checker: a `Behavior`-driven lying
 /// monitor that forges monitoring relationships MUST be caught as a
 /// ghost-target violation — proving the checker can actually fail.

@@ -38,20 +38,57 @@ fn run(trace: Trace, opts: SimOptions) -> (String, CalendarStats) {
     (json, stats)
 }
 
-/// Asserts all four switch combinations serialize identically, and that
-/// the optimized run actually moved work off the heap. Returns the
+/// Drops the `memo_policy` record from a serialized report. The policy
+/// (slots, enabled, reason) is a deliberate record of the run's memo
+/// *configuration*, and this rig compares runs across different memo
+/// configurations — so that one field legitimately differs while
+/// everything observable must stay byte-identical.
+fn without_memo_policy(json: &str) -> String {
+    use serde::Value;
+    fn strip(value: &mut Value) {
+        match value {
+            Value::Map(entries) => {
+                entries.retain(|(key, _)| !matches!(key, Value::Str(s) if s == "memo_policy"));
+                for (_, entry) in entries.iter_mut() {
+                    strip(entry);
+                }
+            }
+            Value::Seq(items) => items.iter_mut().for_each(strip),
+            _ => {}
+        }
+    }
+    let mut value: Value = serde_json::from_str(json).expect("reports parse");
+    assert!(
+        json.contains("\"memo_policy\""),
+        "the report no longer surfaces the memo policy"
+    );
+    strip(&mut value);
+    serde_json::to_string(&value).expect("values serialize")
+}
+
+/// Asserts all optimization combinations serialize identically, and that
+/// the optimized run actually moved work off the heap. On top of the four
+/// `fast_calendar` × `node_memo` switch combinations, the rig re-runs the
+/// fully-optimized configuration under the sharded engine at 2 and 8
+/// workers: the safe-horizon batching must be invisible too. Returns the
 /// baseline report for scenario-specific assertions.
 fn assert_equivalent(mut make: impl FnMut() -> (Trace, SimOptions), label: &str) -> String {
-    let configs: [(&str, bool, Option<usize>); 4] = [
-        ("legacy", false, Some(0)),
-        ("calendar-only", true, Some(0)),
-        ("memo-only", false, None),
-        ("both", true, None),
+    let configs: [(&str, bool, Option<usize>, usize); 6] = [
+        ("legacy", false, Some(0), 1),
+        ("calendar-only", true, Some(0), 1),
+        ("memo-only", false, None, 1),
+        ("both", true, None, 1),
+        ("sharded-2", true, None, 2),
+        ("sharded-8", true, None, 8),
     ];
     let mut baseline: Option<String> = None;
-    for (name, fast, memo) in configs {
+    for (name, fast, memo, workers) in configs {
         let (trace, opts) = make();
-        let (report, stats) = run(trace, opts.fast_calendar(fast).node_memo(memo));
+        let (report, stats) = run(
+            trace,
+            opts.fast_calendar(fast).node_memo(memo).workers(workers),
+        );
+        let report = without_memo_policy(&report);
         match &baseline {
             None => {
                 assert_eq!(

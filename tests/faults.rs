@@ -327,6 +327,40 @@ fn random_scenario_fuzz_sweep() {
             qos: report.qos,
         });
     }
+    // QoS regression gates over the whole corpus, not just invariants:
+    // a change that keeps the overlay *consistent* but wrecks the failure
+    // detector (detections drifting to minutes, wrongful suspicions
+    // exploding) must fail here, and again in CI when
+    // `scripts/check_fdqos.py` re-checks the uploaded artifact.
+    //
+    // Thresholds come from the measured corpus: the worst per-seed
+    // mistake rate under these deliberately hostile random scenarios is
+    // 967/h (partition + loss-burst storms suspect live nodes by
+    // design), and with a 60 s monitoring period + 5 s ping timeout an
+    // honest detection pipeline keeps p99 well under 512 s even with
+    // retries across lossy links.
+    let mut detections = avmon_sim::DetectionDistribution::default();
+    for card in &scorecards {
+        for (bucket, &count) in card.qos.detection.buckets.iter().enumerate() {
+            detections.buckets[bucket] += count;
+        }
+        detections.count += card.qos.detection.count;
+        detections.sum_ms += card.qos.detection.sum_ms;
+        detections.max_ms = detections.max_ms.max(card.qos.detection.max_ms);
+        assert!(
+            card.qos.mistake_rate_per_hour <= 1_200.0,
+            "seed {}: mistake rate regressed to {:.1}/h (corpus worst case is 967/h)",
+            card.seed,
+            card.qos.mistake_rate_per_hour
+        );
+    }
+    if let Some(p99_secs) = detections.percentile_upper_bound_secs(99.0) {
+        assert!(
+            p99_secs <= 512,
+            "sweep-wide detection p99 regressed to <= {p99_secs} s \
+             (gate: 512 s for a 60 s monitoring period)"
+        );
+    }
     let artifact = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../FUZZ_fdqos.json");
     std::fs::write(&artifact, serde_json::to_string(&scorecards).unwrap())
         .expect("write QoS artifact");
