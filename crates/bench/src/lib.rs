@@ -16,6 +16,10 @@
 //! cargo run -p avmon-bench --release --bin experiments -- fig17 --hours 24
 //! ```
 
+// Bench harness: measures real time and builds throwaway indices;
+// outside the determinism boundary.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 pub mod experiments;
 pub mod output;
 

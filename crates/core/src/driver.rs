@@ -144,6 +144,8 @@ pub struct TimerQueue {
     seq: u64,
     /// Lazily-deleted timers: `cancel` counts them here, and pops silently
     /// drop matching entries instead of returning them.
+    #[allow(clippy::disallowed_types)]
+    // detlint::allow(banned-collection): per-key tombstone counts; never iterated
     cancelled: std::collections::HashMap<Timer, u32>,
 }
 

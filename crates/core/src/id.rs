@@ -162,6 +162,7 @@ impl std::str::FromStr for NodeId {
     }
 }
 
+#[allow(clippy::disallowed_types, clippy::disallowed_methods)] // tests are exempt from the determinism lints
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -642,6 +642,17 @@ impl Node {
         &self.stats
     }
 
+    /// 64-bit words this incarnation's protocol RNG has drawn — the node's
+    /// contribution to the `node` stream of the RNG-stream ledger (see the
+    /// simulator's `InvariantSummary::rng_ledger`). All of a node's
+    /// randomness (periodic phases, view eviction, nonces, forwarding
+    /// coins) comes from the one stream seeded at construction, so this is
+    /// the node's exact position in it.
+    #[must_use]
+    pub fn rng_draws(&self) -> u64 {
+        self.rng.draw_count()
+    }
+
     /// When this incarnation entered the system (the `now` passed to
     /// [`Node::start`]); used by observers measuring uptime and discovery
     /// delay.

@@ -1,6 +1,9 @@
 //! Unit tests driving a single [`Node`] with hand-crafted inputs through
 //! the poll interface.
 
+// Test module: tests are exempt from the determinism lints.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use std::collections::HashSet;
 use std::sync::Arc;
 

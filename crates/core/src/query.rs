@@ -217,6 +217,7 @@ impl AvailabilityQuery {
     }
 }
 
+#[allow(clippy::disallowed_types, clippy::disallowed_methods)] // tests are exempt from the determinism lints
 #[cfg(test)]
 mod tests {
     use super::*;

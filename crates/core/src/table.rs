@@ -282,6 +282,7 @@ impl<K: TableKey> FlatSet<K> {
     }
 }
 
+#[allow(clippy::disallowed_types, clippy::disallowed_methods)] // tests are exempt from the determinism lints
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -198,6 +198,7 @@ impl CoarseView {
     }
 }
 
+#[allow(clippy::disallowed_types, clippy::disallowed_methods)] // tests are exempt from the determinism lints
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,6 +1,9 @@
 //! Edge-case and adversarial-input tests for the node state machine,
 //! exercised through the public poll-based API only.
 
+// Test target: tests are exempt from the determinism lints.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use std::sync::Arc;
 
 use avmon::{

@@ -1,5 +1,8 @@
 //! Property-based tests for the core protocol data structures.
 
+// Test target: tests are exempt from the determinism lints.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use avmon::bytes::{self, BufMut};
 use avmon::codec::{decode, decode_from, encode, encode_into, encoded_len};
 use avmon::{CoarseView, Config, CvsPolicy, HashSelector, Message, MonitorSelector, NodeId, Nonce};

@@ -1,0 +1,49 @@
+//! CLI for the determinism auditor. `cargo run -p detlint` audits the
+//! workspace; `--root <dir>` audits another tree (the fixture self-tests
+//! use this). Exit status 0 iff the tree is clean.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("detlint: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: detlint [--root <dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("detlint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default to the workspace this binary was built from: the manifest
+    // dir is crates/detlint, two levels below the root.
+    let root = root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    let root = root.canonicalize().unwrap_or(root);
+    let audit = detlint::audit(&root);
+    for finding in &audit.findings {
+        println!("{finding}");
+    }
+    if audit.clean() {
+        println!("detlint: clean ({} files audited)", audit.files_audited);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "detlint: {} finding(s) across {} files audited",
+            audit.findings.len(),
+            audit.files_audited
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,20 @@
+//! Bad fixture: banned collections and clocks in a protocol crate.
+
+use std::collections::HashMap;
+
+pub struct Leaky {
+    pub by_id: HashMap<u64, u64>,
+}
+
+pub fn iterate(leaky: &Leaky) -> u64 {
+    let mut set = std::collections::HashSet::new();
+    set.insert(1u64);
+    leaky.by_id.values().sum::<u64>() + set.len() as u64
+}
+
+pub fn wall_clock() -> u128 {
+    let a = std::time::Instant::now();
+    let b = std::time::SystemTime::now();
+    let _ = b;
+    a.elapsed().as_millis()
+}

@@ -1,0 +1,14 @@
+//! Registered owner — draws here are fine even in the bad tree.
+
+pub struct Stream(u64);
+
+impl Stream {
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.0 % bound
+    }
+}
+
+pub fn sample(stream: &mut Stream) -> u64 {
+    stream.gen_range(10)
+}

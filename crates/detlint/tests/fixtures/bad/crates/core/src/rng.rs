@@ -1,0 +1,7 @@
+//! Bad fixture: OS-seeded randomness and an unregistered draw.
+
+pub fn os_seeded() -> u64 {
+    let mut rng = rand::thread_rng();
+    let coin: u64 = rand::random();
+    rng.gen_range(0..10) + coin
+}

@@ -1,0 +1,22 @@
+//! Bad fixture: directive misuse — an allow with no reason, an allow on
+//! an unknown rule, an unused allow, and an unclosed region.
+
+// detlint::allow(banned-clock)
+pub fn reasonless() -> u64 {
+    1
+}
+
+// detlint::allow(made-up-rule): not a real rule
+pub fn unknown_rule() -> u64 {
+    2
+}
+
+// detlint::allow(banned-collection): nothing here actually uses one
+pub fn unused_allow() -> u64 {
+    3
+}
+
+// detlint::region(worker-context)
+pub fn never_closed(items: &[u64]) -> u64 {
+    items.iter().sum()
+}

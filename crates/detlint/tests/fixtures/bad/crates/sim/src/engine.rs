@@ -1,0 +1,18 @@
+//! Bad fixture: an impure worker region.
+
+pub struct Engine {
+    pub rng: u64,
+    pub seq: u64,
+}
+
+// detlint::region(worker-context)
+pub fn run_shard(engine: &mut Engine, items: &[u64]) -> Vec<u64> {
+    let mut outputs = Vec::new();
+    for item in items {
+        engine.seq += 1;
+        outputs.push(item ^ engine.rng);
+        eprintln!("worker progress: {item}");
+    }
+    outputs
+}
+// detlint::endregion(worker-context)

@@ -1,0 +1,35 @@
+//! Clean fixture: everything detlint permits, all in one tree.
+//! The import below is legal (use declarations are exempt); the single
+//! use site carries an audited allow.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+pub struct Index {
+    pub ordered: BTreeMap<u64, u64>,
+    // detlint::allow(banned-collection): per-key probes only; never iterated
+    pub probes: HashMap<u64, u64>,
+}
+
+pub fn lifetimes_and_strings<'a>(s: &'a str) -> char {
+    // Banned names inside literals and comments must not fire:
+    // HashMap, Instant::now, thread_rng (prose mention).
+    let _raw = r#"SystemTime::now() rand::random thread_rng"#;
+    let _plain = "Instant::now() \
+                  spans two lines";
+    let _ = s;
+    'x'
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests are exempt from every rule.
+    use std::collections::HashSet;
+    use std::time::Instant;
+
+    #[test]
+    fn wall_clock_is_fine_here() {
+        let _ = Instant::now();
+        let _set: HashSet<u8> = HashSet::new();
+    }
+}

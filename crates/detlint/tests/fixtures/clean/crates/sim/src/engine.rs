@@ -1,0 +1,15 @@
+//! A pure worker region: node-local computation only.
+
+pub struct Shard {
+    pub outputs: Vec<u64>,
+}
+
+// detlint::region(worker-context)
+pub fn run_shard(items: &[u64]) -> Shard {
+    let mut outputs = Vec::with_capacity(items.len());
+    for item in items {
+        outputs.push(item.wrapping_mul(3));
+    }
+    Shard { outputs }
+}
+// detlint::endregion(worker-context)

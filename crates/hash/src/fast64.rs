@@ -106,6 +106,7 @@ impl PairHasher for Fast64PairHasher {
     }
 }
 
+#[allow(clippy::disallowed_types, clippy::disallowed_methods)] // tests are exempt from the determinism lints
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -275,7 +275,7 @@ impl Cluster {
         if let Some(node) = self.running.remove(&id) {
             let _ = node.commands.send(Command::Stop);
             let _ = node.handle.join();
-            self.down_since.insert(id, Instant::now());
+            self.down_since.insert(id, Instant::now()); // detlint::allow(banned-clock): real downtime bookkeeping on a live cluster
         }
     }
 
@@ -326,7 +326,7 @@ impl Cluster {
     /// Blocks until every *running* node knows at least `min_monitors` of
     /// its monitors, or `timeout` elapses. Returns whether the goal was met.
     pub fn wait_for_discovery(&self, min_monitors: usize, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
+        let deadline = Instant::now() + timeout; // detlint::allow(banned-clock): wall-clock test timeout on a live cluster
         loop {
             let board = self.board.read();
             let done = self
@@ -337,6 +337,7 @@ impl Cluster {
             if done {
                 return true;
             }
+            // detlint::allow(banned-clock): wall-clock test timeout
             if Instant::now() >= deadline {
                 return false;
             }

@@ -96,7 +96,7 @@ impl<T: Transport> NodeDriver<T> {
                 directory,
                 encode_buf: BytesMut::with_capacity(2048),
             },
-            epoch: Instant::now(),
+            epoch: Instant::now(), // detlint::allow(banned-clock): live UDP node; wall time IS its TimeMs epoch
             commands,
             board,
         }
@@ -113,6 +113,7 @@ impl<T: Transport> NodeDriver<T> {
         drain(&mut self.node, &mut self.env);
         self.publish();
 
+        // detlint::allow(banned-clock): live-cluster publish cadence, outside the sim boundary
         let mut last_publish = Instant::now();
         loop {
             match self.commands.try_recv() {
@@ -168,7 +169,7 @@ impl<T: Transport> NodeDriver<T> {
 
             if last_publish.elapsed() >= Duration::from_millis(100) {
                 self.publish();
-                last_publish = Instant::now();
+                last_publish = Instant::now(); // detlint::allow(banned-clock): live-cluster cadence
             }
         }
         self.publish();

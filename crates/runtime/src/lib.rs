@@ -81,6 +81,11 @@
 //! and call `drain` after every input — see that module's "Driver
 //! authoring" section and the workspace's `sans_io_driver` example.
 
+// Live-cluster crate: wall clocks and std maps are its job; the
+// simulated determinism boundary (detlint + this lint pair) stops at
+// the sim/core/churn/hash crates. Per-site detlint allows still apply.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 pub mod cluster;
 pub mod driver;
 pub mod transport;

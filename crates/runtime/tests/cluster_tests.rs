@@ -1,6 +1,9 @@
 //! Real-time cluster tests: the protocol running on actual threads and
 //! sockets, with wall-clock periods shrunk so tests finish in seconds.
 
+// Test target: tests are exempt from the determinism lints.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use std::time::Duration;
 
 use avmon::Config;

@@ -12,6 +12,11 @@
 //! event calendar ([`Simulation::drain_node`]) — no per-input `Vec` of
 //! actions is ever allocated.
 
+// Every hash-collection here carries a per-site `detlint::allow` proving
+// iteration order never leaks; detlint is the precise layer, so the
+// coarser clippy mirror is silenced module-wide.
+#![allow(clippy::disallowed_types)]
+
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 use std::sync::mpsc;
@@ -447,6 +452,7 @@ struct QosAccumulator {
     /// Open wrongful-suspicion episodes, keyed by `(monitor, target)` with
     /// the suspicion start time. Only iterated for commutative sums, so
     /// hash order never leaks into the report.
+    // detlint::allow(banned-collection): iterated only for commutative sums
     open_mistakes: HashMap<(NodeId, NodeId), TimeMs>,
     /// Wrongful-suspicion episodes opened inside the measurement window.
     episodes: u64,
@@ -507,7 +513,10 @@ struct ShardDone {
 /// Phase 1 of a batch for one node: apply each input at its own
 /// timestamp and capture the outputs. Pure node-local computation — the
 /// node's own state and RNG, nothing shared — so any number of these run
-/// concurrently with no observable ordering.
+/// concurrently with no observable ordering. The detlint region below
+/// machine-checks the purity claim: no engine RNG, no seq allocation,
+/// no process streams may appear between the markers.
+// detlint::region(worker-context)
 fn run_shard(job: ShardJob) -> ShardDone {
     let ShardJob {
         index,
@@ -554,6 +563,7 @@ fn run_shard(job: ShardJob) -> ShardDone {
         outputs,
     }
 }
+// detlint::endregion(worker-context)
 
 /// How batch collection treats the calendar head (see
 /// [`Simulation::classify_head`]).
@@ -594,25 +604,30 @@ pub struct Simulation {
     trace: Trace,
     opts: SimOptions,
     selector: SharedSelector,
+    // detlint::allow(banned-collection): iterated only for commutative merges; report rows sort before emission
     nodes: HashMap<NodeId, SimNode>,
     alive: Vec<NodeId>,
+    // detlint::allow(banned-collection): per-key O(1) swap-remove positions; never iterated
     alive_index: HashMap<NodeId, usize>,
     queue: BinaryHeap<Event>,
     now: TimeMs,
     seq: u64,
     rng: SmallRng,
+    // detlint::allow(banned-collection): membership probes only; never iterated
     tracked: HashSet<NodeId>,
     discovery: BTreeMap<NodeId, DiscoveryLog>,
     graveyard_stats: NodeStats,
     initial_cohort: Vec<NodeId>,
     /// Position of each initial-cohort member in `initial_cohort`, so
     /// bootstrap view seeding can exclude the joiner in O(1).
+    // detlint::allow(banned-collection): per-key position lookups; never iterated
     initial_cohort_index: HashMap<NodeId, usize>,
     app_events: Vec<(NodeId, AppEvent)>,
     net: NetworkState,
     /// Per-node freeze windows from the scenario, indexed by node so the
     /// delivery/timer hot path pays O(1) for the (overwhelmingly common)
     /// unfrozen case.
+    // detlint::allow(banned-collection): per-key window lookups; never iterated
     freezes: HashMap<NodeId, Vec<(TimeMs, TimeMs)>>,
     /// FIFO lanes for the constant-delay timers, one per distinct delay
     /// (ping timeout, protocol period, monitoring period); empty when
@@ -628,6 +643,17 @@ pub struct Simulation {
     finished: bool,
     /// Resolved worker-thread count (≥ 1; see [`SimOptions::workers`]).
     workers: usize,
+    /// 64-bit words drawn by the (already consumed and dropped) per-event
+    /// corruption RNG streams — the `corruption` entry of the
+    /// [`RngLedger`]. Each `Fault::Corrupt` event derives a throwaway
+    /// stream from the master seed; its draw count is folded in here the
+    /// moment the stream dies.
+    corruption_draws: u64,
+    /// Protocol-RNG words drawn by incarnations that already left the
+    /// simulation (their `Node` state is dropped at churn time); summed
+    /// with the live nodes' counts at report assembly to form the `node`
+    /// stream of the [`RngLedger`].
+    graveyard_rng_draws: u64,
     /// The conservative safe-horizon window width for parallel batching:
     /// the minimum of the network's smallest delivery delay and every
     /// handler-armed timer delay (ping timeout, protocol period,
@@ -696,6 +722,7 @@ impl Simulation {
             seq += 1;
             t += opts.sample_interval;
         }
+        // detlint::allow(banned-collection): membership probes only; never iterated
         let tracked: HashSet<NodeId> = if opts.track_all_discovery {
             trace.identities().into_iter().collect()
         } else {
@@ -707,11 +734,13 @@ impl Simulation {
             .filter(|e| e.at == 0 && e.kind == ChurnEventKind::Birth)
             .map(|e| e.node)
             .collect();
+        // detlint::allow(banned-collection): per-key position lookups; never iterated
         let initial_cohort_index: HashMap<NodeId, usize> = initial_cohort
             .iter()
             .enumerate()
             .map(|(i, &id)| (id, i))
             .collect();
+        // detlint::allow(banned-collection): per-key behavior lookups; never iterated
         let behaviors: HashMap<NodeId, Behavior> = opts.behaviors.iter().cloned().collect();
         if let Some(scenario) = &opts.scenario {
             // Corruption injections are ordinary calendar events (after
@@ -770,6 +799,7 @@ impl Simulation {
                 }
             }
         }
+        // detlint::allow(banned-collection): see the `nodes` field — no order-dependent iteration
         let mut nodes = HashMap::with_capacity(trace.identities().len());
         for id in trace.identities() {
             let behavior = behaviors.get(&id).cloned().unwrap_or_default();
@@ -856,6 +886,7 @@ impl Simulation {
             selector,
             nodes,
             alive: Vec::new(),
+            // detlint::allow(banned-collection): see the field declaration
             alive_index: HashMap::new(),
             queue,
             now: 0,
@@ -876,6 +907,8 @@ impl Simulation {
             qos: QosAccumulator::default(),
             finished: false,
             workers,
+            corruption_draws: 0,
+            graveyard_rng_draws: 0,
             lookahead,
         })
     }
@@ -1113,6 +1146,7 @@ impl Simulation {
     ) -> (Vec<(usize, TimeMs)>, Vec<ShardJob>, bool) {
         let mut order: Vec<(usize, TimeMs)> = Vec::new();
         let mut groups: Vec<ShardJob> = Vec::new();
+        // detlint::allow(banned-collection): per-key job grouping; batch order comes from pop order
         let mut index: HashMap<NodeId, usize> = HashMap::new();
         let mut cut = false;
         while let Some((at, _, src)) = self.peek_next() {
@@ -1163,6 +1197,7 @@ impl Simulation {
         &mut self,
         src: NextEvent,
         at: TimeMs,
+        // detlint::allow(banned-collection): probe-only membership parameter
         batched: &HashMap<NodeId, usize>,
     ) -> HeadClass {
         // Summarize the head by value first: the wheel's front needs
@@ -1720,6 +1755,7 @@ impl Simulation {
             }
             None => sim_node.persistent = state,
         }
+        self.corruption_draws += rng.draw_count();
     }
 
     fn on_churn(&mut self, id: NodeId, kind: ChurnEventKind) {
@@ -1822,6 +1858,7 @@ impl Simulation {
                         series.monitor_pings_sent += delta.monitor_pings_sent;
                     }
                     self.graveyard_stats.merge(proto.stats());
+                    self.graveyard_rng_draws += proto.rng_draws();
                     sim_node.persistent = proto.snapshot_persistent();
                 }
                 sim_node.incarnation += 1;
@@ -2221,14 +2258,27 @@ impl Simulation {
     fn assemble_report(
         &self,
         discovery: BTreeMap<NodeId, DiscoveryLog>,
-        invariants: crate::invariants::InvariantSummary,
+        mut invariants: crate::invariants::InvariantSummary,
     ) -> SimReport {
         let mut totals = self.graveyard_stats;
+        let mut node_draws = self.graveyard_rng_draws;
         for sim_node in self.nodes.values() {
             if let Some(proto) = sim_node.proto.as_ref() {
                 totals.merge(proto.stats());
+                node_draws += proto.rng_draws();
             }
         }
+        // The dynamic half of the determinism discipline: per-stream draw
+        // counts. Engine draws happen only on the main thread (workers
+        // never touch `self.rng`), node draws ride inside each `Node`,
+        // and corruption draws are per-event local streams — so the
+        // ledger is identical at any worker count, and a seed-equal run
+        // that diverges pinpoints *which* stream drifted.
+        invariants.rng_ledger = crate::invariants::RngLedger {
+            engine_draws: self.rng.draw_count(),
+            node_draws,
+            corruption_draws: self.corruption_draws,
+        };
         // One pass over every monitor's target records builds the
         // per-target estimate index (O(total TS entries) = O(N·K)).
         let mut estimate_index = EstimateIndex::new();
@@ -2260,6 +2310,7 @@ impl Simulation {
             }
         }
         let mut availability = Vec::new();
+        // detlint::allow(banned-collection): membership probes only; never iterated
         let control: HashSet<NodeId> = self.trace.control_group.iter().copied().collect();
         // One pass over the trace builds every node's up-intervals;
         // Trace::availability_of would rebuild this map per queried node
@@ -2317,6 +2368,7 @@ impl Simulation {
             qos.mistake_duration_ms = qos.mistake_time_ms as f64 / qos.mistake_episodes as f64;
         }
         if let Some(scenario) = &self.opts.scenario {
+            // detlint::allow(banned-collection): membership probes only; victims are sorted separately
             let mut coalition_union: HashSet<NodeId> = HashSet::new();
             let mut victims: Vec<NodeId> = Vec::new();
             for event in &scenario.attacks {

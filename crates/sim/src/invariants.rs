@@ -55,6 +55,11 @@
 //! *same* violations at the same simulated times (`tests/incremental.rs`
 //! proves it), they only differ in how much work they skip.
 
+// Every hash-collection here carries a per-site `detlint::allow` proving
+// iteration order never leaks; detlint is the precise layer, so the
+// coarser clippy mirror is silenced module-wide.
+#![allow(clippy::disallowed_types)]
+
 use std::collections::{HashMap, HashSet};
 
 use avmon::{Config, DurMs, MemoPolicy, Node, NodeId, SharedSelector, TimeMs};
@@ -346,6 +351,40 @@ pub struct RecordedWarning {
     pub warning: InvariantWarning,
 }
 
+/// Per-stream RNG draw counts at report time — the dynamic half of the
+/// workspace's determinism discipline (the static half is the `detlint`
+/// auditor). Every stream is seeded independently from the master seed, so
+/// a legitimate protocol change that perturbs randomness (the PR 3
+/// situation: re-pinned fixtures) shows up here as "*this* stream moved by
+/// *this many* draws" instead of an opaque byte mismatch between reports.
+/// Same-seed runs must agree on every counter at any worker count —
+/// `tests/determinism.rs` and `tests/equivalence.rs` hold that equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct RngLedger {
+    /// Draws on the engine's master stream: message routing through the
+    /// network model (loss/duplication/jitter/latency), join-contact
+    /// selection, and bootstrap view seeding. In the sharded engine every
+    /// one of these draws happens on the main thread in sequential replay
+    /// order, which is exactly why this counter is worker-count-invariant.
+    pub engine_draws: u64,
+    /// Sum of per-node protocol streams (periodic phases, view eviction,
+    /// nonces, forwarding coins) across every incarnation, dead or alive —
+    /// each node's stream is seeded from `mix64(master ^ id ^ incarnation)`.
+    pub node_draws: u64,
+    /// Draws on the per-event corruption streams ([`crate::Fault::Corrupt`]
+    /// garbage), each seeded from `mix64(master ^ mix64(event seed))`;
+    /// exactly 0 in adversary-free runs.
+    pub corruption_draws: u64,
+}
+
+impl RngLedger {
+    /// Total draws across every stream.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.engine_draws + self.node_draws + self.corruption_draws
+    }
+}
+
 /// Everything the checker observed during one run; part of the
 /// [`crate::SimReport`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -383,6 +422,11 @@ pub struct InvariantSummary {
     /// disables the memo above 8 192 nodes, which otherwise shows up
     /// only as an unexplained `hash_checks` cliff in large-N runs.
     pub memo_policy: MemoPolicy,
+    /// Per-stream RNG draw counts at report time (see [`RngLedger`]): the
+    /// engine fills this in when the report is assembled, so a same-seed
+    /// byte mismatch between two reports can be localized to the stream
+    /// (and the number of draws) that moved.
+    pub rng_ledger: RngLedger,
 }
 
 impl InvariantSummary {
@@ -415,11 +459,14 @@ pub struct InvariantChecker {
     /// eventual agreement is owed only statistically (warnings, not
     /// violations).
     lossy_base: bool,
+    // detlint::allow(banned-collection): per-key uptime lookups; never iterated
     up_since: HashMap<NodeId, TimeMs>,
+    // detlint::allow(banned-collection): membership probes only; never iterated
     warned_slow: HashSet<NodeId>,
     /// Change epochs `(sets_epoch, view_version)` at which each node was
     /// last verified; nodes whose epochs are unchanged are skipped under
     /// [`CheckStrategy::Incremental`]. Cleared per incarnation.
+    // detlint::allow(banned-collection): per-key epoch lookups; never iterated
     verified_at: HashMap<NodeId, (u64, u64)>,
     /// Pair-point memo backing the consistency-condition checks when the
     /// selector is a pure pair hash ([`threshold`](Self::threshold) is
@@ -432,6 +479,7 @@ pub struct InvariantChecker {
     /// `(kind, node, other)`: persistent corruption is recorded once per
     /// incarnation, not once per sampling tick, so long runs don't bloat
     /// the report while the first-corruption timestamp stays sharp.
+    // detlint::allow(banned-collection): dedup membership probes only; never iterated
     reported: HashSet<(u8, NodeId, NodeId)>,
     /// Declared adversary windows (attacks, corruptions) under
     /// stabilization tracking. Tiny in practice (a handful per scenario),
@@ -557,15 +605,15 @@ impl InvariantChecker {
             view_cap: protocol.cvs,
             quiescent_from,
             lossy_base,
-            up_since: HashMap::new(),
-            warned_slow: HashSet::new(),
-            verified_at: HashMap::new(),
+            up_since: HashMap::new(), // detlint::allow(banned-collection): see field
+            warned_slow: HashSet::new(), // detlint::allow(banned-collection): see field
+            verified_at: HashMap::new(), // detlint::allow(banned-collection): see field
             // ~4M pairs comfortably covers the live PS∪TS pairs of a
             // 100k-node run (≈ 2·K·N); beyond that the memo clears
             // wholesale rather than growing unboundedly.
             memo: PointMemo::new(1 << 22),
             threshold,
-            reported: HashSet::new(),
+            reported: HashSet::new(), // detlint::allow(banned-collection): see field
             stab: Vec::new(),
             summary: InvariantSummary {
                 enabled,
@@ -1219,11 +1267,17 @@ mod tests {
                     waiting_for: 600_000,
                 },
             }],
+            rng_ledger: RngLedger {
+                engine_draws: 1000,
+                node_draws: 2000,
+                corruption_draws: 3,
+            },
         };
         let json = serde_json::to_string(&summary).unwrap();
         let back: InvariantSummary = serde_json::from_str(&json).unwrap();
         assert_eq!(summary, back);
         assert!(!back.passed());
+        assert_eq!(back.rng_ledger.total(), 3003);
     }
 
     /// Builds a node with a ghost PS entry, as corruption would leave it.

@@ -101,7 +101,7 @@ pub mod scenario;
 pub use engine::{CalendarStats, SimOptions, Simulation};
 pub use invariants::{
     AdversaryWindow, CheckStrategy, InvariantChecker, InvariantConfig, InvariantMode,
-    InvariantSummary, InvariantViolation, WindowOutcome,
+    InvariantSummary, InvariantViolation, RngLedger, WindowOutcome,
 };
 pub use metrics::{
     AvailabilityMeasure, DetectionDistribution, DiscoveryLog, EclipseScore, FdQos, NodeSeries,

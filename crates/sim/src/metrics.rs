@@ -9,6 +9,7 @@
 //! outgoing bandwidth (Fig. 19), useless pings (Fig. 18), and availability
 //! estimation accuracy (Figs. 17, 20).
 
+#[allow(clippy::disallowed_types)] // detlint carries the per-site proofs below
 use std::collections::{BTreeMap, HashMap};
 
 use avmon::{DurMs, NodeId, NodeStats, TimeMs};
@@ -24,6 +25,8 @@ use crate::invariants::{InvariantSummary, WindowOutcome};
 /// `O(N)` probe of every node (`O(N²)` over a report).
 #[derive(Debug, Default)]
 pub struct EstimateIndex {
+    #[allow(clippy::disallowed_types)]
+    // detlint::allow(banned-collection): drained per key; each bucket sorts before use
     by_target: HashMap<NodeId, Vec<f64>>,
 }
 
@@ -382,6 +385,7 @@ pub fn mean_drop_max(values: &[f64]) -> f64 {
     mean(&kept)
 }
 
+#[allow(clippy::disallowed_types, clippy::disallowed_methods)] // tests are exempt from the determinism lints
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,6 +20,7 @@
 use avmon::{DurMs, NodeId, TimeMs};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+#[allow(clippy::disallowed_types)] // detlint carries the per-site proofs below
 use std::collections::HashSet;
 
 use crate::scenario::{Fault, Scenario};
@@ -247,7 +248,11 @@ impl NetworkModel {
 struct LinkWindow {
     from: TimeMs,
     until: TimeMs,
+    #[allow(clippy::disallowed_types)]
+    // detlint::allow(banned-collection): membership probes only; never iterated
     a: HashSet<NodeId>,
+    #[allow(clippy::disallowed_types)]
+    // detlint::allow(banned-collection): membership probes only; never iterated
     b: HashSet<NodeId>,
     symmetric: bool,
     loss: f64,
@@ -434,6 +439,7 @@ impl NetworkState {
     }
 }
 
+#[allow(clippy::disallowed_types, clippy::disallowed_methods)] // tests are exempt from the determinism lints
 #[cfg(test)]
 mod tests {
     use super::*;

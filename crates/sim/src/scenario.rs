@@ -345,9 +345,11 @@ impl Scenario {
     /// The freeze windows indexed per node, for O(1) per-event lookup in
     /// the engine's delivery/timer hot path (a flat window list would be
     /// rescanned for *every* message of a large run).
+    #[allow(clippy::disallowed_types)]
+    // detlint::allow(banned-collection): consumed per key by the engine; never iterated
     pub(crate) fn freeze_index(&self) -> std::collections::HashMap<NodeId, Vec<(TimeMs, TimeMs)>> {
-        let mut index: std::collections::HashMap<NodeId, Vec<(TimeMs, TimeMs)>> =
-            std::collections::HashMap::new();
+        let mut index: std::collections::HashMap<NodeId, Vec<(TimeMs, TimeMs)>> = // detlint::allow(banned-collection): see fn
+            std::collections::HashMap::new(); // detlint::allow(banned-collection): see fn
         for (node, from, until) in self.freeze_windows() {
             index.entry(node).or_default().push((from, until));
         }

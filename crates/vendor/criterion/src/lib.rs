@@ -6,6 +6,9 @@
 //! warmup-then-measure wall-clock loop. No statistics beyond mean time per
 //! iteration; results print as `name ... <time>/iter (<throughput>)`.
 
+// Vendored stub: outside the determinism boundary.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

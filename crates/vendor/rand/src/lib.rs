@@ -10,6 +10,9 @@
 //! from the real `rand` crate — seeds are reproducible within this
 //! workspace, not across implementations.
 
+// Vendored stub: outside the determinism boundary.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 /// A source of random `u64`s.
 pub trait RngCore {
     /// The next 64 random bits.
@@ -175,6 +178,25 @@ pub mod rngs {
     #[derive(Debug, Clone, PartialEq, Eq)]
     pub struct SmallRng {
         s: [u64; 4],
+        /// 64-bit words drawn since construction. Every `gen` / `gen_range`
+        /// / `gen_bool` / `choose` pulls at least one word, so this counts
+        /// the generator's position in its stream — the raw material of the
+        /// workspace's RNG-stream ledger (see `avmon_sim`'s
+        /// `InvariantSummary::rng_ledger`).
+        draws: u64,
+    }
+
+    impl SmallRng {
+        /// How many 64-bit words this generator has produced so far.
+        ///
+        /// Deterministic for a deterministic caller: two same-seed runs
+        /// that diverge in *where* they consume randomness show up here as
+        /// a draw-count difference long before the divergence is visible in
+        /// any downstream value.
+        #[must_use]
+        pub fn draw_count(&self) -> u64 {
+            self.draws
+        }
     }
 
     impl SeedableRng for SmallRng {
@@ -189,12 +211,13 @@ pub mod rngs {
                 z ^ (z >> 31)
             };
             let s = [next(), next(), next(), next()];
-            SmallRng { s }
+            SmallRng { s, draws: 0 }
         }
     }
 
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
+            self.draws += 1;
             let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
             let t = self.s[1] << 17;
             self.s[2] ^= self.s[0];
@@ -301,6 +324,30 @@ mod tests {
             let f: f64 = rng.gen_range(0.5..2.0);
             assert!((0.5..2.0).contains(&f));
         }
+    }
+
+    #[test]
+    fn draw_count_tracks_words_pulled() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        assert_eq!(rng.draw_count(), 0);
+        let _: u64 = rng.gen();
+        assert_eq!(rng.draw_count(), 1, "gen::<u64> is one word");
+        let _: u64 = rng.gen_range(0..100);
+        assert_eq!(rng.draw_count(), 2, "gen_range is one word");
+        let _ = rng.gen_bool(0.5);
+        assert_eq!(rng.draw_count(), 3, "gen_bool is one word");
+        // Clones carry their position; the streams stay in lockstep.
+        let clone = rng.clone();
+        assert_eq!(clone.draw_count(), 3);
+        // Two same-seed generators drawn identically agree exactly.
+        let mut a = SmallRng::seed_from_u64(4);
+        let mut b = SmallRng::seed_from_u64(4);
+        for _ in 0..17 {
+            let _: u32 = a.gen();
+            let _: u32 = b.gen();
+        }
+        assert_eq!(a.draw_count(), b.draw_count());
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! serde_json for every type (maps with non-string keys are encoded as
 //! arrays of pairs).
 
+// Vendored stub: outside the determinism boundary.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 pub use serde_derive::{Deserialize, Serialize};

@@ -17,6 +17,9 @@
 //!                                                                       # 5 min measured
 //! ```
 
+// Example: measures real elapsed time; outside the determinism boundary.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use avmon::{Config, MINUTE};
@@ -48,7 +51,7 @@ fn main() {
         config.cvs, config.k
     );
 
-    let build_start = Instant::now();
+    let build_start = Instant::now(); // detlint::allow(banned-clock): measuring real build time of the demo
     let trace = synthetic(params);
     println!(
         "trace: {} churn events, built in {:.1?}",
@@ -76,14 +79,14 @@ fn main() {
         .invariants(invariants)
         .workers(workers);
 
-    let sim_start = Instant::now();
+    let sim_start = Instant::now(); // detlint::allow(banned-clock): measuring real sim throughput
     let mut sim = Simulation::new(trace, opts);
     let horizon = sim.trace().horizon;
     // Advance in 5-minute slices so long runs show a heartbeat.
     let mut t = 0;
     while t < horizon {
         t = (t + 5 * MINUTE).min(horizon);
-        let slice = Instant::now();
+        let slice = Instant::now(); // detlint::allow(banned-clock): heartbeat timing of the demo
         sim.run_until(t);
         println!(
             "  t = {:>3} min  (+{:>6.1?})  alive = {}",

@@ -14,6 +14,9 @@
 //! cargo run -p avmon-examples --release --bin sans_io_driver
 //! ```
 
+// Example: outside the determinism boundary.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use std::collections::{HashMap, VecDeque};
 
 use avmon::driver::{drain, DriverEnv, TimerQueue};

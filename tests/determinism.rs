@@ -274,17 +274,37 @@ fn sharded_engine_is_bit_identical_across_worker_counts() {
             duplicate: 0.05,
             jitter: 300,
         };
-        serde_json::to_string(&Simulation::new(trace.clone(), opts).run()).unwrap()
+        Simulation::new(trace.clone(), opts).run()
     };
     let sequential = run(1);
+    let sequential_bytes = serde_json::to_string(&sequential).unwrap();
+    // The per-stream RNG draw ledger is the dynamic half of the
+    // determinism discipline: every stream must land on the same count at
+    // every worker count, and on this fixture every stream actually draws
+    // (the corruption event exercises the per-event streams).
+    let ledger = sequential.invariants.rng_ledger;
+    assert!(ledger.engine_draws > 0, "master stream never drew");
+    assert!(ledger.node_draws > 0, "node streams never drew");
+    assert!(
+        ledger.corruption_draws > 0,
+        "the corruption event drew nothing"
+    );
     for workers in [2, 8] {
+        let report = run(workers);
         assert_eq!(
-            sequential,
-            run(workers),
+            ledger, report.invariants.rng_ledger,
+            "{workers}-worker RNG ledger diverged from the sequential engine"
+        );
+        assert_eq!(
+            sequential_bytes,
+            serde_json::to_string(&report).unwrap(),
             "{workers}-worker run diverged from the sequential engine"
         );
     }
-    assert!(sequential.len() > 100, "the report actually carries data");
+    assert!(
+        sequential_bytes.len() > 100,
+        "the report actually carries data"
+    );
 }
 
 /// Negative control for the invariant checker: a `Behavior`-driven lying

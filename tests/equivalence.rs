@@ -25,17 +25,21 @@
 
 use avmon::{Behavior, Config, NodeId, MINUTE};
 use avmon_churn::{stat, synthetic, SynthParams, Trace};
-use avmon_sim::{CalendarStats, InvariantConfig, LinkFaults, Scenario, SimOptions, Simulation};
+use avmon_sim::{
+    CalendarStats, InvariantConfig, LinkFaults, RngLedger, Scenario, SimOptions, Simulation,
+};
 
-/// Runs `(trace, opts)` to the horizon; returns the serialized report and
-/// the calendar counters.
-fn run(trace: Trace, opts: SimOptions) -> (String, CalendarStats) {
+/// Runs `(trace, opts)` to the horizon; returns the serialized report,
+/// the calendar counters and the per-stream RNG draw ledger.
+fn run(trace: Trace, opts: SimOptions) -> (String, CalendarStats, RngLedger) {
     let mut sim = Simulation::new(trace, opts);
     let horizon = sim.trace().horizon;
     sim.run_until(horizon);
     let stats = sim.calendar_stats();
-    let json = serde_json::to_string(&sim.into_report()).expect("reports serialize");
-    (json, stats)
+    let report = sim.into_report();
+    let ledger = report.invariants.rng_ledger;
+    let json = serde_json::to_string(&report).expect("reports serialize");
+    (json, stats, ledger)
 }
 
 /// Drops the `memo_policy` record from a serialized report. The policy
@@ -81,10 +85,10 @@ fn assert_equivalent(mut make: impl FnMut() -> (Trace, SimOptions), label: &str)
         ("sharded-2", true, None, 2),
         ("sharded-8", true, None, 8),
     ];
-    let mut baseline: Option<String> = None;
+    let mut baseline: Option<(String, RngLedger)> = None;
     for (name, fast, memo, workers) in configs {
         let (trace, opts) = make();
-        let (report, stats) = run(
+        let (report, stats, ledger) = run(
             trace,
             opts.fast_calendar(fast).node_memo(memo).workers(workers),
         );
@@ -96,12 +100,25 @@ fn assert_equivalent(mut make: impl FnMut() -> (Trace, SimOptions), label: &str)
                     (0, 0),
                     "{label}: legacy config used the fast calendar"
                 );
-                baseline = Some(report);
+                assert!(
+                    ledger.engine_draws > 0 && ledger.node_draws > 0,
+                    "{label}: the RNG ledger recorded no draws"
+                );
+                baseline = Some((report, ledger));
             }
-            Some(base) => assert_eq!(
-                base, &report,
-                "{label}/{name}: optimized report is not byte-identical"
-            ),
+            Some((base, base_ledger)) => {
+                // Ledger first: a draw-count mismatch names the stream
+                // that moved, which is a far better diagnostic than the
+                // full-report byte diff below.
+                assert_eq!(
+                    base_ledger, &ledger,
+                    "{label}/{name}: per-stream RNG draw counts diverged"
+                );
+                assert_eq!(
+                    base, &report,
+                    "{label}/{name}: optimized report is not byte-identical"
+                );
+            }
         }
         if fast {
             assert!(
@@ -118,7 +135,7 @@ fn assert_equivalent(mut make: impl FnMut() -> (Trace, SimOptions), label: &str)
             );
         }
     }
-    baseline.expect("at least one config ran")
+    baseline.expect("at least one config ran").0
 }
 
 /// Fault-free churny baseline: births, deaths, rejoins.

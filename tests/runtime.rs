@@ -1,6 +1,9 @@
 //! The same protocol over real threads and sockets: simulator and runtime
 //! must agree on behaviour.
 
+// Test target: tests are exempt from the determinism lints.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use std::time::Duration;
 
 use avmon::Config;
