@@ -1,0 +1,91 @@
+//! Example applications — the workloads the portability suite runs on
+//! both executors from the same source.
+
+use avmon::{AppEvent, DurMs, NodeId};
+
+use crate::decision::Decision;
+use crate::handle::AvmonHandle;
+
+/// Periodic least-available-k selector with a churn watchdog — the
+/// headline example app of the portability suite.
+///
+/// Every `period` ms the task drains its event inbox, records an
+/// [`Decision::Alarm`] for each [`AppEvent::TargetUnresponsive`], then
+/// snapshots its node and records a [`Decision::Select`] of the `k`
+/// least-available targets (ties broken by id; targets with no estimate
+/// yet count as fully available). Consecutive identical selections are
+/// deduplicated, so the decision sequence captures *changes* — the
+/// timing-robust signal the sim≡live differential compares.
+///
+/// The task starts with a jittered phase drawn from the `app` RNG
+/// stream, so any run that attaches it has a nonzero `app_draws` ledger
+/// entry — the detlint/ledger suites rely on that.
+pub async fn watchdog_selector(h: AvmonHandle, period: DurMs, k: usize) {
+    let phase = h.rng_u64() % period.max(1);
+    h.sleep(phase).await;
+    let mut last: Option<Vec<NodeId>> = None;
+    loop {
+        h.sleep(period).await;
+        for (at, event) in h.drain_events() {
+            if let AppEvent::TargetUnresponsive { target } = event {
+                h.record(Decision::Alarm {
+                    at,
+                    node: h.id(),
+                    target,
+                });
+            }
+        }
+        let Some(snap) = h.snapshot() else { continue };
+        let mut candidates: Vec<(f64, NodeId)> = snap
+            .ts
+            .iter()
+            .map(|&t| {
+                let est = snap
+                    .estimates
+                    .iter()
+                    .find(|(id, _)| *id == t)
+                    .map_or(1.0, |(_, e)| *e);
+                (est, t)
+            })
+            .collect();
+        candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let chosen: Vec<NodeId> = candidates.into_iter().take(k).map(|(_, id)| id).collect();
+        if last.as_ref() != Some(&chosen) {
+            h.record(Decision::Select {
+                at: h.now(),
+                node: h.id(),
+                chosen: chosen.clone(),
+            });
+            last = Some(chosen);
+        }
+    }
+}
+
+/// Minimal app-messaging pair: `ping_sender` sends `payload` to `to`
+/// every `period` ms; [`echo_listener`] records nothing but re-sends each
+/// received payload back to its sender. Used by the suite to prove
+/// `AppData` travels the overlay under both executors.
+pub async fn ping_sender(h: AvmonHandle, to: NodeId, payload: Vec<u8>, period: DurMs) {
+    loop {
+        h.sleep(period).await;
+        h.send_app(to, payload.clone());
+    }
+}
+
+/// Counterpart of [`ping_sender`]: echoes every received payload back and
+/// records an [`Decision::Alarm`]-free marker via `Select` with the
+/// sender as the single chosen node, so tests can observe receipt through
+/// the decision log alone.
+pub async fn echo_listener(h: AvmonHandle) {
+    loop {
+        let (at, event) = h.next_event().await;
+        if let AppEvent::AppData { from, payload } = event {
+            h.send_app(from, payload);
+            h.record(Decision::Select {
+                at,
+                node: h.id(),
+                chosen: vec![from],
+            });
+        }
+    }
+}

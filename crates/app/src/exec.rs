@@ -1,0 +1,189 @@
+//! The deterministic sim executor: async app tasks interleaved with the
+//! discrete-event calendar.
+//!
+//! The interleaving protocol with [`Simulation`]:
+//!
+//! 1. poll every task (spawn order); flush queued app sends into the sim;
+//! 2. schedule the earliest registered sleep deadline as an `AppWake`
+//!    calendar event (deduplicated — one wake per distinct instant);
+//! 3. [`Simulation::run_until_wake`] — the engine runs until the wake
+//!    fires or a subscribed node emits an application event, pausing with
+//!    the clock at that exact `(time, seq)` calendar position;
+//! 4. ingest the timestamped events into the per-node inboxes, advance
+//!    executor time to the pause instant, and repeat.
+//!
+//! Because pause points are cut points of the sharded engine, the whole
+//! cycle — task poll order, RNG draws, app sends entering the calendar —
+//! is byte-identical at any worker count.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::future::Future;
+use std::rc::Rc;
+
+use avmon::{NodeId, TimeMs};
+use avmon_runtime::Command;
+use avmon_sim::{SimReport, Simulation};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::app_stream_seed;
+use crate::decision::DecisionLog;
+use crate::handle::{poll_tasks, AvmonHandle, Backend, Shared, Task};
+
+/// Flushes queued app sends into whichever backend is attached, in the
+/// order the tasks recorded them.
+pub(crate) fn flush_outbox(shared: &Rc<RefCell<Shared>>) {
+    let mut sh = shared.borrow_mut();
+    if sh.outbox.is_empty() {
+        return;
+    }
+    let outbox = std::mem::take(&mut sh.outbox);
+    match &mut sh.backend {
+        Backend::Sim(sim) => {
+            for (from, to, payload) in outbox {
+                sim.send_app(from, to, payload);
+            }
+        }
+        Backend::Live(cluster) => {
+            for (from, to, payload) in outbox {
+                cluster.command(from, Command::SendApp { to, payload });
+            }
+        }
+    }
+}
+
+/// Runs async application tasks deterministically inside a
+/// [`Simulation`]: sleeps resolve through sim time, events arrive at
+/// their exact emission instants, and the `app` RNG stream is recorded
+/// in the report's `RngLedger`.
+pub struct SimExecutor {
+    shared: Rc<RefCell<Shared>>,
+    tasks: Vec<Task>,
+    /// Wake instants already sitting in the calendar (token == instant),
+    /// so repeated pauses before a far deadline don't re-schedule it.
+    scheduled: BTreeSet<u64>,
+}
+
+impl SimExecutor {
+    /// Wraps `sim`; the `app` RNG stream is seeded
+    /// [`app_stream_seed`]`(master_seed)` — pass the same master seed the
+    /// simulation uses so the stream is derived, not independent.
+    #[must_use]
+    pub fn new(sim: Simulation, master_seed: u64) -> Self {
+        let now = sim.now();
+        let rng = SmallRng::seed_from_u64(app_stream_seed(master_seed));
+        SimExecutor {
+            shared: Rc::new(RefCell::new(Shared::new(Backend::Sim(sim), now, rng))),
+            tasks: Vec::new(),
+            scheduled: BTreeSet::new(),
+        }
+    }
+
+    /// Spawns an app task bound to `node` and subscribes the node's
+    /// events. Spawn order is poll order — part of the deterministic
+    /// contract, so spawn in a fixed order.
+    pub fn spawn<F, Fut>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(AvmonHandle) -> Fut,
+        Fut: Future<Output = ()> + 'static,
+    {
+        {
+            let mut sh = self.shared.borrow_mut();
+            let Backend::Sim(sim) = &mut sh.backend else {
+                unreachable!("SimExecutor owns a sim backend");
+            };
+            sim.subscribe_app(node);
+        }
+        let handle = AvmonHandle::new(node, Rc::clone(&self.shared));
+        self.tasks.push(Task {
+            fut: Box::pin(f(handle)),
+            done: false,
+        });
+    }
+
+    /// Advances the simulation (and every task) to `deadline`.
+    pub fn run_until(&mut self, deadline: TimeMs) {
+        loop {
+            poll_tasks(&mut self.tasks);
+            flush_outbox(&self.shared);
+            let (paused, now, events, wakes) = {
+                let mut sh = self.shared.borrow_mut();
+                let next = sh.next_deadline();
+                let Backend::Sim(sim) = &mut sh.backend else {
+                    unreachable!("SimExecutor owns a sim backend");
+                };
+                if let Some(at) = next {
+                    if at <= deadline && self.scheduled.insert(at) {
+                        sim.schedule_app_wake(at, at);
+                    }
+                }
+                let paused = sim.run_until_wake(deadline);
+                (
+                    paused,
+                    sim.now(),
+                    sim.take_app_events_timed(),
+                    sim.take_wakes(),
+                )
+            };
+            {
+                let mut sh = self.shared.borrow_mut();
+                sh.now = now;
+                for (at, id, event) in events {
+                    sh.inboxes.entry(id).or_default().push_back((at, event));
+                }
+            }
+            for wake in wakes {
+                self.scheduled.remove(&wake);
+            }
+            if !paused {
+                poll_tasks(&mut self.tasks);
+                flush_outbox(&self.shared);
+                break;
+            }
+        }
+        self.sync_app_draws();
+    }
+
+    /// Runs to the trace horizon.
+    pub fn run(&mut self) {
+        let horizon = {
+            let sh = self.shared.borrow();
+            let Backend::Sim(sim) = &sh.backend else {
+                unreachable!("SimExecutor owns a sim backend");
+            };
+            sim.trace().horizon
+        };
+        self.run_until(horizon);
+    }
+
+    /// Pushes the app stream's draw count into the simulation's ledger.
+    fn sync_app_draws(&mut self) {
+        let mut sh = self.shared.borrow_mut();
+        let draws = sh.rng.draw_count();
+        let Backend::Sim(sim) = &mut sh.backend else {
+            unreachable!("SimExecutor owns a sim backend");
+        };
+        sim.set_app_draws(draws);
+    }
+
+    /// A copy of the decision log recorded so far.
+    #[must_use]
+    pub fn log(&self) -> DecisionLog {
+        self.shared.borrow().log.clone()
+    }
+
+    /// Finishes the run: the simulation's report plus the decision log.
+    #[must_use]
+    pub fn into_report(mut self) -> (SimReport, DecisionLog) {
+        self.sync_app_draws();
+        self.tasks.clear();
+        let shared = Rc::try_unwrap(self.shared)
+            .unwrap_or_else(|_| panic!("a task leaked its handle past executor teardown"))
+            .into_inner();
+        let Backend::Sim(sim) = shared.backend else {
+            unreachable!("SimExecutor owns a sim backend");
+        };
+        (sim.into_report(), shared.log)
+    }
+}

@@ -1,0 +1,257 @@
+//! The application-facing handle and the executor-shared state behind it.
+//!
+//! Every async task holds an [`AvmonHandle`] bound to one node. All state
+//! a handle touches lives in one `Rc<RefCell<Shared>>` owned by the
+//! executor, so handle calls are synchronous borrows — no channels, no
+//! wakers with payloads, and (under the sim executor) no source of
+//! nondeterminism: the single RNG here is the registered `app` stream.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+
+use avmon::driver::NodeSnapshot;
+use avmon::{AppEvent, DurMs, NodeId, TimeMs};
+use avmon_runtime::Cluster;
+use avmon_sim::Simulation;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::decision::{Decision, DecisionLog};
+
+/// Which world the executor is driving.
+#[allow(clippy::large_enum_variant)] // one Backend per executor, never collected
+pub(crate) enum Backend {
+    /// The discrete-event simulator (deterministic).
+    Sim(Simulation),
+    /// A live cluster of node threads (in-memory channels or UDP).
+    Live(Cluster),
+}
+
+/// Executor state shared with every handle.
+pub(crate) struct Shared {
+    pub(crate) backend: Backend,
+    /// The executor's current time: sim time, or epoch-relative wall
+    /// milliseconds under the live executor.
+    pub(crate) now: TimeMs,
+    /// The `app` RNG stream (seeded [`crate::app_stream_seed`]); its
+    /// draw count feeds `RngLedger::app_draws` under the sim executor.
+    pub(crate) rng: SmallRng,
+    /// Registered sleep deadlines, keyed by registration id.
+    pub(crate) sleeps: BTreeMap<u64, TimeMs>,
+    pub(crate) next_sleep_id: u64,
+    /// Per-node event inboxes fed by the executor.
+    pub(crate) inboxes: BTreeMap<NodeId, VecDeque<(TimeMs, AppEvent)>>,
+    /// Outgoing app messages `(from, to, payload)`, flushed by the
+    /// executor after each poll round (in record order).
+    pub(crate) outbox: Vec<(NodeId, NodeId, Vec<u8>)>,
+    pub(crate) log: DecisionLog,
+}
+
+impl Shared {
+    pub(crate) fn new(backend: Backend, now: TimeMs, rng: SmallRng) -> Self {
+        Shared {
+            backend,
+            now,
+            rng,
+            sleeps: BTreeMap::new(),
+            next_sleep_id: 0,
+            inboxes: BTreeMap::new(),
+            outbox: Vec::new(),
+            log: DecisionLog::default(),
+        }
+    }
+
+    /// The earliest registered sleep deadline, if any.
+    pub(crate) fn next_deadline(&self) -> Option<TimeMs> {
+        self.sleeps.values().copied().min()
+    }
+}
+
+/// The application's window onto its AVMON node: snapshots, events,
+/// virtual/real time, app messaging, and the registered `app` RNG stream.
+///
+/// Cloneable; all clones of one executor's handles share state.
+#[derive(Clone)]
+pub struct AvmonHandle {
+    node: NodeId,
+    shared: Rc<RefCell<Shared>>,
+}
+
+impl AvmonHandle {
+    pub(crate) fn new(node: NodeId, shared: Rc<RefCell<Shared>>) -> Self {
+        AvmonHandle { node, shared }
+    }
+
+    /// The node this handle is bound to.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current executor time: simulated ms, or epoch-relative wall ms.
+    #[must_use]
+    pub fn now(&self) -> TimeMs {
+        self.shared.borrow().now
+    }
+
+    /// Sleeps for `dur` (virtual time in sim, real time live).
+    #[must_use]
+    pub fn sleep(&self, dur: DurMs) -> Sleep {
+        let deadline = self.shared.borrow().now.saturating_add(dur);
+        Sleep {
+            shared: Rc::clone(&self.shared),
+            deadline,
+            id: None,
+        }
+    }
+
+    /// Awaits the next buffered application event for this node.
+    #[must_use]
+    pub fn next_event(&self) -> EventWait {
+        EventWait {
+            shared: Rc::clone(&self.shared),
+            node: self.node,
+        }
+    }
+
+    /// Drains every buffered event for this node without blocking.
+    pub fn drain_events(&self) -> Vec<(TimeMs, AppEvent)> {
+        let mut shared = self.shared.borrow_mut();
+        shared
+            .inboxes
+            .get_mut(&self.node)
+            .map(|q| q.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// A snapshot of the node's protocol state (PS, TS, coarse view,
+    /// availability estimates) — [`NodeSnapshot::capture`] in sim, the
+    /// latest published board entry live. `None` while the node is down
+    /// (or, live, before its first publish).
+    #[must_use]
+    pub fn snapshot(&self) -> Option<NodeSnapshot> {
+        let shared = self.shared.borrow();
+        match &shared.backend {
+            Backend::Sim(sim) => sim.node(self.node).map(NodeSnapshot::capture),
+            Backend::Live(cluster) => cluster.snapshot(self.node),
+        }
+    }
+
+    /// Sends an opaque payload to `to` over the overlay; it arrives at
+    /// `to`'s handle as an [`AppEvent::AppData`] event.
+    pub fn send_app(&self, to: NodeId, payload: Vec<u8>) {
+        self.shared
+            .borrow_mut()
+            .outbox
+            .push((self.node, to, payload));
+    }
+
+    /// Draws 64 bits from the registered `app` stream (the only
+    /// randomness an app task may use under the determinism rules).
+    pub fn rng_u64(&self) -> u64 {
+        self.shared.borrow_mut().rng.gen()
+    }
+
+    /// Records an observable decision in the executor's [`DecisionLog`].
+    pub fn record(&self, decision: Decision) {
+        self.shared.borrow_mut().log.decisions.push(decision);
+    }
+}
+
+/// Future returned by [`AvmonHandle::sleep`].
+pub struct Sleep {
+    shared: Rc<RefCell<Shared>>,
+    deadline: TimeMs,
+    id: Option<u64>,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        let mut shared = this.shared.borrow_mut();
+        if shared.now >= this.deadline {
+            if let Some(id) = this.id.take() {
+                shared.sleeps.remove(&id);
+            }
+            Poll::Ready(())
+        } else {
+            if this.id.is_none() {
+                let id = shared.next_sleep_id;
+                shared.next_sleep_id += 1;
+                shared.sleeps.insert(id, this.deadline);
+                this.id = Some(id);
+            }
+            Poll::Pending
+        }
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if let Some(id) = self.id.take() {
+            self.shared.borrow_mut().sleeps.remove(&id);
+        }
+    }
+}
+
+/// Future returned by [`AvmonHandle::next_event`].
+pub struct EventWait {
+    shared: Rc<RefCell<Shared>>,
+    node: NodeId,
+}
+
+impl Future for EventWait {
+    type Output = (TimeMs, AppEvent);
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<(TimeMs, AppEvent)> {
+        let mut shared = self.shared.borrow_mut();
+        match shared
+            .inboxes
+            .get_mut(&self.node)
+            .and_then(VecDeque::pop_front)
+        {
+            Some(event) => Poll::Ready(event),
+            None => Poll::Pending,
+        }
+    }
+}
+
+/// One spawned task: the node it serves and its pinned future.
+pub(crate) struct Task {
+    pub(crate) fut: Pin<Box<dyn Future<Output = ()>>>,
+    pub(crate) done: bool,
+}
+
+/// Polls every live task once, in spawn order — the executors' shared
+/// scheduling rule. Futures here only return `Pending` when genuinely
+/// blocked on a future deadline or an empty inbox, and nothing a task
+/// does synchronously unblocks *another* task (app messages travel
+/// through the backend), so one round per cycle is complete.
+pub(crate) fn poll_tasks(tasks: &mut [Task]) {
+    let waker = noop_waker();
+    let mut cx = Context::from_waker(&waker);
+    for task in tasks.iter_mut().filter(|t| !t.done) {
+        if task.fut.as_mut().poll(&mut cx).is_ready() {
+            task.done = true;
+        }
+    }
+}
+
+/// A waker that does nothing: scheduling is the executor's outer loop,
+/// driven by the calendar (sim) or the wall clock (live).
+fn noop_waker() -> Waker {
+    fn clone(_: *const ()) -> RawWaker {
+        RawWaker::new(std::ptr::null(), &VTABLE)
+    }
+    fn noop(_: *const ()) {}
+    static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, noop, noop, noop);
+    // SAFETY: every vtable entry is a no-op (or builds another no-op
+    // waker), so the contract on RawWaker is trivially upheld.
+    unsafe { Waker::from_raw(RawWaker::new(std::ptr::null(), &VTABLE)) }
+}

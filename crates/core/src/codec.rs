@@ -22,6 +22,12 @@ use crate::NodeId;
 /// this. Prevents hostile length fields from causing huge allocations.
 pub const MAX_VIEW_ENTRIES: usize = 4096;
 
+/// Maximum application payload accepted in a single [`Message::AppData`].
+///
+/// Keeps hostile length fields from forcing huge allocations and keeps app
+/// datagrams comfortably inside a single UDP packet.
+pub const MAX_APP_PAYLOAD: usize = 1024;
+
 const TAG_JOIN: u8 = 0x01;
 const TAG_INIT_VIEW_REQUEST: u8 = 0x02;
 const TAG_INIT_VIEW_REPLY: u8 = 0x03;
@@ -38,6 +44,7 @@ const TAG_HISTORY_REQUEST: u8 = 0x0d;
 const TAG_HISTORY_REPLY: u8 = 0x0e;
 const TAG_ADD_ME_REQUEST: u8 = 0x0f;
 const TAG_PRESENCE: u8 = 0x10;
+const TAG_APP_DATA: u8 = 0x11;
 
 /// Encodes `msg` into a fresh buffer.
 ///
@@ -149,6 +156,12 @@ pub fn encode_into(msg: &Message, buf: &mut BytesMut) {
             buf.put_u8(TAG_PRESENCE);
             buf.put_slice(&origin.to_bytes());
         }
+        Message::AppData { payload } => {
+            debug_assert!(payload.len() <= MAX_APP_PAYLOAD);
+            buf.put_u8(TAG_APP_DATA);
+            buf.put_u16(payload.len() as u16);
+            buf.put_slice(payload);
+        }
     }
 }
 
@@ -178,6 +191,7 @@ pub fn encoded_len(msg: &Message) -> usize {
         }
         Message::AddMeRequest => 1,
         Message::Presence { .. } => 1 + ID,
+        Message::AppData { payload } => 1 + 2 + payload.len(),
     }
 }
 
@@ -279,6 +293,9 @@ pub fn decode_from(buf: &mut &[u8]) -> Result<Message, CodecError> {
         TAG_PRESENCE => Message::Presence {
             origin: take_id(buf)?,
         },
+        TAG_APP_DATA => Message::AppData {
+            payload: take_payload(buf)?,
+        },
         other => return Err(CodecError::UnknownTag(other)),
     };
     Ok(msg)
@@ -328,6 +345,20 @@ fn take_id(buf: &mut &[u8]) -> Result<NodeId, CodecError> {
     let mut raw = [0u8; NodeId::ENCODED_LEN];
     buf.copy_to_slice(&mut raw);
     Ok(NodeId::from_bytes(raw))
+}
+
+fn take_payload(buf: &mut &[u8]) -> Result<Vec<u8>, CodecError> {
+    let len = usize::from(take_u16(buf)?);
+    if len > MAX_APP_PAYLOAD {
+        return Err(CodecError::LengthOutOfRange {
+            declared: len,
+            max: MAX_APP_PAYLOAD,
+        });
+    }
+    need(buf, len)?;
+    let mut payload = vec![0u8; len];
+    buf.copy_to_slice(&mut payload);
+    Ok(payload)
 }
 
 fn take_view(buf: &mut &[u8]) -> Result<Vec<NodeId>, CodecError> {
@@ -408,6 +439,10 @@ mod tests {
             },
             Message::AddMeRequest,
             Message::Presence { origin: b },
+            Message::AppData { payload: vec![] },
+            Message::AppData {
+                payload: vec![0xde, 0xad, 0xbe, 0xef],
+            },
         ]
     }
 
@@ -473,6 +508,21 @@ mod tests {
             Err(CodecError::LengthOutOfRange {
                 declared: usize::from(u16::MAX),
                 max: MAX_VIEW_ENTRIES
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_app_payload() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_APP_DATA);
+        buf.put_u16(u16::MAX);
+        let err = decode(&buf);
+        assert_eq!(
+            err,
+            Err(CodecError::LengthOutOfRange {
+                declared: usize::from(u16::MAX),
+                max: MAX_APP_PAYLOAD
             })
         );
     }

@@ -308,6 +308,13 @@ pub enum Command {
         /// The monitored node of interest.
         target: NodeId,
     },
+    /// Send an opaque application payload to `to` over the overlay.
+    SendApp {
+        /// The destination node.
+        to: NodeId,
+        /// Application-defined bytes.
+        payload: Vec<u8>,
+    },
 }
 
 /// Applies a control command to `node` at time `now`.
@@ -321,6 +328,7 @@ pub fn apply_command(node: &mut Node, now: TimeMs, command: Command) -> bool {
         Command::RequestHistory { monitor, target } => {
             node.request_history(now, monitor, target);
         }
+        Command::SendApp { to, payload } => node.send_app(to, payload),
     }
     true
 }

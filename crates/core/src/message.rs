@@ -129,6 +129,13 @@ pub enum Message {
         /// The joining node.
         origin: NodeId,
     },
+    /// Opaque application payload carried over the AVMON overlay. The
+    /// protocol never inspects it; the receiving node surfaces it to the
+    /// application layer as [`crate::AppEvent::AppData`].
+    AppData {
+        /// Application-defined bytes (capped at [`crate::codec::MAX_APP_PAYLOAD`]).
+        payload: Vec<u8>,
+    },
 }
 
 impl Message {
@@ -159,6 +166,7 @@ impl Message {
             Message::HistoryReply { .. } => MessageKind::HistoryReply,
             Message::AddMeRequest => MessageKind::AddMeRequest,
             Message::Presence { .. } => MessageKind::Presence,
+            Message::AppData { .. } => MessageKind::AppData,
         }
     }
 }
@@ -183,6 +191,7 @@ pub enum MessageKind {
     HistoryReply,
     AddMeRequest,
     Presence,
+    AppData,
 }
 
 impl core::fmt::Display for MessageKind {
@@ -243,6 +252,9 @@ mod tests {
             Message::AddMeRequest,
             Message::Presence {
                 origin: NodeId::from_index(8),
+            },
+            Message::AppData {
+                payload: vec![1, 2, 3],
             },
         ];
         let kinds: std::collections::HashSet<_> = msgs.iter().map(Message::kind).collect();

@@ -217,6 +217,14 @@ pub enum AppEvent {
         /// The target that resumed answering.
         target: NodeId,
     },
+    /// An opaque application payload arrived over the overlay
+    /// ([`Message::AppData`], sent by a peer's [`Node::send_app`]).
+    AppData {
+        /// The sending node.
+        from: NodeId,
+        /// Application-defined bytes, delivered uninspected.
+        payload: Vec<u8>,
+    },
 }
 
 /// Outstanding request state, keyed by nonce. `Copy`: every variant is
@@ -931,6 +939,9 @@ impl Node {
             Message::Presence { origin } => {
                 self.handle_presence(now, origin);
             }
+            Message::AppData { payload } => {
+                self.emit(AppEvent::AppData { from, payload });
+            }
         }
     }
 
@@ -975,6 +986,14 @@ impl Node {
     pub fn request_history(&mut self, now: TimeMs, monitor: NodeId, target: NodeId) {
         let nonce = self.begin_request(now, Pending::History { monitor, target });
         self.send(monitor, Message::HistoryRequest { nonce, target });
+    }
+
+    /// Sends an opaque application payload to `to` over the overlay
+    /// ([`Message::AppData`]). Fire-and-forget: no pending entry, no
+    /// timeout — delivery semantics are whatever the transport provides.
+    /// Surfaces at the receiver as [`AppEvent::AppData`].
+    pub fn send_app(&mut self, to: NodeId, payload: Vec<u8>) {
+        self.send(to, Message::AppData { payload });
     }
 
     fn handle_expiry(&mut self, now: TimeMs, pending: Pending) {

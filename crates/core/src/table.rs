@@ -375,6 +375,100 @@ mod tests {
         );
     }
 
+    /// Property differential: any sequence of inserts, removes, lookups
+    /// and re-inserts — proptest drives the key universe small so probe
+    /// chains collide and tombstones pile up — leaves `FlatMap`/`FlatSet`
+    /// observationally equal to the std collections, with capacity
+    /// bounded by the *peak live population*, never by total traffic
+    /// (the rebuild-compaction guarantee).
+    mod differential {
+        use super::super::*;
+        use proptest::prelude::*;
+        use std::collections::{HashMap, HashSet};
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            Insert(u64, u64),
+            Remove(u64),
+            Lookup(u64),
+        }
+
+        fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+            // Keys from a 64-wide universe: at a few thousand ops every
+            // key cycles through insert → remove → reinsert many times,
+            // the adversarial pattern for tombstone handling.
+            let op = (0..64u64, any::<u64>(), 0..4u8).prop_map(|(key, value, kind)| match kind {
+                0 | 1 => Op::Insert(key, value),
+                2 => Op::Remove(key),
+                _ => Op::Lookup(key),
+            });
+            proptest::collection::vec(op, 1..3_000)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn flat_map_agrees_with_std_and_stays_compact(ops in arb_ops()) {
+                let mut flat: FlatMap<u64, u64> = FlatMap::new();
+                let mut std_map: HashMap<u64, u64> = HashMap::new();
+                let mut peak = 0usize;
+                for op in &ops {
+                    match *op {
+                        Op::Insert(k, v) => {
+                            prop_assert_eq!(flat.insert(k, v), std_map.insert(k, v));
+                        }
+                        Op::Remove(k) => {
+                            prop_assert_eq!(flat.remove(&k), std_map.remove(&k));
+                        }
+                        Op::Lookup(k) => {
+                            prop_assert_eq!(flat.get(&k), std_map.get(&k));
+                            prop_assert_eq!(flat.contains_key(&k), std_map.contains_key(&k));
+                        }
+                    }
+                    prop_assert_eq!(flat.len(), std_map.len());
+                    peak = peak.max(std_map.len());
+                }
+                for k in 0..64 {
+                    prop_assert_eq!(flat.get(&k), std_map.get(&k), "key {}", k);
+                }
+                // Rebuild bound: a doubling needs len*2 ≥ capacity at
+                // rebuild time, so capacity can never exceed 4× the peak
+                // live population (rounded up to a power of two) plus the
+                // initial allocation — no matter how many tombstones the
+                // remove/reinsert churn produced.
+                let bound = (4 * peak.max(1)).next_power_of_two().max(INITIAL_CAPACITY);
+                prop_assert!(
+                    flat.slots.len() <= bound,
+                    "capacity {} exceeds bound {} at peak {}",
+                    flat.slots.len(),
+                    bound,
+                    peak
+                );
+            }
+
+            #[test]
+            fn flat_set_agrees_with_std(ops in arb_ops()) {
+                let mut flat: FlatSet<u64> = FlatSet::new();
+                let mut std_set: HashSet<u64> = HashSet::new();
+                for op in &ops {
+                    match *op {
+                        Op::Insert(k, _) => {
+                            prop_assert_eq!(flat.insert(k), std_set.insert(k));
+                        }
+                        Op::Remove(k) => {
+                            prop_assert_eq!(flat.remove(&k), std_set.remove(&k));
+                        }
+                        Op::Lookup(k) => {
+                            prop_assert_eq!(flat.contains(&k), std_set.contains(&k));
+                        }
+                    }
+                    prop_assert_eq!(flat.len(), std_set.len());
+                }
+            }
+        }
+    }
+
     #[test]
     fn set_semantics_match_hashset() {
         let mut s: FlatSet<(NodeId, NodeId)> = FlatSet::new();

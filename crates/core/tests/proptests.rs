@@ -69,6 +69,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
             }),
         Just(Message::AddMeRequest),
         arb_node_id().prop_map(|origin| Message::Presence { origin }),
+        proptest::collection::vec(any::<u8>(), 0..64)
+            .prop_map(|payload| Message::AppData { payload }),
     ]
 }
 
@@ -86,7 +88,7 @@ fn arb_message_covers_every_variant() {
         kinds.insert(strategy.generate(&mut rng).kind());
     }
     // One per Message variant (see MessageKind).
-    assert_eq!(kinds.len(), 16, "strategy misses variants; saw {kinds:?}");
+    assert_eq!(kinds.len(), 17, "strategy misses variants; saw {kinds:?}");
 }
 
 proptest! {

@@ -1,0 +1,9 @@
+//! Bad fixture: an application task drawing randomness directly instead
+//! of through the registered `app` stream (AvmonHandle::rng_u64). The
+//! draw below is in a file no owners entry covers, so it must fire
+//! rng-stream — proving app-task code cannot smuggle in side randomness.
+
+pub async fn rogue_task(seed: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.gen_range(0..100)
+}

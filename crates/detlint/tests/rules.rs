@@ -40,6 +40,9 @@ fn every_rule_fires_on_the_bad_fixture() {
         ("crates/core/src/rng.rs", 4, Rule::BannedRngSource),
         ("crates/core/src/rng.rs", 5, Rule::BannedRngSource),
         ("crates/core/src/rng.rs", 6, Rule::RngStream),
+        // task.rs: an app task drawing outside the registered `app`
+        // stream owner (crates/app/src/handle.rs in the real tree).
+        ("crates/app/src/task.rs", 8, Rule::RngStream),
         // engine.rs: shared seq, shared rng, process stream inside the
         // region (the struct fields above the marker are legal).
         ("crates/sim/src/engine.rs", 12, Rule::WorkerPurity),

@@ -251,6 +251,14 @@ enum EventKind {
         node: NodeId,
         behavior: Behavior,
     },
+    /// An application-executor wakeup ([`Simulation::schedule_app_wake`]):
+    /// pauses [`Simulation::run_until_wake`] at exactly this `(time, seq)`
+    /// position so async app tasks interleave deterministically with the
+    /// protocol calendar. Shared-state by construction — it always cuts a
+    /// parallel batch, so pause points are identical at any worker count.
+    AppWake {
+        token: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -622,7 +630,19 @@ pub struct Simulation {
     /// bootstrap view seeding can exclude the joiner in O(1).
     // detlint::allow(banned-collection): per-key position lookups; never iterated
     initial_cohort_index: HashMap<NodeId, usize>,
-    app_events: Vec<(NodeId, AppEvent)>,
+    app_events: Vec<(TimeMs, NodeId, AppEvent)>,
+    /// Nodes whose application events feed a paused async executor
+    /// ([`Simulation::subscribe_app`]). Their deliveries/timers always cut
+    /// a parallel batch, so every subscribed event is dispatched at its
+    /// own sequential calendar position regardless of worker count.
+    // detlint::allow(banned-collection): membership probes only; never iterated
+    app_subscribed: HashSet<NodeId>,
+    /// Wake tokens fired since the last [`Simulation::take_wakes`] drain.
+    pending_wakes: Vec<u64>,
+    /// Words drawn by the application executor's registered `app` RNG
+    /// stream, pushed in via [`Simulation::set_app_draws`] so the
+    /// [`RngLedger`] covers app tasks too.
+    app_draws: u64,
     net: NetworkState,
     /// Per-node freeze windows from the scenario, indexed by node so the
     /// delivery/timer hot path pays O(1) for the (overwhelmingly common)
@@ -898,6 +918,10 @@ impl Simulation {
             initial_cohort,
             initial_cohort_index,
             app_events: Vec::new(),
+            // detlint::allow(banned-collection): see the field declaration
+            app_subscribed: HashSet::new(),
+            pending_wakes: Vec::new(),
+            app_draws: 0,
             net,
             freezes,
             lanes,
@@ -944,9 +968,57 @@ impl Simulation {
     }
 
     /// Drains buffered application events (requires
-    /// [`SimOptions::collect_app_events`]).
+    /// [`SimOptions::collect_app_events`] or a [`Simulation::subscribe_app`]
+    /// subscription).
     pub fn take_app_events(&mut self) -> Vec<(NodeId, AppEvent)> {
         std::mem::take(&mut self.app_events)
+            .into_iter()
+            .map(|(_, id, event)| (id, event))
+            .collect()
+    }
+
+    /// Drains buffered application events with the simulated time each was
+    /// emitted at (the async executor's event feed).
+    pub fn take_app_events_timed(&mut self) -> Vec<(TimeMs, NodeId, AppEvent)> {
+        std::mem::take(&mut self.app_events)
+    }
+
+    /// Subscribes the application executor to `id`'s events: they are
+    /// buffered (timestamped) and any of them pauses
+    /// [`Simulation::run_until_wake`]. Subscribed nodes' deliveries and
+    /// timers always cut a parallel batch, so the pause points — and the
+    /// engine state at each pause — are byte-identical at any worker count.
+    pub fn subscribe_app(&mut self, id: NodeId) {
+        self.app_subscribed.insert(id);
+    }
+
+    /// Schedules an application wakeup at `at` (clamped to now). The token
+    /// comes back from [`Simulation::take_wakes`] once
+    /// [`Simulation::run_until_wake`] pauses at the wake instant.
+    pub fn schedule_app_wake(&mut self, at: TimeMs, token: u64) {
+        let at = at.max(self.now);
+        self.requeue(at, EventKind::AppWake { token });
+    }
+
+    /// Drains the wake tokens fired since the last call.
+    pub fn take_wakes(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.pending_wakes)
+    }
+
+    /// Records the application executor's RNG draw count — the `app`
+    /// stream of the [`RngLedger`] (`crate::invariants::RngLedger`).
+    pub fn set_app_draws(&mut self, draws: u64) {
+        self.app_draws = draws;
+    }
+
+    /// Sends an opaque application payload from `from` to `to` over the
+    /// simulated overlay ([`avmon::Message::AppData`]); it surfaces at the
+    /// receiver as a buffered [`AppEvent::AppData`].
+    pub fn send_app(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) {
+        if let Some(node) = self.nodes.get_mut(&from).and_then(|n| n.proto.as_mut()) {
+            node.send_app(to, payload);
+            self.drain_node(from);
+        }
     }
 
     /// Issues a verifiable monitor-report request from `from` to `target`
@@ -982,19 +1054,53 @@ impl Simulation {
     /// parallel path ([`Simulation::run_window_batches`]); the event
     /// outcome — and the serialized report — is byte-identical either way.
     pub fn run_until(&mut self, deadline: TimeMs) {
+        self.run_until_inner(deadline, false);
+    }
+
+    /// Advances simulated time until `deadline` — or pauses early, with
+    /// the clock at the triggering event's instant, as soon as an app
+    /// wake fires or a subscribed node emits an application event.
+    ///
+    /// Returns `true` when paused before the deadline (events/wakes are
+    /// waiting in [`Simulation::take_app_events_timed`] /
+    /// [`Simulation::take_wakes`]), `false` when the deadline was reached.
+    /// Pause points are identical at any worker count: wakes and
+    /// subscribed-node events only ever dispatch sequentially at batch
+    /// cuts, where engine state matches the sequential engine's at the
+    /// same pop-order prefix.
+    pub fn run_until_wake(&mut self, deadline: TimeMs) -> bool {
+        self.run_until_inner(deadline, true)
+    }
+
+    fn run_until_inner(&mut self, deadline: TimeMs, stop_on_wake: bool) -> bool {
         let deadline = deadline.min(self.trace.horizon);
-        if self.workers > 1 {
-            self.run_window_batches(deadline);
+        let paused = if self.workers > 1 {
+            self.run_window_batches(deadline, stop_on_wake)
         } else {
+            let mut paused = false;
             while let Some((at, _, src)) = self.peek_next() {
                 if at > deadline {
                     break;
                 }
                 self.pop_and_dispatch(src);
+                if stop_on_wake && self.wake_pending() {
+                    paused = true;
+                    break;
+                }
             }
+            paused
+        };
+        if !paused {
+            self.now = deadline;
+            self.finish_if_horizon(deadline);
         }
-        self.now = deadline;
-        self.finish_if_horizon(deadline);
+        paused
+    }
+
+    /// Whether a paused executor has something to process: a fired wake
+    /// or an undrained application event.
+    fn wake_pending(&self) -> bool {
+        !self.pending_wakes.is_empty() || !self.app_events.is_empty()
     }
 
     /// Pops the event `peek_next` found at `src` and dispatches it
@@ -1091,7 +1197,8 @@ impl Simulation {
     /// RNG draws happen. The pop/replay sequence is therefore *identical*
     /// to the sequential engine's, making same-seed reports byte-identical
     /// at any worker count.
-    fn run_window_batches(&mut self, deadline: TimeMs) {
+    fn run_window_batches(&mut self, deadline: TimeMs, stop_on_wake: bool) -> bool {
+        let mut paused = false;
         let (res_tx, res_rx) = mpsc::channel::<Vec<ShardDone>>();
         std::thread::scope(|scope| {
             // One job channel per worker, spawned once for the whole call;
@@ -1126,6 +1233,14 @@ impl Simulation {
                     if let Some((at, _, src)) = self.peek_next() {
                         if at <= deadline {
                             self.pop_and_dispatch(src);
+                            // Wakes and subscribed-node events only ever
+                            // arise from cut dispatches (they classify as
+                            // Cut), so this is the only pause check the
+                            // parallel loop needs.
+                            if stop_on_wake && self.wake_pending() {
+                                paused = true;
+                                break;
+                            }
                         }
                     }
                 }
@@ -1133,6 +1248,7 @@ impl Simulation {
             // Hang up the job channels so the workers drain and exit.
             drop(job_txs);
         });
+        paused
     }
 
     /// Collects one batch in pop order, consuming batchable and inline
@@ -1228,10 +1344,13 @@ impl Simulation {
         match head {
             HeadView::Shared => HeadClass::Cut,
             HeadView::Deliver { to } => {
-                if self.frozen_at(to, at).is_some() {
+                if self.frozen_at(to, at).is_some() || self.app_subscribed.contains(&to) {
                     // Frozen destinations requeue at pop time with a fresh
                     // sequence number — that allocation must happen at the
                     // sequential position, so the event cuts the batch.
+                    // App-subscribed destinations cut too: their events
+                    // must pause `run_until_wake` at the exact sequential
+                    // calendar position, independent of worker count.
                     HeadClass::Cut
                 } else if batched.contains_key(&to)
                     || self.nodes.get(&to).is_some_and(|n| n.proto.is_some())
@@ -1242,7 +1361,7 @@ impl Simulation {
                 }
             }
             HeadView::Timer { node, incarnation } => {
-                if self.frozen_at(node, at).is_some() {
+                if self.frozen_at(node, at).is_some() || self.app_subscribed.contains(&node) {
                     HeadClass::Cut
                 } else if self.nodes.get(&node).is_some_and(|n| {
                     n.incarnation == incarnation
@@ -1375,6 +1494,7 @@ impl Simulation {
             net,
             discovery,
             app_events,
+            app_subscribed,
             trace,
             qos,
             ..
@@ -1495,8 +1615,8 @@ impl Simulation {
                 AppEvent::TargetResponsive { target } => suspicions.push((false, *target)),
                 _ => {}
             }
-            if opts.collect_app_events {
-                app_events.push((id, event));
+            if opts.collect_app_events || app_subscribed.contains(&id) {
+                app_events.push((now, id, event));
             }
         }
         for (down, target) in suspicions {
@@ -1648,6 +1768,7 @@ impl Simulation {
                 seed,
             } => self.on_corrupt(node, pattern, seed),
             EventKind::SetBehavior { node, behavior } => self.on_set_behavior(node, behavior),
+            EventKind::AppWake { token } => self.pending_wakes.push(token),
         }
     }
 
@@ -1948,6 +2069,7 @@ impl Simulation {
             tracked: _,
             discovery,
             app_events,
+            app_subscribed,
             trace,
             qos,
             ..
@@ -2086,8 +2208,8 @@ impl Simulation {
                 AppEvent::TargetResponsive { target } => suspicions.push((false, *target)),
                 _ => {}
             }
-            if opts.collect_app_events {
-                app_events.push((id, event));
+            if opts.collect_app_events || app_subscribed.contains(&id) {
+                app_events.push((now, id, event));
             }
         }
         for (down, target) in suspicions {
@@ -2278,6 +2400,7 @@ impl Simulation {
             engine_draws: self.rng.draw_count(),
             node_draws,
             corruption_draws: self.corruption_draws,
+            app_draws: self.app_draws,
         };
         // One pass over every monitor's target records builds the
         // per-target estimate index (O(total TS entries) = O(N·K)).

@@ -375,13 +375,17 @@ pub struct RngLedger {
     /// garbage), each seeded from `mix64(master ^ mix64(event seed))`;
     /// exactly 0 in adversary-free runs.
     pub corruption_draws: u64,
+    /// Draws on the application executor's `app` stream (async app tasks
+    /// over the sim executor, seeded `mix64(master ^ APP salt)`); exactly 0
+    /// in runs with no attached application.
+    pub app_draws: u64,
 }
 
 impl RngLedger {
     /// Total draws across every stream.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.engine_draws + self.node_draws + self.corruption_draws
+        self.engine_draws + self.node_draws + self.corruption_draws + self.app_draws
     }
 }
 
@@ -1271,13 +1275,14 @@ mod tests {
                 engine_draws: 1000,
                 node_draws: 2000,
                 corruption_draws: 3,
+                app_draws: 40,
             },
         };
         let json = serde_json::to_string(&summary).unwrap();
         let back: InvariantSummary = serde_json::from_str(&json).unwrap();
         assert_eq!(summary, back);
         assert!(!back.passed());
-        assert_eq!(back.rng_ledger.total(), 3003);
+        assert_eq!(back.rng_ledger.total(), 3043);
     }
 
     /// Builds a node with a ghost PS entry, as corruption would leave it.

@@ -546,4 +546,50 @@ mod tests {
         // The bound never undershoots the true value.
         assert!(dist.percentile_upper_bound_secs(100.0).unwrap() >= 100);
     }
+
+    /// The degenerate shapes a regression gate will actually meet: an
+    /// empty distribution has no percentile at all (not a zero), a
+    /// single detection answers every percentile from the one bucket it
+    /// occupies, and mass in the saturated top bucket falls back to the
+    /// `2^15` s sentinel rather than indexing past the histogram.
+    #[test]
+    fn percentile_bound_edge_cases() {
+        // Empty: every percentile is None, including the boundaries.
+        let empty = DetectionDistribution::default();
+        for pct in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(empty.percentile_upper_bound_secs(pct), None);
+        }
+
+        // Single detection: rank clamps to 1, so every percentile —
+        // even pct = 0, whose ceil-rank would be 0 — reads the one
+        // occupied bucket. 700 ms → bucket 0 → bound 1 s.
+        let mut single = DetectionDistribution::default();
+        single.record(700);
+        for pct in [0.0, 0.1, 50.0, 100.0] {
+            assert_eq!(single.percentile_upper_bound_secs(pct), Some(1));
+        }
+
+        // Saturated top bucket: times at or beyond 2^15 s all land in
+        // bucket 15, and the bound answers the sentinel 2^15 — the
+        // scan and the fallback agree, so nothing indexes out of range.
+        let mut saturated = DetectionDistribution::default();
+        saturated.record((1u64 << 15) * 1_000); // exactly 2^15 s
+        saturated.record(u64::MAX / 2_000 * 1_000); // absurdly late
+        for pct in [50.0, 100.0] {
+            assert_eq!(saturated.percentile_upper_bound_secs(pct), Some(1 << 15));
+        }
+        assert_eq!(saturated.buckets[15], 2, "both land in the top bucket");
+
+        // Mixed: low mass plus a saturated tail — the percentile walks
+        // past the low buckets into the sentinel exactly at the rank
+        // where the tail starts (9 of 10 below 2 s → p90 stays low,
+        // p91 crosses into the top bucket).
+        let mut mixed = DetectionDistribution::default();
+        for _ in 0..9 {
+            mixed.record(1_500);
+        }
+        mixed.record((1u64 << 20) * 1_000);
+        assert_eq!(mixed.percentile_upper_bound_secs(90.0), Some(2));
+        assert_eq!(mixed.percentile_upper_bound_secs(91.0), Some(1 << 15));
+    }
 }

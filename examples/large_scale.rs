@@ -24,14 +24,23 @@ use std::time::Instant;
 
 use avmon::{Config, MINUTE};
 use avmon_churn::{synthetic, SynthParams};
-use avmon_examples::print_kv;
+use avmon_examples::{parse_large_scale_args, print_kv, LargeScaleArgs};
 use avmon_sim::{metrics, InvariantConfig, SimOptions, Simulation};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(50_000);
-    let warmup_min: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(30);
-    let duration_min: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+    let LargeScaleArgs {
+        n,
+        warmup_min,
+        duration_min,
+        pair_cap,
+        workers,
+    } = match parse_large_scale_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
 
     // STAT trace with a shortened warm-up: discovery needs ≈ N/cvs²
     // protocol periods (≈ 14 at N = 50k with cvs = 60), so a full
@@ -65,7 +74,6 @@ fn main() {
     // O(N²) condition scan a few seconds even at 50k); pass a 4th arg to
     // re-enable the stride cap for populations where even that is too
     // slow (e.g. `… 200000 30 10 20000000`).
-    let pair_cap: Option<u64> = args.next().and_then(|a| a.parse().ok());
     let invariants = match pair_cap {
         Some(cap) => InvariantConfig::default().agreement_pair_cap(cap),
         None => InvariantConfig::default(),
@@ -73,7 +81,6 @@ fn main() {
     // 5th arg: worker threads for the sharded engine (0 = one per core;
     // default 0). Reports are byte-identical at any worker count, so this
     // only trades wall-clock for cores.
-    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
     let opts = SimOptions::new(config)
         .seed(7)
         .invariants(invariants)

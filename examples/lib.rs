@@ -16,6 +16,74 @@ pub fn print_kv(pairs: &[(&str, String)]) {
     }
 }
 
+/// Parsed command line of the `large_scale` example.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LargeScaleArgs {
+    /// Overlay size `N` (arg 1, default 50 000).
+    pub n: usize,
+    /// Warm-up minutes before measurement (arg 2, default 30).
+    pub warmup_min: u64,
+    /// Measured minutes (arg 3, default 10).
+    pub duration_min: u64,
+    /// Eventual-agreement pair-scan cap (arg 4, default uncapped).
+    pub pair_cap: Option<u64>,
+    /// Worker threads for the sharded engine (arg 5, default 0 = one per
+    /// core).
+    pub workers: usize,
+}
+
+impl Default for LargeScaleArgs {
+    fn default() -> Self {
+        LargeScaleArgs {
+            n: 50_000,
+            warmup_min: 30,
+            duration_min: 10,
+            pair_cap: None,
+            workers: 0,
+        }
+    }
+}
+
+/// Usage text printed when `large_scale` rejects its command line.
+pub const LARGE_SCALE_USAGE: &str =
+    "usage: large_scale [N] [WARMUP_MIN] [DURATION_MIN] [PAIR_CAP] [WORKERS]";
+
+/// Parses the positional arguments of the `large_scale` example.
+///
+/// Every argument is optional, but a *present* argument must parse: a
+/// malformed value is an error (with usage text), never a silent fall
+/// back to the default — `large_scale 50k` running the 50 000-node
+/// default would burn an hour before anyone noticed the typo.
+pub fn parse_large_scale_args(
+    args: impl Iterator<Item = String>,
+) -> Result<LargeScaleArgs, String> {
+    fn field<T: std::str::FromStr>(arg: Option<&str>, name: &str) -> Result<Option<T>, String> {
+        match arg {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("large_scale: invalid {name} {raw:?}\n{LARGE_SCALE_USAGE}")),
+        }
+    }
+    let args: Vec<String> = args.collect();
+    if args.len() > 5 {
+        return Err(format!(
+            "large_scale: expected at most 5 arguments, got {}\n{LARGE_SCALE_USAGE}",
+            args.len()
+        ));
+    }
+    let arg = |i: usize| args.get(i).map(String::as_str);
+    let defaults = LargeScaleArgs::default();
+    Ok(LargeScaleArgs {
+        n: field(arg(0), "N")?.unwrap_or(defaults.n),
+        warmup_min: field(arg(1), "WARMUP_MIN")?.unwrap_or(defaults.warmup_min),
+        duration_min: field(arg(2), "DURATION_MIN")?.unwrap_or(defaults.duration_min),
+        pair_cap: field(arg(3), "PAIR_CAP")?,
+        workers: field(arg(4), "WORKERS")?.unwrap_or(defaults.workers),
+    })
+}
+
 /// Collects the verified availability of `target` as seen through the
 /// "l out of K" protocol: ask `target` for `l` monitors, verify each
 /// claim, then query every verified monitor for its measured history and
@@ -79,5 +147,64 @@ pub fn verified_availability(
             estimates.iter().sum::<f64>() / estimates.len() as f64,
             monitors.len(),
         ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<LargeScaleArgs, String> {
+        parse_large_scale_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn no_args_yields_the_defaults() {
+        assert_eq!(parse(&[]).unwrap(), LargeScaleArgs::default());
+    }
+
+    #[test]
+    fn all_args_parse_positionally() {
+        assert_eq!(
+            parse(&["10000", "10", "5", "20000000", "4"]).unwrap(),
+            LargeScaleArgs {
+                n: 10_000,
+                warmup_min: 10,
+                duration_min: 5,
+                pair_cap: Some(20_000_000),
+                workers: 4,
+            }
+        );
+    }
+
+    #[test]
+    fn prefix_args_leave_later_defaults() {
+        let parsed = parse(&["10000"]).unwrap();
+        assert_eq!(parsed.n, 10_000);
+        assert_eq!(parsed.warmup_min, 30);
+        assert_eq!(parsed.pair_cap, None);
+        assert_eq!(parsed.workers, 0);
+    }
+
+    #[test]
+    fn malformed_values_error_with_usage_not_silent_defaults() {
+        for (args, name) in [
+            (&["50k"][..], "N"),
+            (&["10000", "ten"][..], "WARMUP_MIN"),
+            (&["10000", "10", "5.5"][..], "DURATION_MIN"),
+            (&["10000", "10", "5", "-1"][..], "PAIR_CAP"),
+            (&["10000", "10", "5", "1000", "many"][..], "WORKERS"),
+        ] {
+            let err = parse(args).unwrap_err();
+            assert!(err.contains(name), "error {err:?} must name {name}");
+            assert!(err.contains("usage:"), "error {err:?} must carry usage");
+        }
+    }
+
+    #[test]
+    fn excess_args_are_rejected() {
+        let err = parse(&["1", "2", "3", "4", "5", "6"]).unwrap_err();
+        assert!(err.contains("at most 5"));
+        assert!(err.contains("usage:"));
     }
 }

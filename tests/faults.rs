@@ -6,6 +6,7 @@
 //! `AVMON_FUZZ_SWEEP` environment variable (see CI).
 
 use avmon::{Config, NodeId, MINUTE};
+use avmon_app::{apps::watchdog_selector, SimExecutor};
 use avmon_churn::{stat, synthetic, SynthParams, Trace};
 use avmon_sim::{
     InvariantConfig, LatencyModel, LinkFaults, NetworkModel, Scenario, SimOptions, SimReport,
@@ -265,11 +266,24 @@ fn invalid_options_rejected_at_construction() {
 
 /// One row of the sweep's QoS artifact: which seed, which generated
 /// scenario, and the full failure-detector scorecard it produced.
+/// Seeds that also ran the example app task under the same scenario
+/// carry an [`SweepApp`] column (extra keys are ignored by
+/// `scripts/check_fdqos.py`, which reads only the QoS gates).
 #[derive(serde::Serialize)]
 struct SweepQos {
     seed: u64,
     scenario: String,
     qos: avmon_sim::FdQos,
+    app: Option<SweepApp>,
+}
+
+/// App-attachment scorecard for the sweep seeds that ran the example
+/// watchdog app on top of the fuzz scenario: the run was executed twice
+/// and asserted byte-identical before these numbers were recorded.
+#[derive(serde::Serialize)]
+struct SweepApp {
+    decisions: usize,
+    app_draws: u64,
 }
 
 /// Seed-driven random-scenario sweep (fuzz-style). Expensive, so opt-in:
@@ -321,10 +335,41 @@ fn random_scenario_fuzz_sweep() {
             report.qos.mistake_rate_per_hour,
             report.qos.windows.len(),
         );
+        // A quarter of the seeds re-run the scenario with the example
+        // async app attached (watchdog + least-available-k selection on
+        // the first four nodes): the app's decision log must be
+        // byte-identical run-to-run even while the fuzz scenario is
+        // shredding the overlay underneath it.
+        let app = (seed % 4 == 0).then(|| {
+            let app_run = || {
+                let trace = stat(n, 60 * MINUTE, 0.1, seed);
+                let mut exec = SimExecutor::new(Simulation::new(trace, opts()), seed);
+                for &id in &ids[..4] {
+                    exec.spawn(id, |h| watchdog_selector(h, 5 * MINUTE, 3));
+                }
+                exec.run();
+                let (report, log) = exec.into_report();
+                (log, report.invariants.rng_ledger)
+            };
+            let (log, ledger) = app_run();
+            let (log2, ledger2) = app_run();
+            assert_eq!(
+                log.to_json(),
+                log2.to_json(),
+                "seed {seed}: app decision log not reproducible under fuzz scenario"
+            );
+            assert_eq!(ledger, ledger2, "seed {seed}: app-run ledger diverged");
+            assert!(ledger.app_draws > 0, "seed {seed}: app stream never drew");
+            SweepApp {
+                decisions: log.decisions.len(),
+                app_draws: ledger.app_draws,
+            }
+        });
         scorecards.push(SweepQos {
             seed,
             scenario: scenario.name.clone(),
             qos: report.qos,
+            app,
         });
     }
     // QoS regression gates over the whole corpus, not just invariants:
